@@ -1,0 +1,79 @@
+// Bloom Clock micro-benchmarks: the cheap first stage of LØ's two-stage
+// reconciliation (Sec. 4.2) must stay orders of magnitude cheaper than a
+// sketch decode for the design to pay off.
+#include <benchmark/benchmark.h>
+
+#include "bloomclock/bloom_clock.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using lo::bloom::BloomClock;
+
+void BM_ClockAdd(benchmark::State& state) {
+  BloomClock c(static_cast<std::size_t>(state.range(0)), 1);
+  lo::util::Rng rng(1);
+  for (auto _ : state) {
+    c.add(rng.next());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ClockAdd)->Arg(32)->Arg(128)->Arg(1024);
+
+void BM_ClockCompare(benchmark::State& state) {
+  BloomClock a(32, 1), b(32, 1);
+  lo::util::Rng rng(2);
+  for (int i = 0; i < 500; ++i) {
+    const auto v = rng.next();
+    a.add(v);
+    b.add(v);
+  }
+  for (int i = 0; i < 20; ++i) b.add(rng.next());
+  for (auto _ : state) {
+    auto o = a.compare(b);
+    benchmark::DoNotOptimize(o);
+  }
+}
+BENCHMARK(BM_ClockCompare);
+
+void BM_ClockL1Distance(benchmark::State& state) {
+  BloomClock a(32, 1), b(32, 1);
+  lo::util::Rng rng(3);
+  for (int i = 0; i < 1000; ++i) a.add(rng.next());
+  for (int i = 0; i < 1000; ++i) b.add(rng.next());
+  for (auto _ : state) {
+    auto d = a.l1_distance(b);
+    benchmark::DoNotOptimize(d);
+  }
+}
+BENCHMARK(BM_ClockL1Distance);
+
+void BM_ClockSerialize(benchmark::State& state) {
+  BloomClock c(32, 1);
+  lo::util::Rng rng(4);
+  for (int i = 0; i < 200; ++i) c.add(rng.next());
+  for (auto _ : state) {
+    auto bytes = c.serialize();
+    benchmark::DoNotOptimize(bytes);
+  }
+}
+BENCHMARK(BM_ClockSerialize);
+
+void BM_ClockMerge(benchmark::State& state) {
+  BloomClock a(32, 1), b(32, 1);
+  lo::util::Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    a.add(rng.next());
+    b.add(rng.next());
+  }
+  for (auto _ : state) {
+    BloomClock m = a;
+    m.merge(b);
+    benchmark::DoNotOptimize(m);
+  }
+}
+BENCHMARK(BM_ClockMerge);
+
+}  // namespace
+
+BENCHMARK_MAIN();

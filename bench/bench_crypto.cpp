@@ -1,0 +1,88 @@
+// Crypto micro-benchmarks: SHA-256/512 throughput and Ed25519 operations.
+// Supporting measurements — the paper's protocol signs every commitment and
+// block, so these bound the non-simulated CPU cost per protocol message.
+#include <benchmark/benchmark.h>
+
+#include "crypto/ed25519.hpp"
+#include "crypto/keys.hpp"
+#include "crypto/sha256.hpp"
+#include "crypto/sha512.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace lo::crypto;
+
+std::vector<std::uint8_t> random_bytes(std::size_t n, std::uint64_t seed) {
+  lo::util::Rng rng(seed);
+  std::vector<std::uint8_t> out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.next());
+  return out;
+}
+
+void BM_Sha256(benchmark::State& state) {
+  const auto data = random_bytes(static_cast<std::size_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    auto d = sha256(data);
+    benchmark::DoNotOptimize(d);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(250)->Arg(4096)->Arg(65536);
+
+void BM_Sha512(benchmark::State& state) {
+  const auto data = random_bytes(static_cast<std::size_t>(state.range(0)), 2);
+  for (auto _ : state) {
+    auto d = sha512(data);
+    benchmark::DoNotOptimize(d);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha512)->Arg(64)->Arg(250)->Arg(4096)->Arg(65536);
+
+void BM_Ed25519KeyGen(benchmark::State& state) {
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    auto kp = derive_keypair(++i, SignatureMode::kEd25519);
+    benchmark::DoNotOptimize(kp);
+  }
+}
+BENCHMARK(BM_Ed25519KeyGen)->Unit(benchmark::kMicrosecond);
+
+void BM_Ed25519Sign(benchmark::State& state) {
+  const auto kp = derive_keypair(7, SignatureMode::kEd25519);
+  const auto msg = random_bytes(250, 3);  // one paper-sized transaction
+  for (auto _ : state) {
+    auto sig = ed25519_sign(kp.seed, msg);
+    benchmark::DoNotOptimize(sig);
+  }
+}
+BENCHMARK(BM_Ed25519Sign)->Unit(benchmark::kMicrosecond);
+
+void BM_Ed25519Verify(benchmark::State& state) {
+  const auto kp = derive_keypair(7, SignatureMode::kEd25519);
+  const auto msg = random_bytes(250, 3);
+  const auto sig = ed25519_sign(kp.seed, msg);
+  for (auto _ : state) {
+    bool ok = ed25519_verify(kp.pub, msg, sig);
+    benchmark::DoNotOptimize(ok);
+  }
+}
+BENCHMARK(BM_Ed25519Verify)->Unit(benchmark::kMicrosecond);
+
+void BM_SimFastSign(benchmark::State& state) {
+  const Signer s(derive_keypair(9, SignatureMode::kSimFast),
+                 SignatureMode::kSimFast);
+  const auto msg = random_bytes(250, 4);
+  for (auto _ : state) {
+    auto sig = s.sign(msg);
+    benchmark::DoNotOptimize(sig);
+  }
+}
+BENCHMARK(BM_SimFastSign);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,87 @@
+// Fig. 6 — time for LØ to suspect or expose malicious miners, as a function
+// of the fraction of colluding censoring miners.
+//
+// Paper setup (Sec. 6.2): malicious miners censor transactions, commitments
+// and blame messages, are fully interconnected, and the correct nodes remain
+// connected among themselves. "Exposure" measures the time until every
+// correct node knows the exposure; "Suspicion" measures the time until every
+// correct node suspects every faulty node (requests must first time out).
+//
+// Paper shape: exposure converges ~6-7 s after first detection; suspicion is
+// slower than exposure; both grow mildly with the malicious fraction.
+#include "bench_common.hpp"
+
+namespace lo {
+namespace {
+
+struct Row {
+  double fraction;
+  double suspicion_s;
+  double exposure_s;
+  double exposure_spread_s;  // per-attacker dissemination lag (paper metric)
+};
+
+Row run_fraction(std::size_t n, double fraction, double seconds,
+                 std::uint64_t seed) {
+  Row row{fraction, -1, -1, -1};
+
+  // Suspicion series: silent censors (requests time out).
+  {
+    auto cfg = bench::base_config(n, seed);
+    cfg.malicious_fraction = fraction;
+    cfg.malicious.censor_txs = true;
+    cfg.malicious.ignore_requests = true;
+    cfg.malicious.drop_gossip = true;
+    harness::LoNetwork net(cfg);
+    net.start_workload(bench::base_workload(20.0, seed * 11), 1);
+    net.run_for(seconds);
+    row.suspicion_s = net.detection_times().suspicion_complete_s;
+  }
+
+  // Exposure series: equivocating censors (fork their commitment logs).
+  {
+    auto cfg = bench::base_config(n, seed + 1);
+    cfg.malicious_fraction = fraction;
+    cfg.malicious.equivocate = true;
+    cfg.malicious.censor_txs = false;
+    harness::LoNetwork net(cfg);
+    net.start_workload(bench::base_workload(20.0, seed * 13), 1);
+    net.run_for(seconds);
+    const auto t = net.detection_times();
+    row.exposure_s = t.exposure_complete_s;
+    row.exposure_spread_s = t.exposure_spread_s;
+  }
+  return row;
+}
+
+}  // namespace
+}  // namespace lo
+
+int main(int argc, char** argv) {
+  const auto args = lo::bench::parse_args(argc, argv, 100, 40.0);
+  lo::bench::print_header(
+      "Fig. 6 — detection time vs fraction of colluding malicious miners",
+      "Nasrulin et al., Middleware'23, Fig. 6");
+  std::printf("nodes=%zu horizon=%.0fs workload=20tps seed=%llu\n\n",
+              args.num_nodes, args.seconds,
+              static_cast<unsigned long long>(args.seed));
+  std::printf("%-10s %-22s %-22s %-26s\n", "fraction",
+              "suspicion-complete[s]", "exposure-complete[s]",
+              "exposure-spread-per-node[s]");
+  for (double fraction : {0.1, 0.2, 0.3, 0.4, 0.5}) {
+    const auto row =
+        lo::run_fraction(args.num_nodes, fraction, args.seconds, args.seed);
+    auto fmt = [](double v) {
+      return v < 0 ? std::string("incomplete") : std::to_string(v).substr(0, 6);
+    };
+    std::printf("%-10.2f %-22s %-22s %-26s\n", row.fraction,
+                fmt(row.suspicion_s).c_str(), fmt(row.exposure_s).c_str(),
+                fmt(row.exposure_spread_s).c_str());
+  }
+  std::printf(
+      "\nexpected shape: suspicion completes within a few timeout periods\n"
+      "(1 s timeout x 3 retries + spread); exposure-complete is dominated by\n"
+      "catching the last equivocator; the per-attacker dissemination spread\n"
+      "(the paper's 6-7 s at 10,000 nodes) shrinks with network diameter.\n");
+  return 0;
+}

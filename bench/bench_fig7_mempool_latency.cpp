@@ -1,0 +1,43 @@
+// Fig. 7 — density distribution of the time needed for a miner to include a
+// transaction into its mempool.
+//
+// Paper setup (Sec. 6.3): default parameters (20 tps, reconciliation with 3
+// random neighbors every second). Paper result: convergence after contact
+// with 5-6 nodes; average discovery latency 1.14 s, density peaked around
+// one reconciliation round.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  const auto args = lo::bench::parse_args(argc, argv, 200, 60.0);
+  lo::bench::print_header(
+      "Fig. 7 — density of per-miner mempool inclusion latency",
+      "Nasrulin et al., Middleware'23, Fig. 7");
+
+  auto cfg = lo::bench::base_config(args.num_nodes, args.seed);
+  lo::harness::LoNetwork net(cfg);
+  net.start_workload(lo::bench::base_workload(20.0, args.seed * 7), 1);
+  net.run_for(args.seconds);
+
+  auto& lat = net.mempool_latency();
+  std::printf("nodes=%zu horizon=%.0fs samples=%zu\n\n", args.num_nodes,
+              args.seconds, lat.count());
+  std::printf("mean   = %.3f s   (paper: 1.14 s)\n", lat.mean());
+  std::printf("median = %.3f s\n", lat.percentile(0.5));
+  std::printf("p90    = %.3f s\n", lat.percentile(0.9));
+  std::printf("p99    = %.3f s\n", lat.percentile(0.99));
+  std::printf("max    = %.3f s\n\n", lat.max());
+
+  std::printf("density histogram (latency[s] -> density):\n");
+  const auto hist = lat.histogram(24, 0.0, 6.0);
+  double peak = 0;
+  for (const auto& b : hist) peak = std::max(peak, b.density);
+  for (const auto& b : hist) {
+    const int bar = peak > 0 ? static_cast<int>(b.density / peak * 50) : 0;
+    std::printf("%5.2f-%5.2f | %7.4f %s\n", b.lo, b.hi, b.density,
+                std::string(static_cast<std::size_t>(bar), '#').c_str());
+  }
+  std::printf(
+      "\nexpected shape: unimodal, peak within the first 1-2 reconciliation\n"
+      "rounds, thin tail beyond ~4 s.\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Sec. 6.5 — memory overhead of LØ.
+//
+// Paper numbers: commitment size ~1.17 KB at 120 tx/min growing to ~9.36 KB
+// at 24,000 tx/min; storing commitments for all 10,000 network nodes costs
+// ~87 MB; overall extra storage ~10 MB at 10,000 nodes / 20 tps.
+//
+// This bench measures (a) serialized commitment-message sizes under
+// different workloads (header + the explicit delta that accompanies it in a
+// sync exchange), (b) per-node accountability memory in a live network, and
+// (c) the extrapolation to the paper's 10,000-node scale.
+#include "bench_common.hpp"
+
+#include "core/messages.hpp"
+
+int main(int argc, char** argv) {
+  const auto args = lo::bench::parse_args(argc, argv, 100, 30.0);
+  lo::bench::print_header("Sec. 6.5 — memory overhead",
+                          "Nasrulin et al., Middleware'23, Sec. 6.5");
+
+  // (a) Commitment message size vs workload: the wire commitment is the
+  // header (clock + sketch + sig) plus the delta ids accumulated since the
+  // previous exchange (1 s reconciliation interval).
+  std::printf("[a] commitment message size vs workload (1 s recon interval)\n\n");
+  std::printf("%-20s %-18s %-14s\n", "workload[tx/min]", "delta ids/round",
+              "size[KiB]");
+  lo::core::CommitmentParams params;
+  lo::core::CommitmentHeader header(params);
+  const double header_kib = header.wire_size() / 1024.0;
+  for (double tpm : {120.0, 600.0, 2400.0, 24000.0}) {
+    const double per_round = tpm / 60.0;  // ids accumulated per second
+    const double size_kib =
+        header_kib + per_round * lo::core::kTxIdWire / 1024.0;
+    std::printf("%-20.0f %-18.1f %-14.2f\n", tpm, per_round, size_kib);
+  }
+  std::printf("(paper: ~1.17 KiB at 120 tx/min, ~9.36 KiB at 24,000 tx/min)\n\n");
+
+  // (b) measured per-node accountability memory in a live network.
+  auto cfg = lo::bench::base_config(args.num_nodes, args.seed);
+  lo::harness::LoNetwork net(cfg);
+  net.start_workload(lo::bench::base_workload(20.0, args.seed * 3), 1);
+  net.run_for(args.seconds);
+
+  std::uint64_t total_mem = 0;
+  std::uint64_t total_commitments = 0;
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    total_mem += net.node(i).accountability_memory_bytes();
+    total_commitments += net.node(i).registry().commitments_stored();
+  }
+  const double per_node_kib = static_cast<double>(total_mem) / net.size() / 1024.0;
+  std::printf(
+      "[b] live network: nodes=%zu tps=20 horizon=%.0fs\n"
+      "    accountability memory/node = %.1f KiB "
+      "(stored commitments/node = %.1f)\n\n",
+      args.num_nodes, args.seconds, per_node_kib,
+      static_cast<double>(total_commitments) / net.size());
+
+  // (c) extrapolation to the paper's scale: a miner holding the latest
+  // commitment of every one of 10,000 nodes.
+  const double full_scale_mb = header.wire_size() * 10000.0 / 1024.0 / 1024.0;
+  std::printf(
+      "[c] extrapolation: latest commitment of all 10,000 nodes =\n"
+      "    %zu B x 10,000 = %.1f MiB   (paper: ~87 MB upper bound)\n",
+      header.wire_size(), full_scale_mb);
+  std::printf(
+      "\nexpected shape: commitment size grows linearly with workload from\n"
+      "~1 KiB; full-network commitment storage in the tens of MB; per-node\n"
+      "steady-state overhead orders of magnitude below that.\n");
+  return 0;
+}

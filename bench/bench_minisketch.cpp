@@ -1,0 +1,110 @@
+// Sec. 6.5 — Minisketch encode/decode CPU cost and the hash-partitioned
+// optimization.
+//
+// Paper claim: decoding a 1,000-element set difference with one big sketch
+// takes ~10 s; partitioning the space and decoding many small sketches takes
+// <100 ms. This bench reproduces the *ratio* (two to three orders of
+// magnitude) with google-benchmark timings of both strategies.
+#include <benchmark/benchmark.h>
+
+#include "minisketch/partitioned.hpp"
+#include "minisketch/sketch.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using lo::sketch::PartitionedReconciler;
+using lo::sketch::Sketch;
+
+std::vector<std::uint64_t> random_items(std::size_t n, std::uint64_t seed) {
+  lo::util::Rng rng(seed);
+  std::vector<std::uint64_t> out(n);
+  for (auto& v : out) v = rng.next();
+  return out;
+}
+
+void BM_SketchAdd(benchmark::State& state) {
+  const auto capacity = static_cast<std::size_t>(state.range(0));
+  Sketch s(32, capacity);
+  lo::util::Rng rng(1);
+  for (auto _ : state) {
+    s.add(rng.next());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_SketchAdd)->Arg(16)->Arg(64)->Arg(128)->Arg(1024);
+
+// Single-sketch decode of a difference of `diff` elements using a sketch of
+// matching capacity — the "one big sketch" strategy.
+void BM_SingleSketchDecode(benchmark::State& state) {
+  const auto diff = static_cast<std::size_t>(state.range(0));
+  const auto items = random_items(diff, 42);
+  Sketch base(32, diff);
+  for (auto v : items) base.add(v);
+  for (auto _ : state) {
+    Sketch copy = base;
+    auto out = copy.decode();
+    benchmark::DoNotOptimize(out);
+    if (!out || out->size() != diff) state.SkipWithError("decode failed");
+  }
+}
+BENCHMARK(BM_SingleSketchDecode)
+    ->Arg(10)
+    ->Arg(50)
+    ->Arg(100)
+    ->Arg(250)
+    ->Arg(500)
+    ->Arg(1000)
+    ->Unit(benchmark::kMillisecond);
+
+// Partitioned reconciliation of the same difference with capacity-64
+// sub-sketches — the paper's Sec. 6.5 optimization.
+void BM_PartitionedReconcile(benchmark::State& state) {
+  const auto diff = static_cast<std::size_t>(state.range(0));
+  const auto shared = random_items(2000, 7);
+  const auto extra = random_items(diff, 11);
+  std::vector<std::uint64_t> a = shared;
+  a.insert(a.end(), extra.begin(), extra.end());
+  PartitionedReconciler pr(32, 64);
+  for (auto _ : state) {
+    auto out = pr.reconcile(a, shared, nullptr);
+    benchmark::DoNotOptimize(out);
+    if (!out || out->size() != diff) state.SkipWithError("reconcile failed");
+  }
+}
+BENCHMARK(BM_PartitionedReconcile)
+    ->Arg(10)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SketchMerge(benchmark::State& state) {
+  const auto capacity = static_cast<std::size_t>(state.range(0));
+  Sketch a(32, capacity), b(32, capacity);
+  lo::util::Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    a.add(rng.next());
+    b.add(rng.next());
+  }
+  for (auto _ : state) {
+    Sketch c = a;
+    c.merge(b);
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_SketchMerge)->Arg(64)->Arg(128)->Arg(1024);
+
+void BM_SketchSerialize(benchmark::State& state) {
+  Sketch s(32, 128);
+  lo::util::Rng rng(5);
+  for (int i = 0; i < 100; ++i) s.add(rng.next());
+  for (auto _ : state) {
+    auto bytes = s.serialize();
+    benchmark::DoNotOptimize(bytes);
+  }
+}
+BENCHMARK(BM_SketchSerialize);
+
+}  // namespace
+
+BENCHMARK_MAIN();

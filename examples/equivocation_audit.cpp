@@ -1,0 +1,121 @@
+// Equivocation audit: shows the accountability machinery at the data level.
+// A miner forks its commitment log (telling different stories to different
+// peers, Sec. 5.2 / Fig. 4); two signed commitments meet at a correct node,
+// the consistency check fails, and the resulting evidence is a transferable
+// proof anyone can verify offline — demonstrated here by verifying it
+// outside the network with nothing but the two signed headers.
+//
+//   $ ./build/examples/equivocation_audit
+#include <cstdio>
+
+#include "enforcement/slashing.hpp"
+#include "harness/lo_network.hpp"
+
+int main() {
+  using namespace lo;
+
+  std::printf("== LO equivocation audit ==\n\n");
+
+  // Offline part: construct the fork by hand to show the mechanics.
+  std::printf("[offline] miner 9 forks its commitment log:\n");
+  const auto mode = crypto::SignatureMode::kEd25519;
+  crypto::Signer miner9(crypto::derive_keypair(9, mode), mode);
+  crypto::Signer client(crypto::derive_keypair(1000, mode), mode);
+
+  core::CommitmentParams params;
+  core::CommitmentLog real_log(9, params);
+  core::CommitmentLog fork_log(9, params);
+
+  std::vector<core::TxId> ids;
+  for (std::uint64_t n = 1; n <= 4; ++n) {
+    ids.push_back(core::make_transaction(client, n, 50, 0).id);
+  }
+  real_log.append(ids, 2);  // the real history commits all four txs
+  std::vector<core::TxId> censored(ids.begin(), ids.end() - 1);
+  fork_log.append(censored, 2);  // the fork silently drops the victim's tx
+
+  const auto h_real = real_log.make_header(miner9);
+  const auto h_fork = fork_log.make_header(miner9);
+  std::printf("  real  commitment: seqno=%llu count=%llu\n",
+              static_cast<unsigned long long>(h_real.seqno),
+              static_cast<unsigned long long>(h_real.count));
+  std::printf("  fork  commitment: seqno=%llu count=%llu (censored 1 tx)\n",
+              static_cast<unsigned long long>(h_fork.seqno),
+              static_cast<unsigned long long>(h_fork.count));
+
+  // Stage 1: Bloom Clock comparison flags the discrepancy cheaply.
+  const auto clock_verdict = core::check_consistency_clocks(h_real, h_fork);
+  std::printf("  bloom-clock stage : %s\n",
+              clock_verdict == core::Consistency::kConsistent
+                  ? "consistent (would skip decode)"
+                  : "flagged -> escalate to sketch decode");
+
+  // Stage 2: the Minisketch reconciliation classifies it as equivocation.
+  const auto verdict = core::check_consistency(h_real, h_fork);
+  std::printf("  sketch stage      : %s\n",
+              verdict == core::Consistency::kEquivocation
+                  ? "EQUIVOCATION — the pair is evidence"
+                  : "consistent/inconclusive");
+
+  core::EquivocationEvidence evidence;
+  evidence.accused = 9;
+  evidence.first = h_real;
+  evidence.second = h_fork;
+  std::printf("  offline verifier  : evidence.verify() = %s (Ed25519-signed, "
+              "self-contained)\n",
+              evidence.verify(mode) ? "true" : "false");
+
+  // Enforcement (Sec. 5.4): the same evidence drives a PoS slashing ledger.
+  enforcement::SlashingPolicy policy;
+  policy.sig_mode = mode;
+  enforcement::StakeLedger ledger(policy);
+  ledger.bond(9, 32'000'000);  // 32M units bonded, Ethereum-style
+  const auto slash = ledger.apply_equivocation(evidence);
+  std::printf("  PoS enforcement   : slashed %llu of 32000000 bonded units "
+              "(%s)\n",
+              static_cast<unsigned long long>(slash.amount),
+              slash.ejected ? "validator ejected" : "validator retained");
+  // Replays burn nothing — evidence application is idempotent.
+  std::printf("  replay protection : second application burns %llu units\n\n",
+              static_cast<unsigned long long>(
+                  ledger.apply_equivocation(evidence).amount));
+
+  // Live part: the same thing happening inside a running network.
+  std::printf("[live] 24-miner network, one equivocating censor:\n");
+  harness::NetworkConfig cfg;
+  cfg.num_nodes = 24;
+  cfg.seed = 11;
+  cfg.node.sig_mode = crypto::SignatureMode::kSimFast;
+  cfg.node.prevalidation.sig_mode = crypto::SignatureMode::kSimFast;
+  cfg.malicious_fraction = 0.05;
+  cfg.malicious.equivocate = true;
+  harness::LoNetwork net(cfg);
+
+  workload::WorkloadConfig load;
+  load.tps = 10.0;
+  load.seed = 31;
+  load.sig_mode = crypto::SignatureMode::kSimFast;
+  net.start_workload(load, 1);
+  net.run_for(30.0);
+
+  const auto times = net.detection_times();
+  std::size_t bad = 0;
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    if (net.malicious_mask()[i]) bad = i;
+  }
+  std::printf("  attacker          : miner %zu\n", bad);
+  if (times.first_exposure_s >= 0) {
+    std::printf("  first exposure    : %.2f s into the run\n",
+                times.first_exposure_s);
+  }
+  if (times.exposure_complete_s >= 0) {
+    std::printf("  full convergence  : every correct miner holds the proof "
+                "by %.2f s\n",
+                times.exposure_complete_s);
+  } else {
+    std::printf("  full convergence  : not reached in this horizon\n");
+  }
+  std::printf("\naudit complete: one inconsistent pair of signed commitments "
+              "is all it takes.\n");
+  return 0;
+}

@@ -1,0 +1,107 @@
+// MEV detection demo: a miner attempts the three transaction-manipulation
+// primitives of Sec. 2.2 — censorship, injection, re-ordering — while
+// building a block, and LØ's inspection pipeline catches and exposes each.
+//
+//   $ ./build/examples/mev_detection
+//
+// This is the paper's core scenario: a sandwich-style attacker reorders a
+// victim's DEX trade behind its own, or censors a competing NFT bid. In LØ,
+// blocks that deviate from the committed canonical order are verifiable
+// evidence against their creator.
+#include <cstdio>
+
+#include "harness/lo_network.hpp"
+
+namespace {
+
+using namespace lo;
+
+struct ScenarioResult {
+  std::size_t exposed_at = 0;
+  std::size_t suspected_at = 0;
+  std::size_t correct = 0;
+};
+
+ScenarioResult run_scenario(const char* name, core::MaliciousBehavior attack,
+                            std::uint64_t seed) {
+  harness::NetworkConfig cfg;
+  cfg.num_nodes = 20;
+  cfg.seed = seed;
+  cfg.node.sig_mode = crypto::SignatureMode::kSimFast;
+  cfg.node.prevalidation.sig_mode = crypto::SignatureMode::kSimFast;
+  cfg.malicious_fraction = 0.05;  // exactly one attacker
+  cfg.malicious = attack;
+  harness::LoNetwork net(cfg);
+
+  // Background traffic: ordinary users trading on a DEX.
+  workload::WorkloadConfig load;
+  load.tps = 10.0;
+  load.seed = seed * 3;
+  load.sig_mode = crypto::SignatureMode::kSimFast;
+  net.start_workload(load, 1);
+  net.run_for(15.0);
+
+  // The attacker wins the block and builds it with its manipulation.
+  std::size_t attacker = net.size();
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    if (net.malicious_mask()[i]) attacker = i;
+  }
+  const auto block = net.node(attacker).create_block(1, crypto::Digest256{});
+  std::printf("[%s] attacker (miner %zu) built block with %zu txs\n", name,
+              attacker, block.tx_count());
+
+  // Give inspection, bundle retrieval and blame gossip time to finish.
+  net.run_for(20.0);
+
+  ScenarioResult r;
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    if (net.malicious_mask()[i]) continue;
+    ++r.correct;
+    const auto& reg = net.node(i).registry();
+    if (reg.is_exposed(static_cast<core::NodeId>(attacker))) ++r.exposed_at;
+    if (reg.is_suspected(static_cast<core::NodeId>(attacker))) ++r.suspected_at;
+  }
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== LO MEV detection demo: the Sec. 2.2 manipulation "
+              "primitives ==\n\n");
+
+  {
+    core::MaliciousBehavior reorder;
+    reorder.reorder_block = true;
+    const auto r = run_scenario("re-ordering (sandwich-style)", reorder, 101);
+    std::printf("  -> exposed at %zu/%zu correct miners (verifiable "
+                "evidence)\n\n",
+                r.exposed_at, r.correct);
+  }
+  {
+    core::MaliciousBehavior inject;
+    inject.inject_uncommitted = true;
+    const auto r = run_scenario("injection (front-running)", inject, 202);
+    std::printf("  -> exposed at %zu/%zu correct miners (uncommitted tx ahead "
+                "of committed bundles)\n\n",
+                r.exposed_at, r.correct);
+  }
+  {
+    core::MaliciousBehavior censor;
+    censor.censor_blockspace = true;
+    const auto r = run_scenario("blockspace censorship (sniping)", censor, 303);
+    std::printf("  -> blamed (suspected) at %zu/%zu correct miners (omission "
+                "of a committed, includeable tx)\n\n",
+                r.suspected_at + r.exposed_at, r.correct);
+  }
+
+  std::printf("honest control: an honest leader draws no blame —\n");
+  {
+    core::MaliciousBehavior none;
+    const auto r = run_scenario("honest control", none, 404);
+    std::printf("  -> exposed at %zu, suspected at %zu of %zu correct miners "
+                "(expect 0/0)\n",
+                r.exposed_at, r.suspected_at, r.correct);
+  }
+  return 0;
+}

@@ -1,0 +1,114 @@
+#include "bloomclock/bloom_clock.hpp"
+
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace lo::bloom {
+
+BloomClock::BloomClock(std::size_t cells, unsigned hashes)
+    : counters_(cells, 0), hashes_(hashes) {
+  if (cells == 0 || hashes == 0) {
+    throw std::invalid_argument("bloom clock needs cells >= 1, hashes >= 1");
+  }
+}
+
+void BloomClock::add(std::uint64_t item) noexcept {
+  // Double hashing: h_i = h1 + i*h2, the standard Kirsch–Mitzenmacher scheme.
+  std::uint64_t s = item;
+  const std::uint64_t h1 = util::splitmix64(s);
+  const std::uint64_t h2 = util::splitmix64(s) | 1;
+  for (unsigned i = 0; i < hashes_; ++i) {
+    const std::uint64_t h = h1 + static_cast<std::uint64_t>(i) * h2;
+    ++counters_[h % counters_.size()];
+  }
+}
+
+std::vector<std::size_t> BloomClock::cell_indices(std::uint64_t item) const {
+  std::vector<std::size_t> out;
+  out.reserve(hashes_);
+  std::uint64_t s = item;
+  const std::uint64_t h1 = util::splitmix64(s);
+  const std::uint64_t h2 = util::splitmix64(s) | 1;
+  for (unsigned i = 0; i < hashes_; ++i) {
+    const std::uint64_t h = h1 + static_cast<std::uint64_t>(i) * h2;
+    out.push_back(h % counters_.size());
+  }
+  return out;
+}
+
+ClockOrder BloomClock::compare(const BloomClock& other) const noexcept {
+  bool some_less = false;
+  bool some_greater = false;
+  const std::size_t n = counters_.size();
+  for (std::size_t i = 0; i < n && i < other.counters_.size(); ++i) {
+    if (counters_[i] < other.counters_[i]) some_less = true;
+    if (counters_[i] > other.counters_[i]) some_greater = true;
+  }
+  if (!some_less && !some_greater) return ClockOrder::kEqual;
+  if (some_less && some_greater) return ClockOrder::kConcurrent;
+  return some_less ? ClockOrder::kBefore : ClockOrder::kAfter;
+}
+
+bool BloomClock::dominated_by(const BloomClock& other) const noexcept {
+  const ClockOrder o = compare(other);
+  return o == ClockOrder::kEqual || o == ClockOrder::kBefore;
+}
+
+std::uint64_t BloomClock::l1_distance(const BloomClock& other) const noexcept {
+  std::uint64_t sum = 0;
+  const std::size_t n = counters_.size();
+  for (std::size_t i = 0; i < n && i < other.counters_.size(); ++i) {
+    const std::uint32_t a = counters_[i];
+    const std::uint32_t b = other.counters_[i];
+    sum += (a > b) ? (a - b) : (b - a);
+  }
+  return sum;
+}
+
+std::uint64_t BloomClock::population() const noexcept {
+  std::uint64_t sum = 0;
+  for (auto c : counters_) sum += c;
+  return sum / hashes_;
+}
+
+void BloomClock::merge(const BloomClock& other) {
+  if (other.counters_.size() != counters_.size() || other.hashes_ != hashes_) {
+    throw std::invalid_argument("bloom clock parameter mismatch");
+  }
+  for (std::size_t i = 0; i < counters_.size(); ++i) {
+    counters_[i] += other.counters_[i];
+  }
+}
+
+std::vector<std::uint8_t> BloomClock::serialize() const {
+  std::vector<std::uint8_t> out;
+  out.reserve(serialized_size());
+  auto push16 = [&out](std::uint32_t v) {
+    const std::uint16_t x = v > 0xffff ? 0xffff : static_cast<std::uint16_t>(v);
+    out.push_back(static_cast<std::uint8_t>(x & 0xff));
+    out.push_back(static_cast<std::uint8_t>(x >> 8));
+  };
+  push16(static_cast<std::uint32_t>(counters_.size()));
+  push16(hashes_);
+  for (auto c : counters_) push16(c);
+  return out;
+}
+
+std::optional<BloomClock> BloomClock::deserialize(std::span<const std::uint8_t> data) {
+  if (data.size() < 4) return std::nullopt;
+  auto read16 = [&data](std::size_t off) {
+    return static_cast<std::uint16_t>(data[off] | (data[off + 1] << 8));
+  };
+  const std::uint16_t cells = read16(0);
+  const std::uint16_t hashes = read16(2);
+  if (cells == 0 || hashes == 0) return std::nullopt;
+  if (data.size() != 4u + 2u * cells) return std::nullopt;
+  BloomClock c(cells, hashes);
+  for (std::size_t i = 0; i < cells; ++i) {
+    c.counters_[i] = read16(4 + 2 * i);
+  }
+  return c;
+}
+
+}  // namespace lo::bloom

@@ -1,0 +1,74 @@
+// Bloom Clock (Ramabaja [35]) — a counting-Bloom-filter logical clock.
+//
+// In LØ (Sec. 4.2), each commitment carries a Bloom Clock over the node's
+// append-only transaction set. The clock serves two purposes:
+//  1. cheap consistency pre-check during reconciliation: if two clocks are
+//     incomparable where one should dominate, something was withheld;
+//  2. a preliminary estimate of the set difference, used to size/partition
+//     the Minisketch reconciliation and avoid decode failures.
+//
+// The paper fixes 32 cells at 68 bytes total; with 16-bit counters that is
+// 64 bytes of cells + 4 bytes of header, which this implementation mirrors.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+namespace lo::bloom {
+
+enum class ClockOrder : std::uint8_t {
+  kEqual,
+  kBefore,        // this <= other componentwise (and not equal)
+  kAfter,         // this >= other componentwise (and not equal)
+  kConcurrent,    // incomparable
+};
+
+class BloomClock {
+ public:
+  explicit BloomClock(std::size_t cells = 32, unsigned hashes = 1);
+
+  std::size_t cells() const noexcept { return counters_.size(); }
+  unsigned hashes() const noexcept { return hashes_; }
+
+  // Inserts an item (a transaction id); increments `hashes` cells.
+  void add(std::uint64_t item) noexcept;
+
+  // The cell indices that add(item) would increment (size == hashes()).
+  std::vector<std::size_t> cell_indices(std::uint64_t item) const;
+
+  // Componentwise comparison — the Bloom Clock partial order.
+  ClockOrder compare(const BloomClock& other) const noexcept;
+
+  // True iff every counter of this clock is <= the corresponding counter of
+  // `other` (i.e. this could be a causal prefix of other).
+  bool dominated_by(const BloomClock& other) const noexcept;
+
+  // Sum over cells of |a_i - b_i|; divided by `hashes` this estimates the
+  // symmetric-difference size between the two underlying sets (upper bound
+  // estimate used to pick reconciliation partitioning).
+  std::uint64_t l1_distance(const BloomClock& other) const noexcept;
+
+  // Total number of insertions (sum of counters / hashes).
+  std::uint64_t population() const noexcept;
+
+  // Cell-wise sum, the join of the two clocks' histories.
+  void merge(const BloomClock& other);
+
+  bool operator==(const BloomClock& other) const = default;
+
+  // Wire format: u16 cell count, u16 hash count, then u16 per cell
+  // (saturating at 65535); 32 cells => 4 + 64 = 68 bytes, as in the paper.
+  std::size_t serialized_size() const noexcept { return 4 + 2 * counters_.size(); }
+  std::vector<std::uint8_t> serialize() const;
+  static std::optional<BloomClock> deserialize(std::span<const std::uint8_t> data);
+
+  const std::vector<std::uint32_t>& counters() const noexcept { return counters_; }
+
+ private:
+  std::vector<std::uint32_t> counters_;
+  unsigned hashes_;
+};
+
+}  // namespace lo::bloom

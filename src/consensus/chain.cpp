@@ -1,0 +1,21 @@
+#include "consensus/chain.hpp"
+
+namespace lo::consensus {
+
+crypto::Digest256 Chain::tip_hash() const {
+  if (blocks_.empty()) return crypto::Digest256{};
+  return blocks_.back().hash();
+}
+
+std::size_t Chain::append(const core::Block& block) {
+  std::size_t fresh = 0;
+  for (const auto& seg : block.segments) {
+    for (const auto& id : seg.txids) {
+      if (settled_.insert(id).second) ++fresh;
+    }
+  }
+  blocks_.push_back(block);
+  return fresh;
+}
+
+}  // namespace lo::consensus

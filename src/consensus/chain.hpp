@@ -1,0 +1,37 @@
+// Minimal blockchain (settlement bookkeeping for experiments and examples).
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "core/block.hpp"
+#include "core/types.hpp"
+
+namespace lo::consensus {
+
+class Chain {
+ public:
+  Chain() = default;
+
+  std::uint64_t height() const noexcept { return blocks_.size(); }
+  // Hash of the tip block, or the all-zero genesis hash when empty — this is
+  // the order seed for the next block's canonical shuffle (Sec. 4.3).
+  crypto::Digest256 tip_hash() const;
+
+  // Appends a block; returns the number of transactions newly settled
+  // (txs already settled by earlier blocks are not double-counted).
+  std::size_t append(const core::Block& block);
+
+  bool is_settled(const core::TxId& id) const {
+    return settled_.count(id) != 0;
+  }
+  std::size_t settled_count() const noexcept { return settled_.size(); }
+  const std::vector<core::Block>& blocks() const noexcept { return blocks_; }
+
+ private:
+  std::vector<core::Block> blocks_;
+  std::unordered_set<core::TxId, core::TxIdHash> settled_;
+};
+
+}  // namespace lo::consensus

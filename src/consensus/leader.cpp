@@ -1,0 +1,27 @@
+#include "consensus/leader.hpp"
+
+namespace lo::consensus {
+
+sim::Duration LeaderSchedule::next_interval() {
+  if (!config_.exponential_intervals) return config_.mean_block_interval;
+  const double mean = static_cast<double>(config_.mean_block_interval);
+  return std::max<sim::Duration>(
+      1, static_cast<sim::Duration>(rng_.next_exponential(mean)));
+}
+
+std::uint32_t LeaderSchedule::next_leader(const std::vector<bool>* eligible) {
+  if (eligible == nullptr) {
+    return static_cast<std::uint32_t>(rng_.next_below(num_nodes_));
+  }
+  // Rejection-sample among eligible nodes; falls back to a scan if sparse.
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const auto c = static_cast<std::uint32_t>(rng_.next_below(num_nodes_));
+    if (c < eligible->size() && (*eligible)[c]) return c;
+  }
+  for (std::uint32_t c = 0; c < num_nodes_; ++c) {
+    if (c < eligible->size() && (*eligible)[c]) return c;
+  }
+  return 0;
+}
+
+}  // namespace lo::consensus

@@ -1,0 +1,40 @@
+// Consensus-layer stub (Stage IV, Sec. 2.3 / 6.3).
+//
+// LØ is consensus-agnostic; the paper models miner selection as a random
+// process with an Ethereum-like mean block time of 12 s. This module provides
+// exactly that: a seeded leader schedule with exponential (or fixed) block
+// intervals, optionally restricted to correct nodes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace lo::consensus {
+
+struct LeaderConfig {
+  sim::Duration mean_block_interval = 12 * sim::kSecond;
+  bool exponential_intervals = true;
+  std::uint64_t seed = 7;
+};
+
+class LeaderSchedule {
+ public:
+  LeaderSchedule(std::size_t num_nodes, const LeaderConfig& config)
+      : num_nodes_(num_nodes), config_(config), rng_(config.seed) {}
+
+  // Time until the next block after the previous one.
+  sim::Duration next_interval();
+
+  // Uniformly random leader; `eligible` (optional) restricts the choice.
+  std::uint32_t next_leader(const std::vector<bool>* eligible = nullptr);
+
+ private:
+  std::size_t num_nodes_;
+  LeaderConfig config_;
+  util::Rng rng_;
+};
+
+}  // namespace lo::consensus

@@ -1,0 +1,59 @@
+#include "core/accountability.hpp"
+
+namespace lo::core {
+
+std::optional<EquivocationEvidence> AccountabilityRegistry::observe_commitment(
+    const CommitmentHeader& header, bool* used_decode) {
+  if (used_decode != nullptr) *used_decode = false;
+  if (verify_signatures_ && !header.verify(mode_)) return std::nullopt;
+
+  auto it = latest_.find(header.node);
+  if (it == latest_.end()) {
+    latest_.emplace(header.node, header);
+    return std::nullopt;
+  }
+  CommitmentHeader& stored = it->second;
+
+  // Key substitution is itself an inconsistency, but without both signatures
+  // binding the same key it is not self-contained evidence; ignore the
+  // imposter header (the signature check above already gates validity).
+  if (!(stored.key == header.key)) return std::nullopt;
+
+  Consistency c = two_stage_checks_ ? check_consistency_clocks(stored, header)
+                                    : Consistency::kInconclusive;
+  if (c != Consistency::kConsistent) {
+    // The cheap stage flagged a discrepancy (or is disabled): escalate to the
+    // sketch decode, which either clears it or yields transferable evidence.
+    if (used_decode != nullptr) *used_decode = true;
+    c = check_consistency(stored, header);
+  }
+  if (c == Consistency::kEquivocation) {
+    EquivocationEvidence ev;
+    ev.accused = header.node;
+    ev.first = stored;
+    ev.second = header;
+    expose(header.node);
+    return ev;
+  }
+  // Keep the freshest commitment; on inconclusive keep both endpoints by
+  // retaining the newer one (older evidence value decays as history grows).
+  if (header.seqno > stored.seqno) stored = header;
+  return std::nullopt;
+}
+
+const CommitmentHeader* AccountabilityRegistry::latest(NodeId node) const {
+  auto it = latest_.find(node);
+  return it == latest_.end() ? nullptr : &it->second;
+}
+
+std::size_t AccountabilityRegistry::memory_bytes() const noexcept {
+  std::size_t sum = 0;
+  for (const auto& [id, h] : latest_) {
+    sum += sizeof(id) + h.wire_size();
+  }
+  sum += suspected_.size() * sizeof(NodeId);
+  sum += exposed_.size() * sizeof(NodeId);
+  return sum;
+}
+
+}  // namespace lo::core

@@ -1,0 +1,160 @@
+#include "core/block.hpp"
+
+#include "util/rng.hpp"
+#include "util/serde.hpp"
+
+namespace lo::core {
+
+std::vector<std::uint8_t> Block::signing_bytes() const {
+  util::Writer w;
+  w.str("lo-block");
+  w.u32(creator);
+  w.u64(height);
+  w.fixed(prev_hash);
+  w.u64(commit_seqno);
+  w.u32(static_cast<std::uint32_t>(segments.size()));
+  for (const auto& seg : segments) {
+    w.u64(seg.seqno);
+    w.u32(static_cast<std::uint32_t>(seg.txids.size()));
+    for (const auto& id : seg.txids) w.fixed(id);
+  }
+  return w.take_u8();
+}
+
+bool Block::verify(crypto::SignatureMode mode) const {
+  auto msg = signing_bytes();
+  return crypto::Signer::verify(
+      mode, key, std::span<const std::uint8_t>(msg.data(), msg.size()), sig);
+}
+
+crypto::Digest256 Block::hash() const {
+  auto bytes = signing_bytes();
+  crypto::Sha256 h;
+  h.update(std::span<const std::uint8_t>(bytes.data(), bytes.size()));
+  h.update(std::span<const std::uint8_t>(sig.data(), sig.size()));
+  return h.finalize();
+}
+
+std::size_t Block::tx_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& s : segments) n += s.txids.size();
+  return n;
+}
+
+std::vector<TxId> Block::flat_txids() const {
+  std::vector<TxId> out;
+  out.reserve(tx_count());
+  for (const auto& s : segments) {
+    out.insert(out.end(), s.txids.begin(), s.txids.end());
+  }
+  return out;
+}
+
+std::size_t Block::wire_size() const noexcept {
+  std::size_t sz = 4 + 8 + 32 + 8 + 4 + 32 + 64;  // header fields + key + sig
+  for (const auto& s : segments) sz += 8 + 4 + 32 * s.txids.size();
+  return sz;
+}
+
+void Block::write(util::Writer& w) const {
+  w.u32(creator);
+  w.u64(height);
+  w.fixed(prev_hash);
+  w.u64(commit_seqno);
+  w.u32(static_cast<std::uint32_t>(segments.size()));
+  for (const auto& seg : segments) {
+    w.u64(seg.seqno);
+    w.u32(static_cast<std::uint32_t>(seg.txids.size()));
+    for (const auto& id : seg.txids) w.fixed(id);
+  }
+  w.fixed(key);
+  w.fixed(sig);
+}
+
+std::vector<std::uint8_t> Block::serialize() const {
+  util::Writer w;
+  write(w);
+  return w.take_u8();
+}
+
+std::optional<Block> Block::read(util::Reader& r) {
+  try {
+    Block b;
+    b.creator = r.u32();
+    b.height = r.u64();
+    b.prev_hash = r.fixed<32>();
+    b.commit_seqno = r.u64();
+    const std::uint32_t nseg = r.u32();
+    b.segments.reserve(nseg);
+    for (std::uint32_t i = 0; i < nseg; ++i) {
+      Segment seg;
+      seg.seqno = r.u64();
+      const std::uint32_t ntx = r.u32();
+      seg.txids.reserve(ntx);
+      for (std::uint32_t j = 0; j < ntx; ++j) seg.txids.push_back(r.fixed<32>());
+      b.segments.push_back(std::move(seg));
+    }
+    b.key = r.fixed<32>();
+    b.sig = r.fixed<64>();
+    return b;
+  } catch (const util::SerdeError&) {
+    return std::nullopt;
+  }
+}
+
+std::optional<Block> Block::deserialize(std::span<const std::uint8_t> data) {
+  util::Reader r(data);
+  auto b = read(r);
+  if (!b || !r.done()) return std::nullopt;
+  return b;
+}
+
+std::vector<TxId> canonical_shuffle(std::vector<TxId> txids,
+                                    const crypto::Digest256& prev_hash,
+                                    std::uint64_t seqno) {
+  crypto::Sha256 h;
+  h.update("lo-order-seed");
+  h.update(std::span<const std::uint8_t>(prev_hash.data(), prev_hash.size()));
+  std::uint8_t seq_le[8];
+  for (int i = 0; i < 8; ++i) seq_le[i] = static_cast<std::uint8_t>(seqno >> (8 * i));
+  h.update(std::span<const std::uint8_t>(seq_le, 8));
+  const auto digest = h.finalize();
+  std::uint64_t seed = 0;
+  for (int i = 0; i < 8; ++i) seed = (seed << 8) | digest[static_cast<std::size_t>(i)];
+  util::Rng rng(seed);
+  rng.shuffle(txids);
+  return txids;
+}
+
+std::vector<Block::Segment> build_canonical_segments(
+    const CommitmentLog& log, const crypto::Digest256& prev_hash,
+    const std::function<bool(const TxId&)>& include) {
+  std::vector<Block::Segment> out;
+  for (const auto& bundle : log.bundles()) {
+    auto shuffled = canonical_shuffle(bundle.txids, prev_hash, bundle.seqno);
+    Block::Segment seg;
+    seg.seqno = bundle.seqno;
+    for (const auto& id : shuffled) {
+      if (!include || include(id)) seg.txids.push_back(id);
+    }
+    if (!seg.txids.empty()) out.push_back(std::move(seg));
+  }
+  return out;
+}
+
+Block build_block(const CommitmentLog& log, const crypto::Signer& signer,
+                  std::uint64_t height, const crypto::Digest256& prev_hash,
+                  const std::function<bool(const TxId&)>& include) {
+  Block b;
+  b.creator = log.self();
+  b.height = height;
+  b.prev_hash = prev_hash;
+  b.commit_seqno = log.seqno();
+  b.segments = build_canonical_segments(log, prev_hash, include);
+  b.key = signer.public_key();
+  auto msg = b.signing_bytes();
+  b.sig = signer.sign(std::span<const std::uint8_t>(msg.data(), msg.size()));
+  return b;
+}
+
+}  // namespace lo::core

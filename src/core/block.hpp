@@ -1,0 +1,71 @@
+// Blocks and the Verifiable Canonical Order (Sec. 4.3, Table 1).
+//
+// A block's transactions are grouped into *segments*, one per committed
+// bundle, in bundle (seqno) order. Inside a segment the transactions follow a
+// deterministic pseudo-random shuffle keyed by the previous block hash — the
+// "order seed" — so the creator cannot choose the intra-bundle order either.
+// The creator's own fresh transactions may appear only in the final segment,
+// committed under the creator's current seqno.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/commitment_log.hpp"
+#include "core/types.hpp"
+#include "crypto/keys.hpp"
+#include "util/serde.hpp"
+
+namespace lo::core {
+
+struct Block {
+  NodeId creator = 0;
+  std::uint64_t height = 0;
+  crypto::Digest256 prev_hash{};
+  std::uint64_t commit_seqno = 0;  // creator's commitment counter at build time
+
+  struct Segment {
+    std::uint64_t seqno = 0;
+    std::vector<TxId> txids;
+  };
+  std::vector<Segment> segments;
+
+  crypto::PublicKey key{};
+  crypto::Signature sig{};
+
+  std::vector<std::uint8_t> signing_bytes() const;
+  bool verify(crypto::SignatureMode mode) const;
+  crypto::Digest256 hash() const;
+
+  std::size_t tx_count() const noexcept;
+  std::vector<TxId> flat_txids() const;
+  std::size_t wire_size() const noexcept;
+  std::vector<std::uint8_t> serialize() const;
+  static std::optional<Block> deserialize(std::span<const std::uint8_t> data);
+  void write(util::Writer& w) const;
+  static std::optional<Block> read(util::Reader& r);
+};
+
+// The canonical intra-bundle permutation: Fisher–Yates keyed by
+// SHA-256(prev_hash || seqno). Exposed so inspectors apply the identical rule.
+std::vector<TxId> canonical_shuffle(std::vector<TxId> txids,
+                                    const crypto::Digest256& prev_hash,
+                                    std::uint64_t seqno);
+
+// Builds the canonical block content from a commitment log.
+// `include` decides per transaction whether it goes into the block (validity,
+// fee threshold, content availability); excluded transactions are skipped but
+// the relative canonical order of the rest is preserved.
+std::vector<Block::Segment> build_canonical_segments(
+    const CommitmentLog& log, const crypto::Digest256& prev_hash,
+    const std::function<bool(const TxId&)>& include);
+
+// Assembles and signs a block.
+Block build_block(const CommitmentLog& log, const crypto::Signer& signer,
+                  std::uint64_t height, const crypto::Digest256& prev_hash,
+                  const std::function<bool(const TxId&)>& include);
+
+}  // namespace lo::core

@@ -1,0 +1,160 @@
+#include "core/commitment.hpp"
+
+#include <algorithm>
+
+#include "util/serde.hpp"
+
+namespace lo::core {
+
+std::vector<std::uint8_t> CommitmentHeader::signing_bytes() const {
+  util::Writer w;
+  w.str("lo-commit");
+  w.u32(node);
+  w.u64(seqno);
+  w.u64(count);
+  w.fixed(chain_hash);
+  auto cb = clock.serialize();
+  w.var_bytes(cb);
+  auto sb = sketch.serialize();
+  w.var_bytes(sb);
+  return w.take_u8();
+}
+
+bool CommitmentHeader::verify(crypto::SignatureMode mode) const {
+  auto msg = signing_bytes();
+  return crypto::Signer::verify(
+      mode, key, std::span<const std::uint8_t>(msg.data(), msg.size()), sig);
+}
+
+std::size_t CommitmentHeader::wire_size() const noexcept {
+  // node + seqno + count + chain_hash + clock + sketch capacity + sketch
+  // + key + sig.
+  return 4 + 8 + 8 + 32 + clock.serialized_size() + 2 +
+         sketch.serialized_size() + 32 + 64;
+}
+
+void CommitmentHeader::write(util::Writer& w) const {
+  w.u32(node);
+  w.u64(seqno);
+  w.u64(count);
+  w.fixed(chain_hash);
+  auto cb = clock.serialize();
+  w.bytes(std::span<const std::uint8_t>(cb.data(), cb.size()));
+  w.u16(static_cast<std::uint16_t>(sketch.capacity()));
+  auto sb = sketch.serialize();
+  w.bytes(std::span<const std::uint8_t>(sb.data(), sb.size()));
+  w.fixed(key);
+  w.fixed(sig);
+}
+
+std::vector<std::uint8_t> CommitmentHeader::serialize() const {
+  util::Writer w;
+  write(w);
+  return w.take_u8();
+}
+
+std::optional<CommitmentHeader> CommitmentHeader::read(
+    util::Reader& r, const CommitmentParams& params) {
+  try {
+    CommitmentHeader h(params);
+    h.node = r.u32();
+    h.seqno = r.u64();
+    h.count = r.u64();
+    h.chain_hash = r.fixed<32>();
+    const std::size_t clock_bytes = h.clock.serialized_size();
+    std::vector<std::uint8_t> cb;
+    cb.reserve(clock_bytes);
+    for (std::size_t i = 0; i < clock_bytes; ++i) cb.push_back(r.u8());
+    auto clock = bloom::BloomClock::deserialize(cb);
+    if (!clock) return std::nullopt;
+    h.clock = *clock;
+    const std::size_t capacity = r.u16();
+    if (capacity == 0 || capacity > params.sketch_capacity) return std::nullopt;
+    const std::size_t bytes_per = (params.sketch_bits + 7) / 8;
+    std::vector<std::uint8_t> sb;
+    sb.reserve(capacity * bytes_per);
+    for (std::size_t i = 0; i < capacity * bytes_per; ++i) sb.push_back(r.u8());
+    h.sketch = sketch::Sketch::deserialize(params.sketch_bits, capacity, sb);
+    h.key = r.fixed<32>();
+    h.sig = r.fixed<64>();
+    return h;
+  } catch (const util::SerdeError&) {
+    return std::nullopt;
+  }
+}
+
+std::optional<CommitmentHeader> CommitmentHeader::deserialize(
+    std::span<const std::uint8_t> data, const CommitmentParams& params) {
+  util::Reader r(data);
+  auto h = read(r, params);
+  if (!h || !r.done()) return std::nullopt;
+  return h;
+}
+
+Consistency check_consistency_clocks(const CommitmentHeader& a,
+                                     const CommitmentHeader& b) {
+  const CommitmentHeader& older = (a.seqno <= b.seqno) ? a : b;
+  const CommitmentHeader& newer = (a.seqno <= b.seqno) ? b : a;
+  if (older.seqno == newer.seqno || older.count == newer.count) {
+    const bool same = older.count == newer.count &&
+                      older.chain_hash == newer.chain_hash &&
+                      older.clock == newer.clock;
+    return same ? Consistency::kConsistent : Consistency::kInconclusive;
+  }
+  if (newer.count < older.count) return Consistency::kInconclusive;
+  if (!older.clock.dominated_by(newer.clock)) return Consistency::kInconclusive;
+  const std::uint64_t delta = newer.count - older.count;
+  const std::uint64_t expected_l1 =
+      static_cast<std::uint64_t>(older.clock.hashes()) * delta;
+  return older.clock.l1_distance(newer.clock) == expected_l1
+             ? Consistency::kConsistent
+             : Consistency::kInconclusive;
+}
+
+Consistency check_consistency(const CommitmentHeader& a,
+                              const CommitmentHeader& b) {
+  const CommitmentHeader& older = (a.seqno <= b.seqno) ? a : b;
+  const CommitmentHeader& newer = (a.seqno <= b.seqno) ? b : a;
+
+  const std::size_t common =
+      std::min(older.sketch.capacity(), newer.sketch.capacity());
+  auto sketches_agree = [&] {
+    return older.sketch.truncated(common).syndromes() ==
+           newer.sketch.truncated(common).syndromes();
+  };
+
+  if (older.seqno == newer.seqno) {
+    // Same counter: the commitments must agree on every digest (sketches are
+    // compared on their common truncation prefix).
+    const bool same = older.count == newer.count &&
+                      older.chain_hash == newer.chain_hash &&
+                      older.clock == newer.clock && sketches_agree();
+    return same ? Consistency::kConsistent : Consistency::kEquivocation;
+  }
+
+  // Append-only history: the set can only grow, so the counter and the Bloom
+  // Clock of the newer commitment must dominate.
+  if (newer.count < older.count) return Consistency::kEquivocation;
+  if (newer.count == older.count) {
+    // No growth but a new seqno: all digests must match.
+    const bool same = older.chain_hash == newer.chain_hash &&
+                      older.clock == newer.clock && sketches_agree();
+    return same ? Consistency::kConsistent : Consistency::kEquivocation;
+  }
+  if (!older.clock.dominated_by(newer.clock)) return Consistency::kEquivocation;
+
+  // Sketch reconciliation (Sec. 5.2 "Equivocation Detection"): for a pure
+  // extension the symmetric difference consists of additions only, so its
+  // size must equal the count delta. Any removal inflates the difference.
+  // Wire commitments may carry different truncations; the common prefix is a
+  // valid sketch of both sets at the smaller capacity.
+  sketch::Sketch merged = older.sketch.truncated(common);
+  merged.merge(newer.sketch.truncated(common));
+  auto diff = merged.decode();
+  if (!diff) return Consistency::kInconclusive;  // diff exceeds sketch capacity
+  const std::uint64_t delta = newer.count - older.count;
+  return (diff->size() == delta) ? Consistency::kConsistent
+                                 : Consistency::kEquivocation;
+}
+
+}  // namespace lo::core

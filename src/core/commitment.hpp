@@ -1,0 +1,98 @@
+// Signed mempool commitments (Sec. 4.2).
+//
+// A commitment binds a miner to its entire append-only transaction history at
+// a point in time:
+//   - seqno:      incremented on every append batch ("incremental counter for
+//                 appropriate comparison", Sec. 4.3),
+//   - count:      total committed transaction ids,
+//   - chain_hash: hash chain over the ids in commitment order (binds the
+//                 *order*, not just the set),
+//   - clock:      Bloom Clock over the set (fast discrepancy pre-check),
+//   - sketch:     Minisketch over the set (set reconciliation and the
+//                 equivocation consistency check of Sec. 5.2),
+// all signed by the miner. Any two signed commitments from the same miner can
+// be checked for consistency by a third party; an inconsistent pair is a
+// self-contained, transferable proof of misbehavior.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "bloomclock/bloom_clock.hpp"
+#include "core/types.hpp"
+#include "crypto/keys.hpp"
+#include "minisketch/sketch.hpp"
+#include "util/serde.hpp"
+
+namespace lo::core {
+
+struct CommitmentParams {
+  unsigned sketch_bits = 32;
+  // Maximum (local) sketch capacity; wire commitments carry a truncated
+  // prefix sized to the estimated difference (PinSketch prefix property).
+  std::size_t sketch_capacity = 128;  // paper: 1000-byte sketch, <=100 diffs
+  std::size_t clock_cells = 32;       // paper: 32 cells, 68 bytes
+  unsigned clock_hashes = 1;
+
+  bool operator==(const CommitmentParams&) const = default;
+};
+
+struct CommitmentHeader {
+  NodeId node = 0;
+  std::uint64_t seqno = 0;
+  std::uint64_t count = 0;
+  crypto::Digest256 chain_hash{};
+  bloom::BloomClock clock;
+  sketch::Sketch sketch;
+  crypto::PublicKey key{};
+  crypto::Signature sig{};
+
+  CommitmentHeader()
+      : clock(CommitmentParams{}.clock_cells, CommitmentParams{}.clock_hashes),
+        sketch(CommitmentParams{}.sketch_bits, CommitmentParams{}.sketch_capacity) {}
+  CommitmentHeader(const CommitmentParams& p)
+      : clock(p.clock_cells, p.clock_hashes),
+        sketch(p.sketch_bits, p.sketch_capacity) {}
+
+  // Everything covered by the miner signature.
+  std::vector<std::uint8_t> signing_bytes() const;
+  bool verify(crypto::SignatureMode mode) const;
+
+  std::size_t wire_size() const noexcept;
+  std::vector<std::uint8_t> serialize() const;
+  static std::optional<CommitmentHeader> deserialize(
+      std::span<const std::uint8_t> data, const CommitmentParams& params);
+  // Stream variants used when a header is embedded inside a larger message;
+  // the wire format is self-describing (clock cells / sketch capacity carry
+  // their own sizes), so read() consumes exactly wire_size() bytes.
+  void write(util::Writer& w) const;
+  static std::optional<CommitmentHeader> read(util::Reader& r,
+                                              const CommitmentParams& params);
+};
+
+enum class Consistency : std::uint8_t {
+  kConsistent,    // newer extends older (append-only growth holds)
+  kEquivocation,  // provably conflicting pair — transferable evidence
+  kInconclusive,  // sketch difference exceeded capacity; cannot judge locally
+};
+
+// Checks whether two signed commitments from the same node can belong to one
+// append-only history. Callers must have verified both signatures and that
+// both headers carry the same node/key. Order of arguments does not matter.
+Consistency check_consistency(const CommitmentHeader& a,
+                              const CommitmentHeader& b);
+
+// Cheap first-stage check using only counters and Bloom Clocks (Sec. 4.2:
+// "The process starts with a bloom filter comparison, detecting
+// inconsistencies between sets; later, nodes construct a Minisketch...").
+// For an honest grow-only history the newer clock dominates the older and
+// the L1 distance equals hashes * count-delta exactly, so:
+//  - returns kConsistent when the clocks prove a pure extension;
+//  - returns kInconclusive when they flag a problem — callers escalate to
+//    the decode-based check_consistency to obtain transferable evidence.
+Consistency check_consistency_clocks(const CommitmentHeader& a,
+                                     const CommitmentHeader& b);
+
+}  // namespace lo::core

@@ -1,0 +1,90 @@
+// Protocol configuration and adversarial behavior flags.
+#pragma once
+
+#include <cstdint>
+
+#include "core/commitment.hpp"
+#include "core/transaction.hpp"
+#include "sim/simulator.hpp"
+
+namespace lo::core {
+
+struct LoConfig {
+  CommitmentParams commitment;
+
+  // Reconciliation cadence: every node reconciles with `recon_fanout` random
+  // neighbors every `recon_interval` (paper: 3 neighbors, every second).
+  sim::Duration recon_interval = sim::kSecond;
+  std::size_t recon_fanout = 3;
+
+  // Request handling: 1 s timeout, resent up to 3 times, then suspicion
+  // (Sec. 6.1).
+  sim::Duration request_timeout = sim::kSecond;
+  int max_retries = 3;
+
+  PrevalidationPolicy prevalidation;
+  crypto::SignatureMode sig_mode = crypto::SignatureMode::kEd25519;
+  // When false, signature bytes still travel but are not checked — used by
+  // large-scale benches where crypto would dominate wall-clock without
+  // changing protocol behavior.
+  bool verify_signatures = true;
+
+  // Cap on full txids shipped per sync response (delta_back / recovery tail);
+  // larger backlogs converge over multiple rounds.
+  std::size_t max_delta = 256;
+
+  // How long a peer that received our transactions has to publish a
+  // commitment covering them before we suspect mempool censorship. Must
+  // exceed one reconciliation round plus content-transfer round trips.
+  sim::Duration coverage_timeout = 5 * sim::kSecond;
+
+  // Third-party commitment headers piggybacked on sync responses (Sec. 5.2:
+  // periodic sharing of most recent commitments). Attached with
+  // `gossip_probability` per response; 0 headers disables.
+  std::size_t gossip_headers = 1;
+  double gossip_probability = 0.34;
+
+  // Probability of escalating a clock-clean censorship check to a full
+  // sketch decode anyway (random audit). The Bloom-Clock stage can be fooled
+  // only by cell collisions; sampling decodes bounds how long such a
+  // collision can hide (Sec. 4.2's two-stage reconciliation).
+  double censorship_audit_probability = 0.05;
+
+  // --- ablation knobs (defaults = the paper's design; see bench_ablation) ---
+  // Two-stage consistency checking (Bloom Clock first, sketch decode only on
+  // flags). false = decode on every observed commitment.
+  bool two_stage_checks = true;
+  // Difference-sized wire sketches (PinSketch prefix truncation). false =
+  // always transmit the full-capacity sketch, as a fixed-size design would.
+  bool adaptive_wire_sketch = true;
+
+  // Periodic neighbor rotation via the Basalt-style hash-ranking view
+  // (Sec. 3 "Continuous Sampling", Sec. 5.1: "each peer periodically rotates
+  // its neighbors ... until it is provided with a sufficient number of
+  // non-suspected and non-exposed peers"). 0 disables rotation (static
+  // topology, the evaluation default).
+  sim::Duration rotate_interval = 0;
+  std::size_t view_size = 16;
+
+  // Fee threshold for block inclusion (Sec. 4.3 step 2).
+  std::uint64_t block_min_fee = 1;
+};
+
+// Transaction-manipulation primitives (Sec. 2.2) plus attacks on the
+// detection mechanism itself (Sec. 5.3), composable per node.
+struct MaliciousBehavior {
+  bool censor_txs = false;          // mempool censorship: never commit/serve foreign txs
+  bool ignore_requests = false;     // stay silent; drives suspicion (Fig. 6)
+  bool equivocate = false;          // fork the commitment log between peers
+  bool reorder_block = false;       // order block txs by fee, not canonically
+  bool inject_uncommitted = false;  // slip an uncommitted tx ahead of committed ones
+  bool censor_blockspace = false;   // drop committed valid txs from own blocks
+  bool drop_gossip = false;         // do not forward blame/blocks/commitments
+
+  bool any() const noexcept {
+    return censor_txs || ignore_requests || equivocate || reorder_block ||
+           inject_uncommitted || censor_blockspace || drop_gossip;
+  }
+};
+
+}  // namespace lo::core

@@ -1,0 +1,114 @@
+#include "core/inspection.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace lo::core {
+
+const char* to_string(BlockVerdict v) noexcept {
+  switch (v) {
+    case BlockVerdict::kOk: return "ok";
+    case BlockVerdict::kReordered: return "reordered";
+    case BlockVerdict::kInjected: return "injected";
+    case BlockVerdict::kCensored: return "censored";
+    case BlockVerdict::kBadStructure: return "bad-structure";
+    case BlockVerdict::kNeedBundles: return "need-bundles";
+  }
+  return "?";
+}
+
+InspectionResult inspect_block(
+    const Block& block, const BundleMap& creator_bundles,
+    const std::function<bool(const TxId&)>& known_includeable) {
+  InspectionResult res;
+
+  // Structural checks need no bundle knowledge.
+  std::uint64_t prev_seqno = 0;
+  for (const auto& seg : block.segments) {
+    if (seg.seqno == 0 || seg.seqno <= prev_seqno ||
+        seg.seqno > block.commit_seqno) {
+      res.verdict = BlockVerdict::kBadStructure;
+      res.offending_seqno = seg.seqno;
+      return res;
+    }
+    prev_seqno = seg.seqno;
+  }
+
+  for (const auto& seg : block.segments) {
+    auto it = creator_bundles.find(seg.seqno);
+    if (it == creator_bundles.end()) {
+      res.missing_bundles.push_back(seg.seqno);
+      continue;
+    }
+    const std::vector<TxId>& bundle = it->second;
+    const auto expected =
+        canonical_shuffle(bundle, block.prev_hash, seg.seqno);
+    const std::unordered_set<TxId, TxIdHash> committed(bundle.begin(),
+                                                       bundle.end());
+
+    // Injection: a segment tx that was never committed in this bundle.
+    for (const auto& id : seg.txids) {
+      if (committed.find(id) == committed.end()) {
+        res.verdict = BlockVerdict::kInjected;
+        res.offending_seqno = seg.seqno;
+        res.offending_tx = id;
+        return res;
+      }
+    }
+    // Order: the segment must be a subsequence of the canonical shuffle
+    // (the creator may drop invalid/low-fee txs but may not permute).
+    std::size_t pos = 0;
+    for (const auto& id : seg.txids) {
+      while (pos < expected.size() && expected[pos] != id) ++pos;
+      if (pos == expected.size()) {
+        res.verdict = BlockVerdict::kReordered;
+        res.offending_seqno = seg.seqno;
+        res.offending_tx = id;
+        return res;
+      }
+      ++pos;
+    }
+    // Censorship: a committed, provably-includeable tx missing from the
+    // segment (block-space censorship, Sec. 2.2).
+    if (known_includeable) {
+      const std::unordered_set<TxId, TxIdHash> present(seg.txids.begin(),
+                                                       seg.txids.end());
+      for (const auto& id : bundle) {
+        if (present.find(id) == present.end() && known_includeable(id)) {
+          res.verdict = BlockVerdict::kCensored;
+          res.offending_seqno = seg.seqno;
+          res.offending_tx = id;
+          return res;
+        }
+      }
+    }
+  }
+
+  // Whole committed bundles silently dropped from the block are censorship
+  // too, if the inspector can prove any of their txs includeable.
+  if (known_includeable) {
+    std::unordered_set<std::uint64_t> in_block;
+    for (const auto& seg : block.segments) in_block.insert(seg.seqno);
+    for (const auto& [seqno, bundle] : creator_bundles) {
+      if (seqno > block.commit_seqno || in_block.count(seqno) != 0) continue;
+      for (const auto& id : bundle) {
+        if (known_includeable(id)) {
+          res.verdict = BlockVerdict::kCensored;
+          res.offending_seqno = seqno;
+          res.offending_tx = id;
+          return res;
+        }
+      }
+    }
+  }
+
+  if (!res.missing_bundles.empty()) {
+    res.verdict = BlockVerdict::kNeedBundles;
+    std::sort(res.missing_bundles.begin(), res.missing_bundles.end());
+    return res;
+  }
+  res.verdict = BlockVerdict::kOk;
+  return res;
+}
+
+}  // namespace lo::core

@@ -1,0 +1,52 @@
+// Block inspection (Sec. 4.3 step 5, Sec. 5.2 "Countering Attacks during
+// Block Building").
+//
+// Inspection compares a block against the creator's committed bundles that
+// the inspector knows. It is separate from block validation and does not
+// gate chain inclusion; a violation yields transferable evidence against the
+// creator. With partial knowledge of the creator's bundles the verdict can be
+// kNeedBundles, which triggers a BundleRequest to the creator — a creator
+// that never substantiates its block ends up suspected (Sec. 5.2).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/block.hpp"
+#include "core/types.hpp"
+
+namespace lo::core {
+
+enum class BlockVerdict : std::uint8_t {
+  kOk,           // canonical with respect to everything the inspector knows
+  kReordered,    // segment order deviates from the canonical shuffle
+  kInjected,     // contains a tx not committed in the referenced bundle
+  kCensored,     // omits a tx the inspector knows to be includeable
+  kBadStructure, // non-monotonic segment seqnos / seqno beyond commitment
+  kNeedBundles,  // inspector lacks creator bundles for some segments
+};
+
+const char* to_string(BlockVerdict v) noexcept;
+
+struct InspectionResult {
+  BlockVerdict verdict = BlockVerdict::kOk;
+  std::uint64_t offending_seqno = 0;  // bundle/segment the verdict points at
+  TxId offending_tx{};                // for injection/censorship verdicts
+  std::vector<std::uint64_t> missing_bundles;  // for kNeedBundles
+};
+
+// The inspector's copy of a creator's bundle history: seqno -> committed ids
+// in commitment order (as carried by commitment delta messages).
+using BundleMap = std::unordered_map<std::uint64_t, std::vector<TxId>>;
+
+// `known_includeable`: returns true if the inspector can prove the tx should
+// have been included (it holds valid content with a sufficient fee). Txs for
+// which the inspector lacks content are never flagged as censored.
+InspectionResult inspect_block(
+    const Block& block, const BundleMap& creator_bundles,
+    const std::function<bool(const TxId&)>& known_includeable);
+
+}  // namespace lo::core

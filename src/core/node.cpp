@@ -1,0 +1,1014 @@
+#include "core/node.hpp"
+
+#include <algorithm>
+
+namespace lo::core {
+
+namespace {
+
+std::uint64_t suspicion_key(NodeId reporter, std::uint64_t epoch) {
+  return (static_cast<std::uint64_t>(reporter) << 32) ^ (epoch & 0xffffffffULL);
+}
+
+}  // namespace
+
+LoNode::LoNode(sim::Simulator& sim, NodeId id, const LoConfig& config,
+               crypto::KeyPair keys, Hooks* hooks)
+    : sim_(sim),
+      id_(id),
+      config_(config),
+      signer_(keys, config.sig_mode),
+      hooks_(hooks),
+      log_(id, config.commitment),
+      content_clock_(config.commitment.clock_cells, config.commitment.clock_hashes),
+      registry_(config.sig_mode, config.verify_signatures,
+                config.two_stage_checks) {}
+
+void LoNode::set_neighbors(std::vector<NodeId> neighbors) {
+  neighbors_ = std::move(neighbors);
+}
+
+void LoNode::set_peer_candidates(std::vector<NodeId> candidates) {
+  peer_candidates_ = std::move(candidates);
+}
+
+const Transaction* LoNode::get_tx(const TxId& id) const {
+  auto it = store_.find(id);
+  return it == store_.end() ? nullptr : &it->second;
+}
+
+BundleMap LoNode::mirror_of(NodeId creator) const {
+  BundleMap out;
+  auto it = mirrors_.find(creator);
+  if (it == mirrors_.end()) return out;
+  for (const auto& [seqno, sb] : it->second) out[seqno] = sb.txids;
+  return out;
+}
+
+std::size_t LoNode::accountability_memory_bytes() const noexcept {
+  std::size_t sum = registry_.memory_bytes();
+  for (const auto& [node, bundles] : mirrors_) {
+    sum += sizeof(node);
+    for (const auto& [seqno, sb] : bundles) sum += 8 + sb.wire_size();
+  }
+  // Commitment-log bookkeeping beyond the plain mempool contents.
+  sum += log_.memory_bytes();
+  return sum;
+}
+
+// ------------------------------------------------------------- Stage I ----
+
+void LoNode::submit_transaction(const Transaction& tx) {
+  admit_transaction(tx, id_);
+}
+
+void LoNode::stealth_store(const Transaction& tx) {
+  // Sec. 5.3 collusion: the transaction arrives off-channel — content is
+  // stored but deliberately NOT committed and NOT acknowledged, leaving no
+  // trace in this miner's commitment log.
+  if (store_.count(tx.id) != 0) return;
+  store_.emplace(tx.id, tx);
+  valid_.insert(tx.id);
+  stealth_txs_.push_back(tx.id);
+}
+
+void LoNode::admit_transaction(const Transaction& tx, NodeId source) {
+  if (store_.count(tx.id) != 0) return;
+  if (invalid_.count(tx.id) != 0) return;
+  if (!prevalidate(tx, config_.prevalidation)) {
+    invalid_.insert(tx.id);
+    return;
+  }
+  // Mempool censorship: a censoring miner silently refuses foreign txs
+  // (Sec. 2.2 "Mempool Censorship" — it neither commits nor relays them).
+  if (behavior_.censor_txs && source != id_) return;
+
+  store_.emplace(tx.id, tx);
+  valid_.insert(tx.id);
+  content_clock_.add(txid_short(tx.id));
+  commit_batch({tx.id}, source);
+  if (hooks_ && hooks_->on_mempool_admit) {
+    hooks_->on_mempool_admit(id_, tx, sim_.now());
+  }
+}
+
+void LoNode::commit_batch(const std::vector<TxId>& ids, NodeId source) {
+  if (ids.empty()) return;
+  log_.append(ids, source);
+  if (fork_log_) {
+    // The fork tells a censored story: ids with an even short hash vanish
+    // (own transactions are always kept — the fork must stay plausible).
+    std::vector<TxId> fork_part;
+    for (const auto& id : ids) {
+      if (source == id_ || txid_short(id) % 2 != 0) fork_part.push_back(id);
+    }
+    fork_log_->append(fork_part, source);
+  }
+}
+
+// --------------------------------------------------------- reconciliation ----
+
+void LoNode::on_start() {
+  if (behavior_.equivocate && !fork_log_) {
+    fork_log_ = std::make_unique<CommitmentLog>(id_, config_.commitment);
+  }
+  // Random phase so the network's sync rounds do not beat in lockstep.
+  const sim::Duration phase = static_cast<sim::Duration>(
+      sim_.rng().next_below(static_cast<std::uint64_t>(config_.recon_interval)));
+  sim_.schedule(phase, [this] { sync_round(); });
+
+  if (config_.rotate_interval > 0) {
+    view_ = std::make_unique<overlay::BasaltView>(id_, config_.view_size,
+                                                  sim_.rng().next());
+    for (NodeId n : neighbors_) view_->offer(n);
+    sim_.schedule(config_.rotate_interval, [this] { rotate_neighbors(); });
+  }
+}
+
+void LoNode::rotate_neighbors() {
+  // Basalt-style continuous sampling: offer fresh candidates, reseed one
+  // slot, and adopt the view as the active neighbor set, filtering blamed
+  // peers (Sec. 5.1: rotation continues until enough non-suspected,
+  // non-exposed peers are present).
+  if (view_ && !peer_candidates_.empty()) {
+    const std::size_t offers = std::min<std::size_t>(8, peer_candidates_.size());
+    for (std::size_t k = 0; k < offers; ++k) {
+      const NodeId c = peer_candidates_[sim_.rng().next_below(
+          peer_candidates_.size())];
+      if (!registry_.is_exposed(c) && !registry_.is_suspected(c)) {
+        view_->offer(c);
+      }
+    }
+    view_->refresh();
+    for (NodeId n : neighbors_) {
+      if (registry_.is_exposed(n) || registry_.is_suspected(n)) {
+        view_->evict(n);
+      }
+    }
+    auto next = view_->view();
+    std::erase_if(next, [this](NodeId n) {
+      return n == id_ || registry_.is_exposed(n);
+    });
+    if (!next.empty()) neighbors_ = std::move(next);
+  }
+  sim_.schedule(config_.rotate_interval, [this] { rotate_neighbors(); });
+}
+
+void LoNode::schedule_sync() {
+  sim_.schedule(config_.recon_interval, [this] { sync_round(); });
+}
+
+void LoNode::sync_round() {
+  if (!neighbors_.empty()) {
+    std::vector<NodeId> candidates;
+    candidates.reserve(neighbors_.size());
+    for (NodeId n : neighbors_) {
+      if (!registry_.is_exposed(n)) candidates.push_back(n);
+    }
+    sim_.rng().shuffle(candidates);
+    const std::size_t k = std::min(config_.recon_fanout, candidates.size());
+    for (std::size_t i = 0; i < k; ++i) send_sync_request(candidates[i]);
+  }
+  schedule_sync();
+}
+
+CommitmentLog& LoNode::log_for_peer(NodeId peer) {
+  // Equivocators show the censored fork to every even peer id.
+  if (behavior_.equivocate && fork_log_ && (peer % 2 == 0)) return *fork_log_;
+  return log_;
+}
+
+std::size_t LoNode::wire_capacity_for(NodeId peer, const CommitmentLog& log,
+                                      std::size_t delta_hint) const {
+  // Size the transmitted sketch prefix to the estimated set difference with
+  // the peer: the Bloom-Clock L1 distance estimates it when we have seen a
+  // commitment from the peer, otherwise a conservative default. A 2x margin
+  // plus slack keeps the decode success rate high; the full local sketch is
+  // the upper bound.
+  if (!config_.adaptive_wire_sketch) return config_.commitment.sketch_capacity;
+  std::size_t estimate = 24;
+  if (const auto* h = registry_.latest(peer)) {
+    estimate = static_cast<std::size_t>(log.clock().l1_distance(h->clock)) /
+               std::max(1u, log.clock().hashes());
+  }
+  estimate = std::max(estimate, delta_hint);
+  const std::size_t cap = std::max<std::size_t>(8, 2 * estimate + 4);
+  return std::min(cap, config_.commitment.sketch_capacity);
+}
+
+void LoNode::send_sync_request(NodeId peer) {
+  CommitmentLog& use_log = log_for_peer(peer);
+  // Alg. 1 line 13: request only while the sets differ. Count and clock
+  // equality alone can be fooled by cell collisions, so the sketch prefix is
+  // compared too; any mismatch means C_i \ C_j or C_j \ C_i is non-empty.
+  if (const auto* ph = registry_.latest(peer)) {
+    if (ph->count == use_log.count() && ph->clock == use_log.clock()) {
+      const auto trunc = use_log.sketch().truncated(ph->sketch.capacity());
+      if (trunc.syndromes() == ph->sketch.syndromes()) return;  // in sync
+    }
+  }
+  if (outstanding_sync_.count(peer) != 0) return;  // one in flight per peer
+
+  auto req = std::make_shared<SyncRequest>();
+  req->commitment =
+      use_log.make_header(signer_, wire_capacity_for(peer, use_log, 0));
+  const std::uint64_t rid = register_pending(peer, RequestKind::kSync, req);
+  pending_.at(rid).snapshot_clock = content_clock_;
+  outstanding_sync_.insert(peer);
+  req->request_id = rid;
+  sim_.send(id_, peer, req);
+}
+
+void LoNode::handle_sync_request(NodeId from, const SyncRequest& req) {
+  if (behavior_.ignore_requests) return;
+  observe_header(from, req.commitment);
+  if (registry_.is_exposed(from)) return;
+
+  CommitmentLog& use_log = log_for_peer(from);
+
+  // Set reconciliation: our sketch (truncated to the request's capacity)
+  // XOR theirs encodes the exact symmetric difference.
+  sketch::Sketch merged =
+      use_log.sketch().truncated(req.commitment.sketch.capacity());
+  merged.merge(req.commitment.sketch);
+  ++sketch_decodes_;
+  if (hooks_ && hooks_->on_reconcile) hooks_->on_reconcile(id_, 1);
+  const auto diff = merged.decode();
+
+  auto resp = std::make_shared<SyncResponse>();
+  resp->request_id = req.request_id;
+  if (!behavior_.drop_gossip) resp->gossip = pick_gossip_headers();
+
+  if (!diff) {
+    // Difference exceeds the transmitted capacity: answer with our full
+    // sketch so the requester can reconcile locally, plus a bounded window
+    // of our ids. The window position is randomized so that successive
+    // rounds cover the whole backlog even when it dwarfs max_delta (a fixed
+    // window would resend the same ids forever during bulk catch-up).
+    resp->decode_failed = true;
+    resp->commitment = use_log.make_header(signer_);
+    const auto& order = use_log.order();
+    const std::size_t window = std::min(config_.max_delta, order.size());
+    const std::size_t max_offset = order.size() - window;
+    const std::size_t offset =
+        max_offset == 0
+            ? 0
+            : static_cast<std::size_t>(sim_.rng().next_below(max_offset + 1));
+    resp->delta_back.assign(
+        order.begin() + static_cast<std::ptrdiff_t>(offset),
+        order.begin() + static_cast<std::ptrdiff_t>(offset + window));
+  } else {
+    if (!diff->empty()) ++sync_recons_;
+    // Split the difference: ids we can name are ours (the requester lacks
+    // them); unresolvable elements belong to the requester (we want them).
+    std::vector<TxId> ours;
+    for (const auto elem : *diff) {
+      if (auto id = use_log.resolve_element(elem)) {
+        ours.push_back(*id);
+      } else if (!behavior_.censor_txs) {
+        resp->want_short.push_back(elem);
+      }
+    }
+    std::sort(ours.begin(), ours.end(), [&use_log](const TxId& a, const TxId& b) {
+      return use_log.position_of(a) < use_log.position_of(b);
+    });
+    if (ours.size() > config_.max_delta) ours.resize(config_.max_delta);
+    resp->delta_back = std::move(ours);
+    resp->commitment = use_log.make_header(
+        signer_, wire_capacity_for(from, use_log, diff->size()));
+  }
+  sim_.send(id_, from, resp);
+
+  // Eager content push: ship the bodies of the delta_back ids we hold right
+  // away instead of waiting for a TxRequest round trip (Bitcoin-style tx
+  // push; same bytes, one RTT less).
+  if (!resp->delta_back.empty() && !behavior_.censor_txs) {
+    auto bundle = std::make_shared<TxBundleMsg>();
+    for (const auto& id : resp->delta_back) {
+      auto it2 = store_.find(id);
+      if (it2 != store_.end()) bundle->txs.push_back(it2->second);
+    }
+    if (!bundle->txs.empty()) sim_.send(id_, from, bundle);
+  }
+}
+
+void LoNode::handle_sync_response(NodeId from, const SyncResponse& resp) {
+  auto it = pending_.find(resp.request_id);
+  Pending pending;
+  bool had_pending = false;
+  if (it != pending_.end() && it->second.peer == from) {
+    pending = it->second;
+    pending_.erase(it);
+    outstanding_sync_.erase(from);
+    had_pending = true;
+  }
+  observe_header(from, resp.commitment);
+  for (const auto& h : resp.gossip) {
+    if (h.node != from && h.node != id_) observe_header(from, h);
+  }
+  if (registry_.is_exposed(from)) return;
+
+  CommitmentLog& use_log = log_for_peer(from);
+
+  // 1. Ship the transactions the responder asked for. Once it has them, it
+  //    owes us a commitment covering our snapshot (coverage watch).
+  if (!behavior_.censor_txs && !behavior_.ignore_requests) {
+    serve_elements(from, resp.want_short, resp.request_id);
+  }
+  if (had_pending && !resp.decode_failed && pending.snapshot_clock) {
+    register_coverage(from, *pending.snapshot_clock);
+  }
+
+  // 2. Commit to the ids the responder says we lack — one bundle, in the
+  //    responder's order ("Transaction Selection in Received Order") — and
+  //    fetch the content.
+  std::vector<TxId> fresh;
+  for (const auto& id : resp.delta_back) {
+    if (invalid_.count(id) != 0) continue;
+    if (behavior_.censor_txs) continue;
+    if (!log_.contains(id) &&
+        std::find(fresh.begin(), fresh.end(), id) == fresh.end()) {
+      fresh.push_back(id);
+    }
+  }
+  if (!fresh.empty()) {
+    commit_batch(fresh, from);
+    std::vector<TxId> want;
+    for (const auto& id : fresh) {
+      if (store_.count(id) == 0) want.push_back(id);
+    }
+    if (!want.empty()) {
+      // The responder eagerly pushes this content alongside its response, so
+      // the explicit request stays latent: it goes out only if the bundle
+      // has not arrived by the first timeout.
+      auto txreq = std::make_shared<TxRequest>();
+      txreq->want = std::move(want);
+      const std::uint64_t rid =
+          register_pending(from, RequestKind::kContent, txreq);
+      txreq->request_id = rid;
+    }
+  }
+
+  // 3. Recovery path: the responder could not decode our sketch. Its reply
+  //    carries a full-capacity sketch; reconcile locally and exchange both
+  //    directions explicitly.
+  if (resp.decode_failed) {
+    sketch::Sketch merged =
+        use_log.sketch().truncated(resp.commitment.sketch.capacity());
+    merged.merge(resp.commitment.sketch);
+    ++sketch_decodes_;
+    if (hooks_ && hooks_->on_reconcile) hooks_->on_reconcile(id_, 1);
+    if (const auto diff = merged.decode()) {
+      std::vector<std::uint64_t> ours;
+      std::vector<std::uint64_t> theirs;
+      for (const auto elem : *diff) {
+        if (use_log.resolve_element(elem).has_value()) {
+          ours.push_back(elem);
+        } else {
+          theirs.push_back(elem);
+        }
+      }
+      if (!behavior_.censor_txs) {
+        serve_elements(from, ours, 0);
+        if (!theirs.empty()) {
+          auto txreq = std::make_shared<TxRequest>();
+          txreq->want_short = std::move(theirs);
+          const std::uint64_t rid =
+              register_pending(from, RequestKind::kContent, txreq);
+          txreq->request_id = rid;
+          sim_.send(id_, from, txreq);
+        }
+      }
+    }
+    // If even the full-capacity decode fails, the bounded delta_back tails
+    // shrink the difference every round until it becomes decodable.
+  }
+}
+
+void LoNode::serve_elements(NodeId to,
+                            const std::vector<std::uint64_t>& elements,
+                            std::uint64_t request_id) {
+  if (elements.empty()) return;
+  CommitmentLog& use_log = log_for_peer(to);
+  std::vector<TxId> ids;
+  for (const auto elem : elements) {
+    if (auto id = use_log.resolve_element(elem)) {
+      if (store_.count(*id) != 0) ids.push_back(*id);
+    }
+  }
+  std::sort(ids.begin(), ids.end(), [&use_log](const TxId& a, const TxId& b) {
+    return use_log.position_of(a) < use_log.position_of(b);
+  });
+  auto bundle = std::make_shared<TxBundleMsg>();
+  bundle->request_id = request_id;
+  for (const auto& id : ids) bundle->txs.push_back(store_.at(id));
+  if (!bundle->txs.empty()) sim_.send(id_, to, bundle);
+}
+
+void LoNode::handle_tx_request(NodeId from, const TxRequest& req) {
+  if (behavior_.ignore_requests || behavior_.censor_txs) return;
+  auto bundle = std::make_shared<TxBundleMsg>();
+  bundle->request_id = req.request_id;
+  for (const auto& id : req.want) {
+    auto s = store_.find(id);
+    if (s != store_.end()) bundle->txs.push_back(s->second);
+  }
+  std::vector<TxId> resolved;
+  for (const auto elem : req.want_short) {
+    if (auto id = log_.resolve_element(elem)) {
+      if (store_.count(*id) != 0) resolved.push_back(*id);
+    }
+  }
+  std::sort(resolved.begin(), resolved.end(),
+            [this](const TxId& a, const TxId& b) {
+              return log_.position_of(a) < log_.position_of(b);
+            });
+  for (const auto& id : resolved) bundle->txs.push_back(store_.at(id));
+  // An empty bundle is still sent: it acknowledges liveness so the requester
+  // keeps polling instead of suspecting a peer that is itself waiting for
+  // the content to arrive.
+  sim_.send(id_, from, bundle);
+}
+
+void LoNode::handle_tx_bundle(NodeId from, const TxBundleMsg& msg) {
+  // Admit content and commit all new valid ids as ONE bundle in the received
+  // order — this is the "transaction bundle" of Sec. 4.1 whose intra-bundle
+  // order the canonical shuffle later randomizes.
+  std::vector<TxId> batch;
+  for (const auto& tx : msg.txs) {
+    if (invalid_.count(tx.id) != 0) continue;
+    if (store_.count(tx.id) != 0) continue;
+    if (!prevalidate(tx, config_.prevalidation)) {
+      invalid_.insert(tx.id);
+      continue;
+    }
+    if (behavior_.censor_txs && from != id_) continue;
+    store_.emplace(tx.id, tx);
+    valid_.insert(tx.id);
+    content_clock_.add(txid_short(tx.id));
+    if (!log_.contains(tx.id)) batch.push_back(tx.id);
+    if (hooks_ && hooks_->on_mempool_admit) {
+      hooks_->on_mempool_admit(id_, tx, sim_.now());
+    }
+  }
+  commit_batch(batch, from);
+  // Publish the fresh commitment to the sender when the bundle moved our
+  // log forward; stale-view cases are handled by the coverage re-probe.
+  if (!batch.empty() && !behavior_.ignore_requests && !behavior_.drop_gossip) {
+    // Publish the fresh commitment to the sender right away; this is what
+    // lets its coverage watch clear without waiting for the next round.
+    auto g = std::make_shared<HeaderGossip>();
+    g->headers.push_back(log_for_peer(from).make_header(
+        signer_, wire_capacity_for(from, log_for_peer(from), 8)));
+    sim_.send(id_, from, g);
+  }
+
+  // A bundle (even an empty liveness ack) marks progress on content waits,
+  // but a pending is only dismissed once every wanted item is accounted for —
+  // the sender may legitimately still be fetching the content itself.
+  for (auto& [rid, p] : pending_) {
+    if (p.peer == from && p.kind == RequestKind::kContent) p.got_partial = true;
+  }
+  std::vector<std::uint64_t> done;
+  for (auto& [rid, p] : pending_) {
+    if (p.peer != from || p.kind != RequestKind::kContent) continue;
+    auto* txreq = dynamic_cast<const TxRequest*>(p.payload.get());
+    if (txreq == nullptr) continue;
+    bool satisfied = true;
+    for (const auto& id : txreq->want) {
+      if (store_.count(id) == 0 && invalid_.count(id) == 0) {
+        satisfied = false;
+        break;
+      }
+    }
+    for (const auto elem : txreq->want_short) {
+      if (satisfied && !log_.resolve_element(elem).has_value()) {
+        satisfied = false;
+      }
+    }
+    if (satisfied) done.push_back(rid);
+  }
+  for (auto rid : done) pending_.erase(rid);
+  if (!done.empty()) resolve_suspicion(from);
+}
+
+// -------------------------------------------------------- accountability ----
+
+void LoNode::observe_header(NodeId from, const CommitmentHeader& header) {
+  bool used_decode = false;
+  auto evidence = registry_.observe_commitment(header, &used_decode);
+  if (used_decode) {
+    ++sketch_decodes_;
+    if (hooks_ && hooks_->on_reconcile) hooks_->on_reconcile(id_, 1);
+  }
+  if (evidence) {
+    auto msg = std::make_shared<ExposureMsg>();
+    msg->accused = evidence->accused;
+    msg->verdict = 0xff;
+    msg->equivocation = std::move(*evidence);
+    if (seen_exposures_.insert(msg->accused).second) {
+      if (hooks_ && hooks_->on_exposure) {
+        hooks_->on_exposure(id_, msg->accused, sim_.now());
+      }
+    }
+    broadcast_exposure(*msg);
+    return;
+  }
+  (void)from;
+  clear_coverage_if_met(header.node);
+}
+
+void LoNode::register_coverage(NodeId peer, const bloom::BloomClock& snapshot) {
+  // Keep an existing (older, therefore weaker) watch — it resolves first.
+  if (coverage_.count(peer) != 0) return;
+  CoverageWatch watch;
+  watch.snapshot = snapshot;
+  watch.deadline = sim_.now() + config_.coverage_timeout;
+  coverage_.emplace(peer, std::move(watch));
+  arm_coverage_deadline(peer);
+  clear_coverage_if_met(peer);
+}
+
+void LoNode::arm_coverage_deadline(NodeId peer) {
+  sim_.schedule(config_.coverage_timeout, [this, peer] {
+    auto it = coverage_.find(peer);
+    if (it == coverage_.end()) return;
+    if (sim_.now() < it->second.deadline) return;  // superseded
+    const auto* h = registry_.latest(peer);
+    const bool covered =
+        h != nullptr && it->second.snapshot.dominated_by(h->clock);
+    if (covered) {
+      coverage_.erase(it);
+      resolve_suspicion(peer);
+      return;
+    }
+    if (!it->second.reprobed) {
+      // The paper resends requests before suspecting: our view of the peer's
+      // commitments may simply be stale (peers are sampled randomly, the
+      // refresh may not have come around yet). Probe directly once.
+      it->second.reprobed = true;
+      it->second.deadline = sim_.now() + config_.coverage_timeout;
+      send_sync_request(peer);
+      arm_coverage_deadline(peer);
+      return;
+    }
+    coverage_.erase(it);
+    suspect_peer(peer);
+  });
+}
+
+void LoNode::clear_coverage_if_met(NodeId peer) {
+  auto it = coverage_.find(peer);
+  if (it == coverage_.end()) return;
+  const auto* h = registry_.latest(peer);
+  if (h != nullptr && it->second.snapshot.dominated_by(h->clock)) {
+    coverage_.erase(it);
+    resolve_suspicion(peer);
+  }
+}
+
+void LoNode::broadcast_exposure(const ExposureMsg& msg) {
+  auto copy = std::make_shared<ExposureMsg>(msg);
+  flood(copy, id_);
+}
+
+void LoNode::suspect_peer(NodeId peer) {
+  if (registry_.is_exposed(peer)) return;
+  auto& reporters = suspected_by_[peer];
+  if (!reporters.insert(id_).second) return;  // we already reported
+  const bool was_suspected = registry_.is_suspected(peer);
+  registry_.suspect(peer);
+  if (!was_suspected && hooks_ && hooks_->on_suspect) {
+    hooks_->on_suspect(id_, peer, sim_.now());
+  }
+  auto msg = std::make_shared<SuspicionMsg>();
+  msg->suspect = peer;
+  msg->reporter = id_;
+  msg->epoch = ++suspicion_epoch_;
+  if (const auto* h = registry_.latest(peer)) msg->last_known = *h;
+  seen_suspicions_.insert(suspicion_key(id_, msg->epoch));
+  flood(msg, id_);
+}
+
+void LoNode::resolve_suspicion(NodeId peer) {
+  auto it = suspected_by_.find(peer);
+  if (it == suspected_by_.end()) return;
+  // Only our own complaint can be resolved by evidence we observed; other
+  // reporters retract for themselves.
+  if (it->second.erase(id_) == 0) return;
+  auto msg = std::make_shared<SuspicionMsg>();
+  msg->suspect = peer;
+  msg->reporter = id_;
+  msg->epoch = ++suspicion_epoch_;
+  msg->retract = true;
+  seen_suspicions_.insert(suspicion_key(id_, msg->epoch));
+  flood(msg, id_);
+  if (it->second.empty()) {
+    suspected_by_.erase(it);
+    registry_.unsuspect(peer);
+  }
+}
+
+void LoNode::handle_suspicion(NodeId from, const SuspicionMsg& msg) {
+  if (!seen_suspicions_.insert(suspicion_key(msg.reporter, msg.epoch)).second) {
+    return;
+  }
+  if (msg.suspect == id_) {
+    // Respond publicly with our current commitment so the reporter (and the
+    // relayer) can lift the suspicion.
+    auto g = std::make_shared<HeaderGossip>();
+    g->headers.push_back(
+        log_.make_header(signer_, wire_capacity_for(msg.reporter, log_, 8)));
+    sim_.send(id_, msg.reporter, g);
+    if (from != msg.reporter) sim_.send(id_, from, g);
+    return;
+  }
+  if (msg.last_known) observe_header(from, *msg.last_known);
+
+  if (msg.retract) {
+    auto it = suspected_by_.find(msg.suspect);
+    if (it != suspected_by_.end()) {
+      it->second.erase(msg.reporter);
+      if (it->second.empty()) {
+        suspected_by_.erase(it);
+        registry_.unsuspect(msg.suspect);
+      }
+    }
+  } else {
+    // Fig. 4: if we hold a newer commitment from the suspect, share it with
+    // the reporter instead of escalating; the suspicion is adopted either way
+    // until the reporter retracts.
+    const auto* ours = registry_.latest(msg.suspect);
+    if (ours != nullptr && msg.last_known &&
+        ours->seqno > msg.last_known->seqno) {
+      auto g = std::make_shared<HeaderGossip>();
+      g->headers.push_back(*ours);
+      sim_.send(id_, msg.reporter, g);
+    }
+    if (!registry_.is_exposed(msg.suspect)) {
+      suspected_by_[msg.suspect].insert(msg.reporter);
+      if (!registry_.is_suspected(msg.suspect)) {
+        registry_.suspect(msg.suspect);
+        if (hooks_ && hooks_->on_suspect) {
+          hooks_->on_suspect(id_, msg.suspect, sim_.now());
+        }
+      }
+    }
+  }
+  if (!behavior_.drop_gossip) {
+    flood(std::make_shared<SuspicionMsg>(msg), from);
+  }
+}
+
+void LoNode::handle_exposure(NodeId from, const ExposureMsg& msg) {
+  if (seen_exposures_.count(msg.accused) != 0) {
+    return;
+  }
+  if (config_.verify_signatures && !msg.verify(config_.sig_mode)) return;
+  if (!config_.verify_signatures) {
+    // Structural check only (large-scale benches).
+    if (!msg.equivocation && !msg.block_evidence) return;
+  }
+  seen_exposures_.insert(msg.accused);
+  registry_.expose(msg.accused);
+  if (hooks_ && hooks_->on_exposure) {
+    hooks_->on_exposure(id_, msg.accused, sim_.now());
+  }
+  if (!behavior_.drop_gossip) {
+    flood(std::make_shared<ExposureMsg>(msg), from);
+  }
+}
+
+// ----------------------------------------------------------------- blocks ----
+
+bool LoNode::tx_includeable(const TxId& id) const {
+  if (valid_.count(id) == 0) return false;
+  auto it = store_.find(id);
+  return it != store_.end() && it->second.fee >= config_.block_min_fee;
+}
+
+Block LoNode::create_block(std::uint64_t height,
+                           const crypto::Digest256& prev_hash) {
+  auto include = [this](const TxId& id) { return tx_includeable(id); };
+  Block block = build_block(log_, signer_, height, prev_hash, include);
+
+  bool resign = false;
+  if (behavior_.reorder_block) {
+    // MEV-style manipulation: order by fee (descending) inside each segment,
+    // violating the canonical shuffle.
+    for (auto& seg : block.segments) {
+      std::sort(seg.txids.begin(), seg.txids.end(),
+                [this](const TxId& a, const TxId& b) {
+                  const auto* ta = get_tx(a);
+                  const auto* tb = get_tx(b);
+                  const std::uint64_t fa = ta ? ta->fee : 0;
+                  const std::uint64_t fb = tb ? tb->fee : 0;
+                  if (fa != fb) return fa > fb;
+                  return a < b;
+                });
+    }
+    resign = true;
+  }
+  if (behavior_.inject_uncommitted) {
+    // Slip a never-committed transaction ahead of committed ones. Colluding
+    // miners use one obtained off-channel (Sec. 5.3); otherwise mint a fresh
+    // one (front-running style).
+    TxId inject_id{};
+    if (!stealth_txs_.empty()) {
+      inject_id = stealth_txs_.back();
+    } else {
+      Transaction tx = make_transaction(signer_, ++own_nonce_ + (1ULL << 40),
+                                        /*fee=*/1000000, sim_.now());
+      store_.emplace(tx.id, tx);
+      valid_.insert(tx.id);
+      inject_id = tx.id;
+    }
+    if (block.segments.empty()) {
+      Block::Segment seg;
+      seg.seqno = std::max<std::uint64_t>(1, block.commit_seqno);
+      block.segments.push_back(seg);
+      if (block.commit_seqno == 0) block.commit_seqno = 1;
+    }
+    auto& front = block.segments.front().txids;
+    front.insert(front.begin(), inject_id);
+    resign = true;
+  }
+  if (behavior_.censor_blockspace && block.tx_count() > 0) {
+    // Drop the highest-fee transaction from the block (block-space
+    // censorship, e.g. to snipe it in the miner's own later block).
+    TxId victim{};
+    std::uint64_t best = 0;
+    for (const auto& seg : block.segments) {
+      for (const auto& id : seg.txids) {
+        const auto* t = get_tx(id);
+        if (t != nullptr && t->fee >= best) {
+          best = t->fee;
+          victim = id;
+        }
+      }
+    }
+    for (auto& seg : block.segments) {
+      std::erase(seg.txids, victim);
+    }
+    std::erase_if(block.segments,
+                  [](const Block::Segment& s) { return s.txids.empty(); });
+    resign = true;
+  }
+  if (resign) {
+    auto msg = block.signing_bytes();
+    block.sig =
+        signer_.sign(std::span<const std::uint8_t>(msg.data(), msg.size()));
+  }
+
+  seen_blocks_.emplace(block.hash(), block);
+  auto bm = std::make_shared<BlockMsg>();
+  bm->block = block;
+  flood(bm, id_);
+  return block;
+}
+
+void LoNode::handle_block(NodeId from, const BlockMsg& msg) {
+  const auto h = msg.block.hash();
+  if (!seen_blocks_.emplace(h, msg.block).second) return;
+  if (config_.verify_signatures && !msg.block.verify(config_.sig_mode)) return;
+  if (!behavior_.drop_gossip) flood(std::make_shared<BlockMsg>(msg), from);
+  if (msg.block.creator == id_) return;
+  inspect_known_block(msg.block);
+}
+
+void LoNode::inspect_known_block(const Block& block) {
+  const BundleMap bundles = mirror_of(block.creator);
+  auto includeable = [this](const TxId& id) { return tx_includeable(id); };
+  const InspectionResult res = inspect_block(block, bundles, includeable);
+
+  if (res.verdict == BlockVerdict::kNeedBundles) {
+    auto req = std::make_shared<BundleRequest>();
+    req->creator = block.creator;
+    req->seqnos = res.missing_bundles;
+    const std::uint64_t rid =
+        register_pending(block.creator, RequestKind::kBundles, req);
+    req->request_id = rid;
+    sim_.send(id_, block.creator, req);
+    blocks_awaiting_bundles_[block.creator].push_back(block.hash());
+    return;
+  }
+
+  if (hooks_ && hooks_->on_block_inspected) {
+    hooks_->on_block_inspected(id_, block, res.verdict, sim_.now());
+  }
+
+  switch (res.verdict) {
+    case BlockVerdict::kReordered:
+    case BlockVerdict::kInjected:
+    case BlockVerdict::kBadStructure: {
+      // Transferable evidence: block + the creator-signed bundles.
+      auto msg = std::make_shared<ExposureMsg>();
+      msg->accused = block.creator;
+      msg->verdict = static_cast<std::uint8_t>(res.verdict);
+      BlockEvidence ev;
+      ev.accused = block.creator;
+      ev.block = block;
+      auto mit = mirrors_.find(block.creator);
+      if (mit != mirrors_.end()) {
+        for (const auto& seg : block.segments) {
+          auto bit = mit->second.find(seg.seqno);
+          if (bit != mit->second.end()) ev.bundles.push_back(bit->second);
+        }
+      }
+      msg->block_evidence = std::move(ev);
+      if (seen_exposures_.insert(block.creator).second) {
+        registry_.expose(block.creator);
+        if (hooks_ && hooks_->on_exposure) {
+          hooks_->on_exposure(id_, block.creator, sim_.now());
+        }
+      }
+      broadcast_exposure(*msg);
+      break;
+    }
+    case BlockVerdict::kCensored:
+      // Not transferable without sharing tx content; raise a suspicion blame
+      // (Sec. 5.2 treats undisclosed omissions through the suspicion path).
+      suspect_peer(block.creator);
+      break;
+    case BlockVerdict::kOk:
+    case BlockVerdict::kNeedBundles:
+      break;
+  }
+}
+
+void LoNode::handle_bundle_request(NodeId from, const BundleRequest& req) {
+  if (behavior_.ignore_requests) return;
+  auto resp = std::make_shared<BundleResponse>();
+  resp->request_id = req.request_id;
+  for (std::uint64_t seqno : req.seqnos) {
+    if (req.creator == id_) {
+      const auto* b = log_.bundle_by_seqno(seqno);
+      if (b == nullptr) continue;
+      SignedBundle sb;
+      sb.owner = id_;
+      sb.seqno = seqno;
+      sb.txids = b->txids;
+      sb.key = signer_.public_key();
+      auto bytes = sb.signing_bytes();
+      sb.sig =
+          signer_.sign(std::span<const std::uint8_t>(bytes.data(), bytes.size()));
+      resp->bundles.push_back(std::move(sb));
+    } else {
+      // Relay signed bundles we hold for third parties.
+      auto mit = mirrors_.find(req.creator);
+      if (mit == mirrors_.end()) continue;
+      auto bit = mit->second.find(seqno);
+      if (bit != mit->second.end()) resp->bundles.push_back(bit->second);
+    }
+  }
+  if (!resp->bundles.empty()) sim_.send(id_, from, resp);
+}
+
+void LoNode::handle_bundle_response(NodeId from, const BundleResponse& resp) {
+  if (resp.request_id != 0) clear_pending(resp.request_id);
+  resolve_suspicion(from);
+  std::unordered_set<NodeId> touched;
+  for (const auto& sb : resp.bundles) {
+    if (config_.verify_signatures && !sb.verify(config_.sig_mode)) continue;
+    // The bundle key must match the owner's known commitment key, if any.
+    if (const auto* h = registry_.latest(sb.owner)) {
+      if (!(h->key == sb.key)) continue;
+    }
+    mirrors_[sb.owner][sb.seqno] = sb;
+    touched.insert(sb.owner);
+  }
+  for (NodeId owner : touched) {
+    auto it = blocks_awaiting_bundles_.find(owner);
+    if (it == blocks_awaiting_bundles_.end()) continue;
+    auto hashes = std::move(it->second);
+    blocks_awaiting_bundles_.erase(it);
+    for (const auto& h : hashes) {
+      auto bit = seen_blocks_.find(h);
+      if (bit != seen_blocks_.end()) inspect_known_block(bit->second);
+    }
+  }
+}
+
+// --------------------------------------------------------------- plumbing ----
+
+std::uint64_t LoNode::register_pending(NodeId peer, RequestKind kind,
+                                       sim::PayloadPtr payload) {
+  const std::uint64_t rid = next_request_id_++;
+  Pending p;
+  p.peer = peer;
+  p.kind = kind;
+  p.payload = std::move(payload);
+  p.retries_left = config_.max_retries;
+  pending_.emplace(rid, std::move(p));
+  arm_timeout(rid);
+  return rid;
+}
+
+void LoNode::arm_timeout(std::uint64_t request_id) {
+  sim_.schedule(config_.request_timeout, [this, request_id] {
+    auto it = pending_.find(request_id);
+    if (it == pending_.end()) return;
+    Pending& p = it->second;
+    if (p.retries_left > 0) {
+      --p.retries_left;
+      sim_.send(id_, p.peer, p.payload);
+      arm_timeout(request_id);
+      return;
+    }
+    const NodeId peer = p.peer;
+    if (p.kind == RequestKind::kContent && p.got_partial) {
+      // The peer answered but could not serve everything (it may itself be
+      // waiting for the content). Re-request the remainder with a fresh
+      // retry budget instead of suspecting a live peer.
+      auto* old_req = dynamic_cast<const TxRequest*>(p.payload.get());
+      pending_.erase(it);
+      if (old_req != nullptr) {
+        auto txreq = std::make_shared<TxRequest>();
+        for (const auto& id : old_req->want) {
+          if (store_.count(id) == 0 && invalid_.count(id) == 0) {
+            txreq->want.push_back(id);
+          }
+        }
+        for (const auto elem : old_req->want_short) {
+          if (!log_.resolve_element(elem).has_value()) {
+            txreq->want_short.push_back(elem);
+          }
+        }
+        if (!txreq->want.empty() || !txreq->want_short.empty()) {
+          const std::uint64_t rid =
+              register_pending(peer, RequestKind::kContent, txreq);
+          txreq->request_id = rid;
+          sim_.send(id_, peer, txreq);
+        }
+      }
+      return;
+    }
+    if (p.kind == RequestKind::kSync) outstanding_sync_.erase(peer);
+    pending_.erase(it);
+    suspect_peer(peer);
+  });
+}
+
+void LoNode::clear_pending(std::uint64_t request_id) {
+  auto it = pending_.find(request_id);
+  if (it == pending_.end()) return;
+  if (it->second.kind == RequestKind::kSync) {
+    outstanding_sync_.erase(it->second.peer);
+  }
+  pending_.erase(it);
+}
+
+void LoNode::flood(const sim::PayloadPtr& msg, NodeId except) {
+  for (NodeId n : neighbors_) {
+    if (n == except) continue;
+    sim_.send(id_, n, msg);
+  }
+}
+
+std::vector<CommitmentHeader> LoNode::pick_gossip_headers() {
+  std::vector<CommitmentHeader> out;
+  if (config_.gossip_headers == 0) return out;
+  if (!sim_.rng().next_bool(config_.gossip_probability)) return out;
+  const auto& all = registry_.latest_all();
+  if (all.empty()) return out;
+  // Reservoir-sample a few stored third-party headers.
+  std::size_t i = 0;
+  for (const auto& [node, header] : all) {
+    if (node == id_) continue;
+    if (out.size() < config_.gossip_headers) {
+      out.push_back(header);
+    } else {
+      const std::size_t j =
+          static_cast<std::size_t>(sim_.rng().next_below(i + 1));
+      if (j < out.size()) out[j] = header;
+    }
+    ++i;
+  }
+  return out;
+}
+
+void LoNode::on_message(NodeId from, const sim::PayloadPtr& msg) {
+  if (const auto* m = dynamic_cast<const SyncRequest*>(msg.get())) {
+    handle_sync_request(from, *m);
+  } else if (const auto* m2 = dynamic_cast<const SyncResponse*>(msg.get())) {
+    handle_sync_response(from, *m2);
+  } else if (const auto* m3 = dynamic_cast<const TxRequest*>(msg.get())) {
+    handle_tx_request(from, *m3);
+  } else if (const auto* m4 = dynamic_cast<const TxBundleMsg*>(msg.get())) {
+    handle_tx_bundle(from, *m4);
+  } else if (const auto* m5 = dynamic_cast<const SuspicionMsg*>(msg.get())) {
+    handle_suspicion(from, *m5);
+  } else if (const auto* m6 = dynamic_cast<const ExposureMsg*>(msg.get())) {
+    handle_exposure(from, *m6);
+  } else if (const auto* m7 = dynamic_cast<const BlockMsg*>(msg.get())) {
+    handle_block(from, *m7);
+  } else if (const auto* m8 = dynamic_cast<const BundleRequest*>(msg.get())) {
+    handle_bundle_request(from, *m8);
+  } else if (const auto* m9 = dynamic_cast<const BundleResponse*>(msg.get())) {
+    handle_bundle_response(from, *m9);
+  } else if (const auto* m10 = dynamic_cast<const HeaderGossip*>(msg.get())) {
+    for (const auto& h : m10->headers) observe_header(from, h);
+  }
+}
+
+}  // namespace lo::core

@@ -1,0 +1,234 @@
+// LoNode — one miner running the LØ accountable base layer (Alg. 1 + Sec. 5).
+//
+// Responsibilities:
+//  * Stage I:  accept client transactions (submit_transaction), prevalidate,
+//              commit them to the append-only log.
+//  * Stage II: periodic sketch-driven mempool reconciliation with random
+//              neighbors — the request carries only the signed commitment
+//              (with a difference-sized sketch prefix); the responder decodes
+//              the exact symmetric difference, returns the full ids the
+//              requester lacks and asks (by sketch element) for the ones it
+//              lacks itself. Only genuinely missing data crosses the wire.
+//  * Stage III: canonical block building on leader election (create_block).
+//  * Accountability: pending-request suspicion with retries and retractions,
+//              commitment-coverage deadlines (a peer that receives our
+//              transactions must commit to them or face suspicion),
+//              equivocation detection on every observed commitment, blame
+//              gossip, block inspection with signed-bundle retrieval.
+//
+// Adversarial variants are switched on through MaliciousBehavior; correct
+// nodes and faulty nodes run the same class so that detection operates on
+// real protocol traffic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/accountability.hpp"
+#include "core/block.hpp"
+#include "core/commitment_log.hpp"
+#include "core/config.hpp"
+#include "core/inspection.hpp"
+#include "core/messages.hpp"
+#include "core/transaction.hpp"
+#include "core/types.hpp"
+#include "crypto/keys.hpp"
+#include "overlay/sampler.hpp"
+#include "sim/simulator.hpp"
+
+namespace lo::core {
+
+// Experiment observation points. All optional; invoked synchronously.
+struct Hooks {
+  // A node admitted tx content to its mempool (Fig. 7 latency source).
+  std::function<void(NodeId node, const Transaction& tx, sim::TimePoint when)>
+      on_mempool_admit;
+  // A node locally marked `suspect` as suspected (Fig. 6 "Suspicion").
+  std::function<void(NodeId node, NodeId suspect, sim::TimePoint when)>
+      on_suspect;
+  // A node learned a verified exposure of `accused` (Fig. 6 "Exposure").
+  std::function<void(NodeId node, NodeId accused, sim::TimePoint when)>
+      on_exposure;
+  // A node finished inspecting a received block.
+  std::function<void(NodeId node, const Block& block, BlockVerdict verdict,
+                     sim::TimePoint when)>
+      on_block_inspected;
+  // Sketch decode attempts performed (Fig. 10 reconciliation counting).
+  std::function<void(NodeId node, std::size_t decode_ops)> on_reconcile;
+};
+
+class LoNode final : public sim::INode {
+ public:
+  LoNode(sim::Simulator& sim, NodeId id, const LoConfig& config,
+         crypto::KeyPair keys, Hooks* hooks = nullptr);
+
+  void set_neighbors(std::vector<NodeId> neighbors);
+  const std::vector<NodeId>& neighbors() const noexcept { return neighbors_; }
+
+  // Candidate peers for the rotation sampler (typically the whole
+  // membership); only consulted when config.rotate_interval > 0.
+  void set_peer_candidates(std::vector<NodeId> candidates);
+
+  MaliciousBehavior& behavior() noexcept { return behavior_; }
+  const MaliciousBehavior& behavior() const noexcept { return behavior_; }
+
+  // Stage I: a client hands a transaction to this miner.
+  void submit_transaction(const Transaction& tx);
+
+  // Sec. 5.3 collusion modeling: receive a transaction off-channel, storing
+  // the content without committing to it (no log entry, no acknowledgement).
+  // Used by tests/examples to stage the collusion attack of Fig. 5.
+  void stealth_store(const Transaction& tx);
+
+  // Stage III: consensus elected this node; build, commit and broadcast the
+  // block. Returns the block actually produced (honest or manipulated).
+  Block create_block(std::uint64_t height, const crypto::Digest256& prev_hash);
+
+  // sim::INode
+  void on_start() override;
+  void on_message(NodeId from, const sim::PayloadPtr& msg) override;
+
+  // Introspection for tests and experiment harnesses.
+  NodeId id() const noexcept { return id_; }
+  const CommitmentLog& log() const noexcept { return log_; }
+  const AccountabilityRegistry& registry() const noexcept { return registry_; }
+  AccountabilityRegistry& registry() noexcept { return registry_; }
+  std::size_t mempool_size() const noexcept { return store_.size(); }
+  bool has_tx(const TxId& id) const { return store_.count(id) != 0; }
+  const Transaction* get_tx(const TxId& id) const;
+  // The inspector's view of a creator's committed bundles (from verified
+  // signed bundle responses).
+  BundleMap mirror_of(NodeId creator) const;
+  // Approximate extra memory used by accountability state (Sec. 6.5).
+  std::size_t accountability_memory_bytes() const noexcept;
+  std::uint64_t sketch_decodes() const noexcept { return sketch_decodes_; }
+  // Sync exchanges processed that actually moved data (Fig. 10 metric).
+  std::uint64_t sync_reconciliations() const noexcept { return sync_recons_; }
+  const crypto::PublicKey& public_key() const noexcept {
+    return signer_.public_key();
+  }
+
+ private:
+  enum class RequestKind : std::uint8_t { kSync, kContent, kBundles };
+
+  struct Pending {
+    NodeId peer = 0;
+    RequestKind kind = RequestKind::kSync;
+    sim::PayloadPtr payload;  // resent verbatim on timeout
+    int retries_left = 0;
+    bool got_partial = false;  // peer answered at least partially
+    // Our clock when the sync request was sent: everything under it must
+    // eventually be covered by the peer's commitments (coverage check).
+    std::optional<bloom::BloomClock> snapshot_clock;
+  };
+
+  // A peer that received our transactions owes us a commitment covering our
+  // snapshot before the deadline — LØ's detection handle on mempool
+  // censorship (Sec. 5.2).
+  struct CoverageWatch {
+    bloom::BloomClock snapshot;
+    sim::TimePoint deadline = 0;
+    bool reprobed = false;  // one direct re-probe before suspicion
+  };
+
+  // --- reconciliation (Stage II) ---
+  void schedule_sync();
+  void rotate_neighbors();
+  void sync_round();
+  void send_sync_request(NodeId peer);
+  void handle_sync_request(NodeId from, const SyncRequest& req);
+  void handle_sync_response(NodeId from, const SyncResponse& resp);
+  void handle_tx_request(NodeId from, const TxRequest& req);
+  void handle_tx_bundle(NodeId from, const TxBundleMsg& msg);
+  // Resolves sketch elements to transactions we hold and ships them to `to`,
+  // ordered by our commitment-log position (preserving received order).
+  void serve_elements(NodeId to, const std::vector<std::uint64_t>& elements,
+                      std::uint64_t request_id);
+
+  // --- accountability ---
+  void observe_header(NodeId from, const CommitmentHeader& header);
+  void broadcast_exposure(const ExposureMsg& msg);
+  void handle_suspicion(NodeId from, const SuspicionMsg& msg);
+  void handle_exposure(NodeId from, const ExposureMsg& msg);
+  void suspect_peer(NodeId peer);
+  // Called when `peer` satisfied our outstanding complaint: lifts our own
+  // suspicion and broadcasts a retraction if we had reported it.
+  void resolve_suspicion(NodeId peer);
+  void register_coverage(NodeId peer, const bloom::BloomClock& snapshot);
+  void arm_coverage_deadline(NodeId peer);
+  void clear_coverage_if_met(NodeId peer);
+
+  // --- blocks (Stage III/IV) ---
+  void handle_block(NodeId from, const BlockMsg& msg);
+  void handle_bundle_request(NodeId from, const BundleRequest& req);
+  void handle_bundle_response(NodeId from, const BundleResponse& resp);
+  void inspect_known_block(const Block& block);
+  bool tx_includeable(const TxId& id) const;
+
+  // --- plumbing ---
+  std::uint64_t register_pending(NodeId peer, RequestKind kind,
+                                 sim::PayloadPtr payload);
+  void arm_timeout(std::uint64_t request_id);
+  void clear_pending(std::uint64_t request_id);
+  void flood(const sim::PayloadPtr& msg, NodeId except);
+  CommitmentLog& log_for_peer(NodeId peer);
+  std::size_t wire_capacity_for(NodeId peer, const CommitmentLog& log,
+                                std::size_t delta_hint) const;
+  void admit_transaction(const Transaction& tx, NodeId source);
+  // Commits a batch of ids as one bundle, maintaining the equivocation fork.
+  void commit_batch(const std::vector<TxId>& ids, NodeId source);
+  std::vector<CommitmentHeader> pick_gossip_headers();
+
+  sim::Simulator& sim_;
+  NodeId id_;
+  LoConfig config_;
+  crypto::Signer signer_;
+  Hooks* hooks_;
+  MaliciousBehavior behavior_;
+
+  std::vector<NodeId> neighbors_;
+  std::vector<NodeId> peer_candidates_;
+  std::unique_ptr<overlay::BasaltView> view_;
+  CommitmentLog log_;
+  // Equivocators maintain a censored fork shown to half of their peers.
+  std::unique_ptr<CommitmentLog> fork_log_;
+
+  std::unordered_map<TxId, Transaction, TxIdHash> store_;
+  // Clock over the transactions whose content we hold and can serve; this is
+  // what a peer can actually be expected to commit after an exchange, so
+  // coverage snapshots are taken from it (not from the full log, which may
+  // reference content still in flight to us).
+  bloom::BloomClock content_clock_;
+  std::unordered_set<TxId, TxIdHash> valid_;
+  std::unordered_set<TxId, TxIdHash> invalid_;
+
+  AccountabilityRegistry registry_;
+  std::unordered_map<std::uint64_t, Pending> pending_;
+  std::unordered_set<NodeId> outstanding_sync_;
+  std::unordered_map<NodeId, CoverageWatch> coverage_;
+  std::uint64_t next_request_id_ = 1;
+  std::uint64_t suspicion_epoch_ = 0;
+  // Who currently accuses whom, from this node's point of view: suspect ->
+  // reporters whose complaints are unresolved (id_ when we reported).
+  std::unordered_map<NodeId, std::unordered_set<NodeId>> suspected_by_;
+
+  std::unordered_map<NodeId, std::unordered_map<std::uint64_t, SignedBundle>>
+      mirrors_;
+  std::unordered_map<crypto::Digest256, Block, TxIdHash> seen_blocks_;
+  std::unordered_set<std::uint64_t> seen_suspicions_;  // key(reporter, epoch)
+  std::unordered_set<NodeId> seen_exposures_;
+  std::unordered_map<NodeId, std::vector<crypto::Digest256>>
+      blocks_awaiting_bundles_;
+
+  std::uint64_t sketch_decodes_ = 0;
+  std::uint64_t sync_recons_ = 0;
+  std::uint64_t own_nonce_ = 0;
+  std::vector<TxId> stealth_txs_;  // off-channel content (Sec. 5.3)
+};
+
+}  // namespace lo::core

@@ -1,0 +1,31 @@
+// Shared core types for the LØ accountable mempool.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "crypto/sha256.hpp"
+#include "sim/simulator.hpp"
+
+namespace lo::core {
+
+using NodeId = sim::NodeId;
+using TxId = crypto::Digest256;
+
+// Raw 64-bit item used in sketches and Bloom clocks: the first 8 bytes of the
+// transaction id, little-endian. (The paper uses a 32-bit representation for
+// Minisketch roots; we keep 64 bits up to the sketch boundary and let the
+// field mapping truncate, which preserves the same collision profile.)
+inline std::uint64_t txid_short(const TxId& id) noexcept {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | id[static_cast<std::size_t>(i)];
+  return v;
+}
+
+struct TxIdHash {
+  std::size_t operator()(const TxId& id) const noexcept {
+    return static_cast<std::size_t>(txid_short(id));
+  }
+};
+
+}  // namespace lo::core

@@ -1,0 +1,560 @@
+#include "crypto/ed25519.hpp"
+
+#include <cstring>
+
+#include "crypto/sha512.hpp"
+
+namespace lo::crypto {
+namespace detail {
+
+namespace {
+
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+
+constexpr u64 kMask51 = (1ULL << 51) - 1;
+
+// Little-endian bytes of L = 2^252 + 27742317777372353535851937790883648493.
+constexpr std::uint8_t kLBytes[32] = {
+    0xed, 0xd3, 0xf5, 0x5c, 0x1a, 0x63, 0x12, 0x58, 0xd6, 0x9c, 0xf7,
+    0xa2, 0xde, 0xf9, 0xde, 0x14, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+    0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x10};
+
+constexpr u64 kL[4] = {0x5812631a5cf5d3edULL, 0x14def9dea2f79cd6ULL, 0ULL,
+                       0x1000000000000000ULL};
+
+}  // namespace
+
+// ---------------------------------------------------------------- field ----
+
+Fe fe_zero() noexcept { return Fe{}; }
+
+Fe fe_one() noexcept {
+  Fe r;
+  r.v[0] = 1;
+  return r;
+}
+
+Fe fe_add(const Fe& a, const Fe& b) noexcept {
+  Fe r;
+  for (int i = 0; i < 5; ++i) r.v[i] = a.v[i] + b.v[i];
+  return r;
+}
+
+namespace {
+// Carry-propagates so each limb is < 2^52 (top carry wraps with factor 19).
+Fe fe_carry(const Fe& a) noexcept {
+  Fe r = a;
+  u64 c;
+  for (int i = 0; i < 4; ++i) {
+    c = r.v[i] >> 51;
+    r.v[i] &= kMask51;
+    r.v[i + 1] += c;
+  }
+  c = r.v[4] >> 51;
+  r.v[4] &= kMask51;
+  r.v[0] += 19 * c;
+  // One more pass in case limb 0 overflowed 51 bits.
+  c = r.v[0] >> 51;
+  r.v[0] &= kMask51;
+  r.v[1] += c;
+  return r;
+}
+}  // namespace
+
+Fe fe_sub(const Fe& a, const Fe& b) noexcept {
+  // a + 2p - b keeps limbs non-negative for any carried inputs.
+  Fe r;
+  r.v[0] = a.v[0] + 0xFFFFFFFFFFFDAULL - b.v[0];
+  r.v[1] = a.v[1] + 0xFFFFFFFFFFFFEULL - b.v[1];
+  r.v[2] = a.v[2] + 0xFFFFFFFFFFFFEULL - b.v[2];
+  r.v[3] = a.v[3] + 0xFFFFFFFFFFFFEULL - b.v[3];
+  r.v[4] = a.v[4] + 0xFFFFFFFFFFFFEULL - b.v[4];
+  return fe_carry(r);
+}
+
+Fe fe_neg(const Fe& a) noexcept { return fe_sub(fe_zero(), a); }
+
+Fe fe_mul(const Fe& f, const Fe& g) noexcept {
+  const Fe a = fe_carry(f);
+  const Fe b = fe_carry(g);
+  const u64 a0 = a.v[0], a1 = a.v[1], a2 = a.v[2], a3 = a.v[3], a4 = a.v[4];
+  const u64 b0 = b.v[0], b1 = b.v[1], b2 = b.v[2], b3 = b.v[3], b4 = b.v[4];
+  const u64 b1_19 = 19 * b1, b2_19 = 19 * b2, b3_19 = 19 * b3, b4_19 = 19 * b4;
+
+  u128 r0 = (u128)a0 * b0 + (u128)a1 * b4_19 + (u128)a2 * b3_19 +
+            (u128)a3 * b2_19 + (u128)a4 * b1_19;
+  u128 r1 = (u128)a0 * b1 + (u128)a1 * b0 + (u128)a2 * b4_19 +
+            (u128)a3 * b3_19 + (u128)a4 * b2_19;
+  u128 r2 = (u128)a0 * b2 + (u128)a1 * b1 + (u128)a2 * b0 +
+            (u128)a3 * b4_19 + (u128)a4 * b3_19;
+  u128 r3 = (u128)a0 * b3 + (u128)a1 * b2 + (u128)a2 * b1 + (u128)a3 * b0 +
+            (u128)a4 * b4_19;
+  u128 r4 = (u128)a0 * b4 + (u128)a1 * b3 + (u128)a2 * b2 + (u128)a3 * b1 +
+            (u128)a4 * b0;
+
+  Fe out;
+  u128 c;
+  c = r0 >> 51; out.v[0] = (u64)r0 & kMask51; r1 += c;
+  c = r1 >> 51; out.v[1] = (u64)r1 & kMask51; r2 += c;
+  c = r2 >> 51; out.v[2] = (u64)r2 & kMask51; r3 += c;
+  c = r3 >> 51; out.v[3] = (u64)r3 & kMask51; r4 += c;
+  c = r4 >> 51; out.v[4] = (u64)r4 & kMask51;
+  out.v[0] += 19 * (u64)c;
+  const u64 c2 = out.v[0] >> 51;
+  out.v[0] &= kMask51;
+  out.v[1] += c2;
+  return out;
+}
+
+Fe fe_sq(const Fe& a) noexcept { return fe_mul(a, a); }
+
+Fe fe_pow(const Fe& a, const std::array<std::uint8_t, 32>& e_le) noexcept {
+  Fe result = fe_one();
+  // Left-to-right square-and-multiply over 256 exponent bits.
+  for (int i = 255; i >= 0; --i) {
+    result = fe_sq(result);
+    if ((e_le[i / 8] >> (i % 8)) & 1) result = fe_mul(result, a);
+  }
+  return result;
+}
+
+Fe fe_invert(const Fe& a) noexcept {
+  // p - 2 = 2^255 - 21.
+  std::array<std::uint8_t, 32> e;
+  e.fill(0xff);
+  e[0] = 0xeb;
+  e[31] = 0x7f;
+  return fe_pow(a, e);
+}
+
+Fe fe_pow2523(const Fe& a) noexcept {
+  // (p - 5) / 8 = 2^252 - 3.
+  std::array<std::uint8_t, 32> e;
+  e.fill(0xff);
+  e[0] = 0xfd;
+  e[31] = 0x0f;
+  return fe_pow(a, e);
+}
+
+Fe fe_from_bytes(const std::array<std::uint8_t, 32>& b) noexcept {
+  auto load64 = [&](int off) {
+    u64 v = 0;
+    for (int i = 7; i >= 0; --i) v = (v << 8) | b[off + i];
+    return v;
+  };
+  Fe r;
+  r.v[0] = load64(0) & kMask51;
+  r.v[1] = (load64(6) >> 3) & kMask51;
+  r.v[2] = (load64(12) >> 6) & kMask51;
+  r.v[3] = (load64(19) >> 1) & kMask51;
+  r.v[4] = (load64(24) >> 12) & kMask51;
+  return r;
+}
+
+std::array<std::uint8_t, 32> fe_to_bytes(const Fe& a) noexcept {
+  Fe t = fe_carry(fe_carry(a));
+  // Subtract p if t >= p (limbs now < 2^52; canonical means < p).
+  // Add 19 and check overflow of bit 255 to decide; standard trick:
+  u64 q = (t.v[0] + 19) >> 51;
+  q = (t.v[1] + q) >> 51;
+  q = (t.v[2] + q) >> 51;
+  q = (t.v[3] + q) >> 51;
+  q = (t.v[4] + q) >> 51;
+  t.v[0] += 19 * q;
+  u64 c;
+  c = t.v[0] >> 51; t.v[0] &= kMask51; t.v[1] += c;
+  c = t.v[1] >> 51; t.v[1] &= kMask51; t.v[2] += c;
+  c = t.v[2] >> 51; t.v[2] &= kMask51; t.v[3] += c;
+  c = t.v[3] >> 51; t.v[3] &= kMask51; t.v[4] += c;
+  t.v[4] &= kMask51;  // drop bit 255 (the subtraction of p)
+
+  std::array<std::uint8_t, 32> out{};
+  u64 limbs[4];
+  limbs[0] = t.v[0] | (t.v[1] << 51);
+  limbs[1] = (t.v[1] >> 13) | (t.v[2] << 38);
+  limbs[2] = (t.v[2] >> 26) | (t.v[3] << 25);
+  limbs[3] = (t.v[3] >> 39) | (t.v[4] << 12);
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 8; ++j) {
+      out[8 * i + j] = static_cast<std::uint8_t>(limbs[i] >> (8 * j));
+    }
+  }
+  return out;
+}
+
+bool fe_is_zero(const Fe& a) noexcept {
+  auto b = fe_to_bytes(a);
+  std::uint8_t acc = 0;
+  for (auto x : b) acc |= x;
+  return acc == 0;
+}
+
+bool fe_is_negative(const Fe& a) noexcept { return fe_to_bytes(a)[0] & 1; }
+
+bool fe_eq(const Fe& a, const Fe& b) noexcept {
+  return fe_to_bytes(a) == fe_to_bytes(b);
+}
+
+// ---------------------------------------------------------------- curve ----
+
+namespace {
+
+struct CurveConstants {
+  Fe d;        // -121665/121666
+  Fe d2;       // 2*d
+  Fe sqrtm1;   // sqrt(-1) = 2^((p-1)/4)
+  Ge base;     // standard base point (y = 4/5, x even)
+};
+
+Fe fe_from_u64(u64 x) noexcept {
+  Fe r;
+  r.v[0] = x & kMask51;
+  r.v[1] = x >> 51;
+  return r;
+}
+
+const CurveConstants& constants();
+
+// Decompression, parameterized so constants() can use it during init.
+std::optional<Ge> ge_from_bytes_impl(const std::array<std::uint8_t, 32>& b,
+                                     const Fe& d, const Fe& sqrtm1) noexcept {
+  std::array<std::uint8_t, 32> yb = b;
+  const bool sign = (yb[31] & 0x80) != 0;
+  yb[31] &= 0x7f;
+  const Fe y = fe_from_bytes(yb);
+  // Reject non-canonical y (>= p). fe_from_bytes reduces silently, so compare.
+  if (fe_to_bytes(y) != yb) return std::nullopt;
+
+  const Fe y2 = fe_sq(y);
+  const Fe u = fe_sub(y2, fe_one());           // y^2 - 1
+  const Fe v = fe_add(fe_mul(d, y2), fe_one());  // d*y^2 + 1
+
+  // x = u v^3 (u v^7)^((p-5)/8)
+  const Fe v3 = fe_mul(fe_sq(v), v);
+  const Fe v7 = fe_mul(fe_sq(v3), v);
+  Fe x = fe_mul(fe_mul(u, v3), fe_pow2523(fe_mul(u, v7)));
+
+  const Fe vxx = fe_mul(v, fe_sq(x));
+  if (!fe_eq(vxx, u)) {
+    if (fe_eq(vxx, fe_neg(u))) {
+      x = fe_mul(x, sqrtm1);
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (fe_is_zero(x) && sign) return std::nullopt;
+  if (fe_is_negative(x) != sign) x = fe_neg(x);
+
+  Ge p;
+  p.X = x;
+  p.Y = y;
+  p.Z = fe_one();
+  p.T = fe_mul(x, y);
+  return p;
+}
+
+const CurveConstants& constants() {
+  static const CurveConstants c = [] {
+    CurveConstants cc;
+    // d = -121665/121666 mod p
+    const Fe num = fe_neg(fe_from_u64(121665));
+    const Fe den = fe_from_u64(121666);
+    cc.d = fe_mul(num, fe_invert(den));
+    cc.d2 = fe_add(cc.d, cc.d);
+    // sqrt(-1) = 2^((p-1)/4), (p-1)/4 = 2^253 - 5.
+    std::array<std::uint8_t, 32> e;
+    e.fill(0xff);
+    e[0] = 0xfb;
+    e[31] = 0x1f;
+    cc.sqrtm1 = fe_pow(fe_from_u64(2), e);
+    // Base point: y = 4/5, x chosen with even sign bit.
+    const Fe y = fe_mul(fe_from_u64(4), fe_invert(fe_from_u64(5)));
+    auto enc = fe_to_bytes(y);  // sign bit 0 => even x
+    auto base = ge_from_bytes_impl(enc, cc.d, cc.sqrtm1);
+    cc.base = *base;  // must exist; checked by unit tests
+    return cc;
+  }();
+  return c;
+}
+
+}  // namespace
+
+Ge ge_identity() noexcept {
+  Ge p;
+  p.X = fe_zero();
+  p.Y = fe_one();
+  p.Z = fe_one();
+  p.T = fe_zero();
+  return p;
+}
+
+Ge ge_add(const Ge& p, const Ge& q) noexcept {
+  // add-2008-hwcd-3 for a = -1 with k = 2d.
+  const Fe a = fe_mul(fe_sub(p.Y, p.X), fe_sub(q.Y, q.X));
+  const Fe b = fe_mul(fe_add(p.Y, p.X), fe_add(q.Y, q.X));
+  const Fe c = fe_mul(fe_mul(p.T, constants().d2), q.T);
+  const Fe d = fe_add(fe_mul(p.Z, q.Z), fe_mul(p.Z, q.Z));
+  const Fe e = fe_sub(b, a);
+  const Fe f = fe_sub(d, c);
+  const Fe g = fe_add(d, c);
+  const Fe h = fe_add(b, a);
+  Ge r;
+  r.X = fe_mul(e, f);
+  r.Y = fe_mul(g, h);
+  r.T = fe_mul(e, h);
+  r.Z = fe_mul(f, g);
+  return r;
+}
+
+Ge ge_double(const Ge& p) noexcept {
+  // dbl-2008-hwcd for a = -1.
+  const Fe a = fe_sq(p.X);
+  const Fe b = fe_sq(p.Y);
+  const Fe zz = fe_sq(p.Z);
+  const Fe c = fe_add(zz, zz);
+  const Fe d = fe_neg(a);
+  const Fe e = fe_sub(fe_sub(fe_sq(fe_add(p.X, p.Y)), a), b);
+  const Fe g = fe_add(d, b);
+  const Fe f = fe_sub(g, c);
+  const Fe h = fe_sub(d, b);
+  Ge r;
+  r.X = fe_mul(e, f);
+  r.Y = fe_mul(g, h);
+  r.T = fe_mul(e, h);
+  r.Z = fe_mul(f, g);
+  return r;
+}
+
+Ge ge_neg(const Ge& p) noexcept {
+  Ge r = p;
+  r.X = fe_neg(p.X);
+  r.T = fe_neg(p.T);
+  return r;
+}
+
+Ge ge_scalarmult(const Ge& p, const std::array<std::uint8_t, 32>& scalar) noexcept {
+  Ge r = ge_identity();
+  for (int i = 255; i >= 0; --i) {
+    r = ge_double(r);
+    if ((scalar[i / 8] >> (i % 8)) & 1) r = ge_add(r, p);
+  }
+  return r;
+}
+
+Ge ge_scalarmult_base(const std::array<std::uint8_t, 32>& scalar) noexcept {
+  return ge_scalarmult(constants().base, scalar);
+}
+
+std::array<std::uint8_t, 32> ge_to_bytes(const Ge& p) noexcept {
+  const Fe zinv = fe_invert(p.Z);
+  const Fe x = fe_mul(p.X, zinv);
+  const Fe y = fe_mul(p.Y, zinv);
+  auto out = fe_to_bytes(y);
+  if (fe_is_negative(x)) out[31] |= 0x80;
+  return out;
+}
+
+std::optional<Ge> ge_from_bytes(const std::array<std::uint8_t, 32>& b) noexcept {
+  const auto& c = constants();
+  return ge_from_bytes_impl(b, c.d, c.sqrtm1);
+}
+
+bool ge_eq(const Ge& p, const Ge& q) noexcept {
+  // Cross-multiply to avoid inversions: X1*Z2 == X2*Z1 and Y1*Z2 == Y2*Z1.
+  return fe_eq(fe_mul(p.X, q.Z), fe_mul(q.X, p.Z)) &&
+         fe_eq(fe_mul(p.Y, q.Z), fe_mul(q.Y, p.Z));
+}
+
+// -------------------------------------------------------------- scalars ----
+
+namespace {
+
+bool sc_geq(const u64 a[4], const u64 b[4]) noexcept {
+  for (int i = 3; i >= 0; --i) {
+    if (a[i] != b[i]) return a[i] > b[i];
+  }
+  return true;  // equal
+}
+
+void sc_sub_inplace(u64 a[4], const u64 b[4]) noexcept {
+  u64 borrow = 0;
+  for (int i = 0; i < 4; ++i) {
+    const u64 bi = b[i] + borrow;
+    // borrow propagation: b[i] + borrow can wrap only if b[i] == ~0 && borrow,
+    // in which case subtracting it is subtracting 0 with borrow carried on.
+    const bool wrap = (bi < b[i]);
+    const u64 before = a[i];
+    a[i] -= bi;
+    borrow = (wrap || a[i] > before) ? 1 : 0;
+  }
+}
+
+}  // namespace
+
+Sc sc_zero() noexcept { return Sc{}; }
+
+Sc sc_reduce(std::span<const std::uint8_t> bytes_le) noexcept {
+  // Horner over bits, MSB first: r = 2r + bit (mod L). Keeps r < L throughout
+  // (2r + 1 < 2L so at most one subtraction per step). Slow but obviously
+  // correct; scalar throughput is measured in bench_crypto.
+  Sc r{};
+  const int nbits = static_cast<int>(bytes_le.size()) * 8;
+  for (int i = nbits - 1; i >= 0; --i) {
+    // r <<= 1
+    u64 carry = 0;
+    for (int j = 0; j < 4; ++j) {
+      const u64 nv = (r.v[j] << 1) | carry;
+      carry = r.v[j] >> 63;
+      r.v[j] = nv;
+    }
+    // += bit
+    if ((bytes_le[i / 8] >> (i % 8)) & 1) {
+      int j = 0;
+      while (j < 4 && ++r.v[j] == 0) ++j;
+    }
+    if (sc_geq(r.v, kL)) sc_sub_inplace(r.v, kL);
+  }
+  return r;
+}
+
+Sc sc_add(const Sc& a, const Sc& b) noexcept {
+  Sc r;
+  u64 carry = 0;
+  for (int i = 0; i < 4; ++i) {
+    const u64 s1 = a.v[i] + carry;
+    const bool c1 = s1 < a.v[i];
+    const u64 s2 = s1 + b.v[i];
+    const bool c2 = s2 < s1;
+    r.v[i] = s2;
+    carry = (c1 || c2) ? 1 : 0;
+  }
+  // a, b < L < 2^253 so no overflow past limb 3; reduce once.
+  if (sc_geq(r.v, kL)) sc_sub_inplace(r.v, kL);
+  return r;
+}
+
+Sc sc_mul(const Sc& a, const Sc& b) noexcept {
+  // Schoolbook 4x4 -> 8 limbs, then byte-serialize and reduce.
+  u64 prod[8] = {0};
+  for (int i = 0; i < 4; ++i) {
+    u64 carry = 0;
+    for (int j = 0; j < 4; ++j) {
+      const u128 cur = (u128)a.v[i] * b.v[j] + prod[i + j] + carry;
+      prod[i + j] = (u64)cur;
+      carry = (u64)(cur >> 64);
+    }
+    prod[i + 4] += carry;
+  }
+  std::uint8_t bytes[64];
+  for (int i = 0; i < 8; ++i) {
+    for (int j = 0; j < 8; ++j) {
+      bytes[8 * i + j] = static_cast<std::uint8_t>(prod[i] >> (8 * j));
+    }
+  }
+  return sc_reduce(std::span<const std::uint8_t>(bytes, 64));
+}
+
+std::array<std::uint8_t, 32> sc_to_bytes(const Sc& a) noexcept {
+  std::array<std::uint8_t, 32> out;
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 8; ++j) {
+      out[8 * i + j] = static_cast<std::uint8_t>(a.v[i] >> (8 * j));
+    }
+  }
+  return out;
+}
+
+bool sc_is_canonical(const std::array<std::uint8_t, 32>& b) noexcept {
+  // Lexicographic compare against L, big-endian-wise from the top byte.
+  for (int i = 31; i >= 0; --i) {
+    if (b[i] < kLBytes[i]) return true;
+    if (b[i] > kLBytes[i]) return false;
+  }
+  return false;  // equal to L is non-canonical
+}
+
+}  // namespace detail
+
+// ------------------------------------------------------------ high level ----
+
+namespace {
+
+using namespace detail;
+
+struct ExpandedKey {
+  std::array<std::uint8_t, 32> a_clamped;  // scalar bytes for A = a*B
+  std::array<std::uint8_t, 32> prefix;
+};
+
+ExpandedKey expand(const SecretSeed& seed) {
+  const Digest512 h = sha512(std::span<const std::uint8_t>(seed.data(), seed.size()));
+  ExpandedKey k;
+  std::memcpy(k.a_clamped.data(), h.data(), 32);
+  std::memcpy(k.prefix.data(), h.data() + 32, 32);
+  k.a_clamped[0] &= 248;
+  k.a_clamped[31] &= 127;
+  k.a_clamped[31] |= 64;
+  return k;
+}
+
+}  // namespace
+
+PublicKey ed25519_public_key(const SecretSeed& seed) {
+  const ExpandedKey k = expand(seed);
+  return ge_to_bytes(ge_scalarmult_base(k.a_clamped));
+}
+
+Signature ed25519_sign(const SecretSeed& seed, std::span<const std::uint8_t> msg) {
+  const ExpandedKey k = expand(seed);
+  const PublicKey a_enc = ge_to_bytes(ge_scalarmult_base(k.a_clamped));
+
+  Sha512 h1;
+  h1.update(std::span<const std::uint8_t>(k.prefix.data(), 32));
+  h1.update(msg);
+  const Sc r = sc_reduce(h1.finalize());
+
+  const auto r_enc = ge_to_bytes(ge_scalarmult_base(sc_to_bytes(r)));
+
+  Sha512 h2;
+  h2.update(std::span<const std::uint8_t>(r_enc.data(), 32));
+  h2.update(std::span<const std::uint8_t>(a_enc.data(), 32));
+  h2.update(msg);
+  const Sc kchal = sc_reduce(h2.finalize());
+
+  const Sc a_mod_l =
+      sc_reduce(std::span<const std::uint8_t>(k.a_clamped.data(), 32));
+  const Sc s = sc_add(r, sc_mul(kchal, a_mod_l));
+
+  Signature sig;
+  std::memcpy(sig.data(), r_enc.data(), 32);
+  const auto s_enc = sc_to_bytes(s);
+  std::memcpy(sig.data() + 32, s_enc.data(), 32);
+  return sig;
+}
+
+bool ed25519_verify(const PublicKey& pub, std::span<const std::uint8_t> msg,
+                    const Signature& sig) {
+  std::array<std::uint8_t, 32> r_enc, s_enc;
+  std::memcpy(r_enc.data(), sig.data(), 32);
+  std::memcpy(s_enc.data(), sig.data() + 32, 32);
+  if (!sc_is_canonical(s_enc)) return false;
+
+  const auto a_point = ge_from_bytes(pub);
+  if (!a_point) return false;
+  const auto r_point = ge_from_bytes(r_enc);
+  if (!r_point) return false;
+
+  Sha512 h;
+  h.update(std::span<const std::uint8_t>(r_enc.data(), 32));
+  h.update(std::span<const std::uint8_t>(pub.data(), 32));
+  h.update(msg);
+  const Sc kchal = sc_reduce(h.finalize());
+
+  // Check S*B == R + k*A.
+  const Ge lhs = ge_scalarmult_base(s_enc);
+  const Ge rhs = ge_add(*r_point, ge_scalarmult(*a_point, sc_to_bytes(kchal)));
+  return ge_eq(lhs, rhs);
+}
+
+}  // namespace lo::crypto

@@ -1,0 +1,90 @@
+// Ed25519 (RFC 8032) implemented from scratch: GF(2^255-19) field arithmetic
+// with 51-bit limbs, twisted-Edwards point arithmetic in extended coordinates,
+// and scalar arithmetic modulo the group order L.
+//
+// This implementation favors clarity over speed and is NOT constant-time; it
+// exists to make commitments and blocks third-party verifiable in the
+// reproduction, not to protect live keys.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+
+namespace lo::crypto {
+
+using PublicKey = std::array<std::uint8_t, 32>;
+using SecretSeed = std::array<std::uint8_t, 32>;
+using Signature = std::array<std::uint8_t, 64>;
+
+// Derives the public key for a 32-byte secret seed.
+PublicKey ed25519_public_key(const SecretSeed& seed);
+
+// Produces a deterministic RFC 8032 signature over `msg`.
+Signature ed25519_sign(const SecretSeed& seed, std::span<const std::uint8_t> msg);
+
+// Verifies a signature; returns false for malformed points, non-canonical
+// scalars (S >= L) and, of course, wrong signatures.
+bool ed25519_verify(const PublicKey& pub, std::span<const std::uint8_t> msg,
+                    const Signature& sig);
+
+namespace detail {
+
+// ---- Field GF(2^255 - 19) ----
+// Limbs are 51 bits; values may be unnormalized between operations.
+struct Fe {
+  std::uint64_t v[5]{};
+};
+
+Fe fe_zero() noexcept;
+Fe fe_one() noexcept;
+Fe fe_add(const Fe& a, const Fe& b) noexcept;
+Fe fe_sub(const Fe& a, const Fe& b) noexcept;
+Fe fe_neg(const Fe& a) noexcept;
+Fe fe_mul(const Fe& a, const Fe& b) noexcept;
+Fe fe_sq(const Fe& a) noexcept;
+// a^e where e is a 32-byte little-endian exponent.
+Fe fe_pow(const Fe& a, const std::array<std::uint8_t, 32>& e_le) noexcept;
+Fe fe_invert(const Fe& a) noexcept;        // a^(p-2)
+Fe fe_pow2523(const Fe& a) noexcept;       // a^((p-5)/8), used for sqrt
+Fe fe_from_bytes(const std::array<std::uint8_t, 32>& b) noexcept;  // ignores bit 255
+std::array<std::uint8_t, 32> fe_to_bytes(const Fe& a) noexcept;    // canonical
+bool fe_is_zero(const Fe& a) noexcept;
+bool fe_is_negative(const Fe& a) noexcept;  // lsb of canonical form
+bool fe_eq(const Fe& a, const Fe& b) noexcept;
+
+// ---- Group: twisted Edwards curve -x^2 + y^2 = 1 + d x^2 y^2 ----
+// Extended coordinates (X : Y : Z : T), T = XY/Z.
+struct Ge {
+  Fe X, Y, Z, T;
+};
+
+Ge ge_identity() noexcept;
+Ge ge_add(const Ge& p, const Ge& q) noexcept;
+Ge ge_double(const Ge& p) noexcept;
+Ge ge_neg(const Ge& p) noexcept;
+// Scalar is 32 little-endian bytes (up to 256 bits, no clamping applied here).
+Ge ge_scalarmult(const Ge& p, const std::array<std::uint8_t, 32>& scalar) noexcept;
+Ge ge_scalarmult_base(const std::array<std::uint8_t, 32>& scalar) noexcept;
+std::array<std::uint8_t, 32> ge_to_bytes(const Ge& p) noexcept;
+std::optional<Ge> ge_from_bytes(const std::array<std::uint8_t, 32>& b) noexcept;
+bool ge_eq(const Ge& p, const Ge& q) noexcept;
+
+// ---- Scalars modulo L = 2^252 + 27742317777372353535851937790883648493 ----
+struct Sc {
+  std::uint64_t v[4]{};  // little-endian limbs, always < L after reduction
+};
+
+Sc sc_zero() noexcept;
+// Reduces a little-endian byte string (up to 64 bytes) modulo L.
+Sc sc_reduce(std::span<const std::uint8_t> bytes_le) noexcept;
+Sc sc_add(const Sc& a, const Sc& b) noexcept;
+Sc sc_mul(const Sc& a, const Sc& b) noexcept;
+std::array<std::uint8_t, 32> sc_to_bytes(const Sc& a) noexcept;
+// True iff the 32 little-endian bytes encode a value < L (canonical S check).
+bool sc_is_canonical(const std::array<std::uint8_t, 32>& b) noexcept;
+
+}  // namespace detail
+
+}  // namespace lo::crypto

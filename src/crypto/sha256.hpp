@@ -1,0 +1,43 @@
+// SHA-256 (FIPS 180-4), implemented from scratch.
+//
+// Used for transaction ids, commitment chain hashes, block hashes and the
+// seeded intra-bundle shuffle (Sec. 4.3 of the paper: "order seed value is
+// based on the hash of the last created block").
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace lo::crypto {
+
+using Digest256 = std::array<std::uint8_t, 32>;
+
+class Sha256 {
+ public:
+  Sha256() noexcept { reset(); }
+
+  void reset() noexcept;
+  Sha256& update(std::span<const std::uint8_t> data) noexcept;
+  Sha256& update(std::string_view s) noexcept {
+    return update(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(s.data()), s.size()));
+  }
+  // Finalizes and returns the digest. The object must be reset() before reuse.
+  Digest256 finalize() noexcept;
+
+ private:
+  void compress(const std::uint8_t* block) noexcept;
+
+  std::uint32_t h_[8];
+  std::uint64_t length_ = 0;       // total bytes absorbed
+  std::uint8_t buf_[64];
+  std::size_t buf_len_ = 0;
+};
+
+Digest256 sha256(std::span<const std::uint8_t> data) noexcept;
+Digest256 sha256(std::string_view s) noexcept;
+
+}  // namespace lo::crypto

@@ -1,0 +1,39 @@
+// SHA-512 (FIPS 180-4), implemented from scratch. Required by Ed25519
+// (RFC 8032 uses SHA-512 for key expansion and the Fiat–Shamir challenge).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace lo::crypto {
+
+using Digest512 = std::array<std::uint8_t, 64>;
+
+class Sha512 {
+ public:
+  Sha512() noexcept { reset(); }
+
+  void reset() noexcept;
+  Sha512& update(std::span<const std::uint8_t> data) noexcept;
+  Sha512& update(std::string_view s) noexcept {
+    return update(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(s.data()), s.size()));
+  }
+  Digest512 finalize() noexcept;
+
+ private:
+  void compress(const std::uint8_t* block) noexcept;
+
+  std::uint64_t h_[8];
+  std::uint64_t length_ = 0;  // total bytes absorbed (<< 2^61 in practice)
+  std::uint8_t buf_[128];
+  std::size_t buf_len_ = 0;
+};
+
+Digest512 sha512(std::span<const std::uint8_t> data) noexcept;
+Digest512 sha512(std::string_view s) noexcept;
+
+}  // namespace lo::crypto

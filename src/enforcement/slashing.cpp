@@ -1,0 +1,132 @@
+#include "enforcement/slashing.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lo::enforcement {
+
+void StakeLedger::bond(core::NodeId validator, std::uint64_t stake) {
+  auto& acc = accounts_[validator];
+  acc.stake += stake;
+  if (acc.stake >= policy_.ejection_threshold) acc.ejected = false;
+}
+
+const ValidatorAccount* StakeLedger::account(core::NodeId validator) const {
+  auto it = accounts_.find(validator);
+  return it == accounts_.end() ? nullptr : &it->second;
+}
+
+std::uint64_t StakeLedger::total_stake() const noexcept {
+  std::uint64_t sum = 0;
+  for (const auto& [id, acc] : accounts_) sum += acc.stake;
+  return sum;
+}
+
+std::size_t StakeLedger::active_validators() const noexcept {
+  std::size_t n = 0;
+  for (const auto& [id, acc] : accounts_) {
+    if (!acc.ejected) ++n;
+  }
+  return n;
+}
+
+SlashResult StakeLedger::burn(core::NodeId validator, double fraction) {
+  SlashResult res;
+  auto it = accounts_.find(validator);
+  if (it == accounts_.end()) return res;
+  ValidatorAccount& acc = it->second;
+  const auto amount = static_cast<std::uint64_t>(
+      std::ceil(static_cast<double>(acc.stake) * std::clamp(fraction, 0.0, 1.0)));
+  acc.stake -= std::min(acc.stake, amount);
+  acc.slashed_total += amount;
+  res.applied = true;
+  res.amount = amount;
+  if (acc.stake < policy_.ejection_threshold && !acc.ejected) {
+    acc.ejected = true;
+    res.ejected = true;
+  }
+  return res;
+}
+
+SlashResult StakeLedger::apply_equivocation(
+    const core::EquivocationEvidence& evidence) {
+  if (!evidence.verify(policy_.sig_mode)) return {};
+  if (exposure_applied_[evidence.accused]) return {};
+  exposure_applied_[evidence.accused] = true;
+  auto res = burn(evidence.accused, policy_.exposure_slash);
+  return res;
+}
+
+SlashResult StakeLedger::apply_block_evidence(
+    const core::BlockEvidence& evidence, core::BlockVerdict claimed) {
+  if (!evidence.verify(policy_.sig_mode, static_cast<std::uint8_t>(claimed))) {
+    return {};
+  }
+  if (exposure_applied_[evidence.accused]) return {};
+  exposure_applied_[evidence.accused] = true;
+  return burn(evidence.accused, policy_.exposure_slash);
+}
+
+SlashResult StakeLedger::apply_suspicion_epoch(core::NodeId validator) {
+  auto it = accounts_.find(validator);
+  if (it == accounts_.end()) return {};
+  ++it->second.suspicion_epochs;
+  return burn(validator, policy_.suspicion_leak);
+}
+
+bool StakeLedger::eligible(core::NodeId validator) const {
+  const auto* acc = account(validator);
+  return acc != nullptr && !acc->ejected &&
+         acc->stake >= policy_.ejection_threshold;
+}
+
+// ----------------------------------------------------------- reputation ----
+
+void ReputationLedger::enroll(core::NodeId node, double reputation) {
+  rep_[node] = std::max(0.0, reputation);
+}
+
+double ReputationLedger::reputation(core::NodeId node) const {
+  auto it = rep_.find(node);
+  return it == rep_.end() ? 0.0 : it->second;
+}
+
+void ReputationLedger::punish_exposure(core::NodeId node) {
+  auto it = rep_.find(node);
+  if (it == rep_.end()) return;
+  it->second = std::max(0.0, it->second - exposure_penalty_);
+}
+
+void ReputationLedger::punish_suspicion(core::NodeId node) {
+  auto it = rep_.find(node);
+  if (it == rep_.end()) return;
+  const double cut = std::min(it->second, suspicion_penalty_);
+  it->second -= cut;
+  suspicion_debt_[node] += cut;
+}
+
+void ReputationLedger::restore_on_retraction(core::NodeId node) {
+  auto it = suspicion_debt_.find(node);
+  if (it == suspicion_debt_.end()) return;
+  rep_[node] += it->second;
+  suspicion_debt_.erase(it);
+}
+
+// ---------------------------------------------------------- block policy ----
+
+BlockAdmission admit_block(const core::Block& block,
+                           const core::AccountabilityRegistry& registry,
+                           std::optional<core::BlockVerdict> proven_verdict) {
+  if (proven_verdict &&
+      (*proven_verdict == core::BlockVerdict::kReordered ||
+       *proven_verdict == core::BlockVerdict::kInjected ||
+       *proven_verdict == core::BlockVerdict::kBadStructure)) {
+    return BlockAdmission::kRejectProvenViolation;
+  }
+  if (registry.is_exposed(block.creator)) {
+    return BlockAdmission::kRejectExposedCreator;
+  }
+  return BlockAdmission::kAccept;
+}
+
+}  // namespace lo::enforcement

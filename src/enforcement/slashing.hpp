@@ -1,0 +1,130 @@
+// Enforcement policies on top of LØ's detection (Sec. 5.4).
+//
+// LØ itself only detects and assigns blame; what happens to a blamed miner
+// depends on the consensus layer. The paper sketches three enforcement
+// families, all of which are implemented here against the evidence types the
+// core library produces:
+//
+//  * Proof-of-Stake slashing: verified exposure evidence burns a fraction of
+//    the accused's stake (Casper-style [9]); repeated suspicions leak stake
+//    slowly (liveness fault).
+//  * Reputation slashing: same interface over a reputation scalar
+//    (Repucoin-style [46]).
+//  * Block rejection: blocks from exposed creators are rejected outright,
+//    and blocks with non-canonical order are rejected once proven
+//    (BFT-forensics-style [36]).
+//
+// The ledger is deliberately standalone: it consumes EquivocationEvidence /
+// BlockEvidence / suspicion reports and never reaches into the protocol, so
+// any consensus implementation can drive it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/accountability.hpp"
+#include "core/inspection.hpp"
+#include "core/messages.hpp"
+#include "core/types.hpp"
+
+namespace lo::enforcement {
+
+struct SlashingPolicy {
+  // Fraction of remaining stake burned on verified exposure (0..1].
+  double exposure_slash = 0.5;
+  // Fraction burned per confirmed-liveness suspicion epoch.
+  double suspicion_leak = 0.01;
+  // Stake below which a validator is ejected from the active set.
+  std::uint64_t ejection_threshold = 1;
+  // Evidence must verify under this signature mode.
+  crypto::SignatureMode sig_mode = crypto::SignatureMode::kEd25519;
+};
+
+struct ValidatorAccount {
+  std::uint64_t stake = 0;
+  std::uint64_t slashed_total = 0;
+  std::uint32_t suspicion_epochs = 0;
+  bool ejected = false;
+};
+
+// Outcome of applying one piece of evidence.
+struct SlashResult {
+  bool applied = false;          // false: evidence invalid or already applied
+  std::uint64_t amount = 0;      // stake burned by this application
+  bool ejected = false;          // account crossed the ejection threshold
+};
+
+class StakeLedger {
+ public:
+  explicit StakeLedger(SlashingPolicy policy) : policy_(policy) {}
+
+  // Registers a validator with an initial stake.
+  void bond(core::NodeId validator, std::uint64_t stake);
+
+  const ValidatorAccount* account(core::NodeId validator) const;
+  std::uint64_t total_stake() const noexcept;
+  std::size_t active_validators() const noexcept;
+
+  // Applies verified equivocation evidence. Idempotent per accused node:
+  // the first exposure burns `exposure_slash`; replays are ignored.
+  SlashResult apply_equivocation(const core::EquivocationEvidence& evidence);
+
+  // Applies verified block-manipulation evidence (reorder/injection/
+  // structure). Same idempotency rule; shares the exposure bucket with
+  // equivocation (a node is exposed once).
+  SlashResult apply_block_evidence(const core::BlockEvidence& evidence,
+                                   core::BlockVerdict claimed);
+
+  // Records a confirmed-liveness fault epoch (the caller decides when a
+  // suspicion has stood long enough to count). Leaks `suspicion_leak`.
+  SlashResult apply_suspicion_epoch(core::NodeId validator);
+
+  // True if this validator may still propose blocks.
+  bool eligible(core::NodeId validator) const;
+
+ private:
+  SlashResult burn(core::NodeId validator, double fraction);
+
+  SlashingPolicy policy_;
+  std::unordered_map<core::NodeId, ValidatorAccount> accounts_;
+  std::unordered_map<core::NodeId, bool> exposure_applied_;
+};
+
+// Reputation enforcement: identical shape over a non-transferable scalar.
+class ReputationLedger {
+ public:
+  explicit ReputationLedger(double exposure_penalty = 1.0,
+                            double suspicion_penalty = 0.05)
+      : exposure_penalty_(exposure_penalty),
+        suspicion_penalty_(suspicion_penalty) {}
+
+  void enroll(core::NodeId node, double reputation = 1.0);
+  double reputation(core::NodeId node) const;
+  // Applies a penalty; reputation is clamped at 0.
+  void punish_exposure(core::NodeId node);
+  void punish_suspicion(core::NodeId node);
+  // Restores a configurable fraction on retraction of all suspicions.
+  void restore_on_retraction(core::NodeId node);
+
+ private:
+  double exposure_penalty_;
+  double suspicion_penalty_;
+  std::unordered_map<core::NodeId, double> rep_;
+  std::unordered_map<core::NodeId, double> suspicion_debt_;
+};
+
+// Block-rejection policy (Sec. 5.4 last sentence): decides whether a block
+// may enter the chain given the local blame state and any proven violation.
+enum class BlockAdmission : std::uint8_t {
+  kAccept,
+  kRejectExposedCreator,
+  kRejectProvenViolation,
+};
+
+BlockAdmission admit_block(const core::Block& block,
+                           const core::AccountabilityRegistry& registry,
+                           std::optional<core::BlockVerdict> proven_verdict);
+
+}  // namespace lo::enforcement

@@ -1,0 +1,44 @@
+#include "gf/berlekamp_massey.hpp"
+
+namespace lo::gf {
+
+Poly berlekamp_massey(const Field& f, const std::vector<std::uint64_t>& s) {
+  Poly c{1};  // current connection polynomial
+  Poly b{1};  // previous connection polynomial at last length change
+  int l = 0;          // current LFSR length
+  int x = 1;          // steps since last length change
+  std::uint64_t b_disc = 1;  // discrepancy at last length change
+
+  for (std::size_t n = 0; n < s.size(); ++n) {
+    // Discrepancy d = s_n + sum_{i=1..l} c_i * s_{n-i}.
+    std::uint64_t d = s[n];
+    for (int i = 1; i <= l && i <= poly_deg(c); ++i) {
+      d ^= f.mul(c[static_cast<std::size_t>(i)], s[n - static_cast<std::size_t>(i)]);
+    }
+    if (d == 0) {
+      ++x;
+      continue;
+    }
+    const Poly c_prev = c;
+    // c -= (d / b_disc) * x^x * b
+    const std::uint64_t coef = f.mul(d, f.inv(b_disc));
+    Poly shifted(static_cast<std::size_t>(x), 0);
+    shifted.reserve(b.size() + static_cast<std::size_t>(x));
+    for (auto v : b) shifted.push_back(f.mul(coef, v));
+    c = poly_add(c, shifted);
+    if (2 * l <= static_cast<int>(n)) {
+      l = static_cast<int>(n) + 1 - l;
+      b = c_prev;
+      b_disc = d;
+      x = 1;
+    } else {
+      ++x;
+    }
+  }
+  // Degree can be below l if trailing coefficients cancelled; pad so callers
+  // can rely on poly_deg(c) <= l while the connection property holds.
+  poly_trim(c);
+  return c;
+}
+
+}  // namespace lo::gf

@@ -1,0 +1,23 @@
+// Berlekamp–Massey over GF(2^m).
+//
+// Given a syndrome sequence s_1, ..., s_n this finds the minimal connection
+// polynomial C(x) = 1 + c_1 x + ... + c_L x^L such that
+//   s_j = sum_{i=1..L} c_i * s_{j-i}   for all L < j <= n.
+// In PinSketch decoding the connection polynomial of the power-sum syndromes
+// is the error locator Lambda(x) = prod_i (1 - X_i x) whose inverse roots are
+// the elements of the set difference.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gf/gf2m.hpp"
+#include "gf/poly.hpp"
+
+namespace lo::gf {
+
+// Returns the connection polynomial (ascending coefficients, C[0] == 1).
+// The LFSR length is poly_deg(result).
+Poly berlekamp_massey(const Field& f, const std::vector<std::uint64_t>& s);
+
+}  // namespace lo::gf

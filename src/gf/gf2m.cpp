@@ -1,0 +1,163 @@
+#include "gf/gf2m.hpp"
+
+#include <stdexcept>
+
+#if defined(__x86_64__)
+#include <wmmintrin.h>
+#endif
+
+namespace lo::gf {
+
+namespace {
+
+// Seroussi low-weight irreducible polynomials: entry m lists the middle
+// exponents; the polynomial is x^m + x^a (+ x^b + x^c) + 1.
+// Only the sizes used by the library are included.
+std::uint64_t default_modulus(unsigned m) {
+  auto tri = [m](unsigned a) {
+    return (1ULL << m) | (1ULL << a) | 1ULL;
+  };
+  auto pent = [m](unsigned a, unsigned b, unsigned c) {
+    return (1ULL << m) | (1ULL << a) | (1ULL << b) | (1ULL << c) | 1ULL;
+  };
+  switch (m) {
+    case 8:  return pent(4, 3, 1);
+    case 16: return pent(5, 3, 1);
+    case 24: return pent(4, 3, 1);
+    case 32: return pent(7, 3, 2);
+    case 48: return pent(5, 3, 2);
+    case 63: return tri(1);
+    default:
+      throw std::invalid_argument("unsupported GF(2^m) size");
+  }
+}
+
+#if defined(__x86_64__)
+__attribute__((target("pclmul"))) std::uint64_t clmul64(std::uint64_t a,
+                                                        std::uint64_t b) {
+  const __m128i va = _mm_set_epi64x(0, static_cast<long long>(a));
+  const __m128i vb = _mm_set_epi64x(0, static_cast<long long>(b));
+  return static_cast<std::uint64_t>(
+      _mm_cvtsi128_si64(_mm_clmulepi64_si128(va, vb, 0)));
+}
+
+bool cpu_has_pclmul() { return __builtin_cpu_supports("pclmul"); }
+#else
+std::uint64_t clmul64(std::uint64_t, std::uint64_t) { return 0; }
+bool cpu_has_pclmul() { return false; }
+#endif
+
+// GF(2)[x] helpers on bitmask polynomials (bit i = coeff of x^i).
+int deg(std::uint64_t f) {
+  if (f == 0) return -1;
+  return 63 - __builtin_clzll(f);
+}
+
+// a * b mod f in GF(2)[x], deg f <= 63.
+std::uint64_t gf2x_mulmod(std::uint64_t a, std::uint64_t b, std::uint64_t f) {
+  const int df = deg(f);
+  std::uint64_t r = 0;
+  while (b != 0) {
+    if (b & 1) r ^= a;
+    b >>= 1;
+    a <<= 1;
+    if (deg(a) == df) a ^= f;
+  }
+  return r;
+}
+
+std::uint64_t gf2x_gcd(std::uint64_t a, std::uint64_t b) {
+  while (b != 0) {
+    int da = deg(a), db = deg(b);
+    while (da >= db && a != 0) {
+      a ^= b << (da - db);
+      da = deg(a);
+    }
+    std::uint64_t t = a;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+// x^(2^k) mod f via repeated squaring of polynomials mod f.
+std::uint64_t gf2x_x_pow_pow2(unsigned k, std::uint64_t f) {
+  std::uint64_t r = 2;  // the polynomial x
+  for (unsigned i = 0; i < k; ++i) r = gf2x_mulmod(r, r, f);
+  return r;
+}
+
+}  // namespace
+
+Field::Field(unsigned m) : m_(m), modulus_(default_modulus(m)) {
+  max_element_ = (m == 64) ? ~0ULL : ((1ULL << m) - 1);
+  fast_ = (m <= 32) && cpu_has_pclmul();
+}
+
+std::uint64_t Field::mul_portable(std::uint64_t a, std::uint64_t b) const noexcept {
+  // Russian-peasant carry-less multiplication with on-the-fly reduction.
+  std::uint64_t r = 0;
+  const std::uint64_t top = 1ULL << m_;
+  while (b != 0) {
+    if (b & 1) r ^= a;
+    b >>= 1;
+    a <<= 1;
+    if (a & top) a ^= modulus_;
+  }
+  return r;
+}
+
+std::uint64_t Field::mul_clmul(std::uint64_t a, std::uint64_t b) const noexcept {
+  // Product has at most 2m-1 <= 63 bits for m <= 32, so one clmul suffices;
+  // fold the high part down with the low-weight tail of the modulus.
+  std::uint64_t r = clmul64(a, b);
+  const std::uint64_t tail = modulus_ ^ (1ULL << m_);
+  const std::uint64_t low_mask = max_element_;
+  while (true) {
+    const std::uint64_t hi = r >> m_;
+    if (hi == 0) break;
+    r = (r & low_mask) ^ clmul64(hi, tail);
+  }
+  return r;
+}
+
+std::uint64_t Field::pow(std::uint64_t a, std::uint64_t e) const noexcept {
+  std::uint64_t r = 1;
+  while (e != 0) {
+    if (e & 1) r = mul(r, a);
+    a = mul(a, a);
+    e >>= 1;
+  }
+  return r;
+}
+
+std::uint64_t Field::inv(std::uint64_t a) const noexcept {
+  // a^(2^m - 2); order of the multiplicative group is 2^m - 1.
+  return pow(a, max_element_ - 1);
+}
+
+bool gf2_poly_is_irreducible(std::uint64_t f) {
+  const int m = deg(f);
+  if (m <= 0) return false;
+  // Condition 1: x^(2^m) == x mod f.
+  if (gf2x_x_pow_pow2(static_cast<unsigned>(m), f) != 2) return false;
+  // Condition 2: gcd(x^(2^(m/p)) - x, f) == 1 for every prime p | m.
+  int n = m;
+  for (int p = 2; p * p <= n; ++p) {
+    if (n % p != 0) continue;
+    const std::uint64_t xq = gf2x_x_pow_pow2(static_cast<unsigned>(m / p), f);
+    if (gf2x_gcd(xq ^ 2ULL, f) != 1) return false;
+    while (n % p == 0) n /= p;
+  }
+  if (n > 1 && n < m) {
+    const std::uint64_t xq = gf2x_x_pow_pow2(static_cast<unsigned>(m / n), f);
+    if (gf2x_gcd(xq ^ 2ULL, f) != 1) return false;
+  }
+  if (n == m && m > 1) {  // m itself prime
+    const std::uint64_t xq = gf2x_x_pow_pow2(1, f);
+    if (gf2x_gcd(xq ^ 2ULL, f) != 1) return false;
+  }
+  return true;
+}
+
+}  // namespace lo::gf

@@ -1,0 +1,67 @@
+// Arithmetic in GF(2^m), 2 <= m <= 63.
+//
+// This is the algebraic substrate of the Minisketch/PinSketch codec
+// (Sec. 4.2 of the paper): set sketches are power sums of field elements and
+// decoding runs Berlekamp–Massey and root finding over this field.
+//
+// Field moduli are the low-weight irreducible polynomials from Seroussi,
+// "Table of Low-Weight Binary Irreducible Polynomials" (HP Labs HPL-98-135).
+// Irreducibility is re-verified by unit tests via gf2_poly_is_irreducible.
+//
+// Multiplication uses the PCLMULQDQ carry-less multiplier when the CPU
+// supports it (for m <= 32) and falls back to a portable shift-and-xor loop.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace lo::gf {
+
+class Field {
+ public:
+  // Constructs GF(2^m) with the default low-weight modulus for m.
+  explicit Field(unsigned m);
+
+  unsigned bits() const noexcept { return m_; }
+  // Reduction polynomial including the x^m term.
+  std::uint64_t modulus() const noexcept { return modulus_; }
+  // Number of nonzero field elements, 2^m - 1.
+  std::uint64_t order() const noexcept { return max_element_; }
+
+  std::uint64_t add(std::uint64_t a, std::uint64_t b) const noexcept { return a ^ b; }
+
+  std::uint64_t mul(std::uint64_t a, std::uint64_t b) const noexcept {
+    return fast_ ? mul_clmul(a, b) : mul_portable(a, b);
+  }
+
+  std::uint64_t sqr(std::uint64_t a) const noexcept { return mul(a, a); }
+
+  // a^e by square-and-multiply; 0^0 == 1 by convention.
+  std::uint64_t pow(std::uint64_t a, std::uint64_t e) const noexcept;
+
+  // Multiplicative inverse; precondition a != 0.
+  std::uint64_t inv(std::uint64_t a) const noexcept;
+
+  // Maps an arbitrary 64-bit value into a nonzero field element
+  // (uniform over [1, 2^m - 1]; used to map transaction ids into sketches).
+  std::uint64_t map_nonzero(std::uint64_t raw) const noexcept {
+    return raw % max_element_ + 1;
+  }
+
+ private:
+  std::uint64_t mul_portable(std::uint64_t a, std::uint64_t b) const noexcept;
+  std::uint64_t mul_clmul(std::uint64_t a, std::uint64_t b) const noexcept;
+
+  unsigned m_;
+  std::uint64_t modulus_;
+  std::uint64_t max_element_;
+  bool fast_ = false;
+};
+
+// Irreducibility test for a GF(2)[x] polynomial given as a bitmask
+// (bit i = coefficient of x^i). Used by tests to validate the modulus table:
+// f of degree m is irreducible iff x^(2^m) == x (mod f) and
+// gcd(x^(2^(m/p)) - x, f) == 1 for every prime p dividing m.
+bool gf2_poly_is_irreducible(std::uint64_t f);
+
+}  // namespace lo::gf

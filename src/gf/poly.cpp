@@ -1,0 +1,103 @@
+#include "gf/poly.hpp"
+
+namespace lo::gf {
+
+void poly_trim(Poly& p) {
+  while (!p.empty() && p.back() == 0) p.pop_back();
+}
+
+int poly_deg(const Poly& p) { return static_cast<int>(p.size()) - 1; }
+
+Poly poly_add(const Poly& a, const Poly& b) {
+  Poly r = a.size() >= b.size() ? a : b;
+  const Poly& s = a.size() >= b.size() ? b : a;
+  for (std::size_t i = 0; i < s.size(); ++i) r[i] ^= s[i];
+  poly_trim(r);
+  return r;
+}
+
+Poly poly_mul(const Field& f, const Poly& a, const Poly& b) {
+  if (a.empty() || b.empty()) return {};
+  Poly r(a.size() + b.size() - 1, 0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] == 0) continue;
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      if (b[j] == 0) continue;
+      r[i + j] ^= f.mul(a[i], b[j]);
+    }
+  }
+  poly_trim(r);
+  return r;
+}
+
+Poly poly_mod(const Field& f, Poly a, const Poly& b) {
+  const int db = poly_deg(b);
+  const std::uint64_t lead_inv = f.inv(b[db]);
+  while (poly_deg(a) >= db) {
+    const int da = poly_deg(a);
+    const std::uint64_t factor = f.mul(a[da], lead_inv);
+    const int shift = da - db;
+    for (int i = 0; i <= db; ++i) {
+      a[shift + i] ^= f.mul(factor, b[i]);
+    }
+    poly_trim(a);
+  }
+  return a;
+}
+
+Poly poly_div(const Field& f, Poly a, const Poly& b) {
+  const int db = poly_deg(b);
+  if (poly_deg(a) < db) return {};
+  Poly q(a.size() - b.size() + 1, 0);
+  const std::uint64_t lead_inv = f.inv(b[db]);
+  while (poly_deg(a) >= db) {
+    const int da = poly_deg(a);
+    const std::uint64_t factor = f.mul(a[da], lead_inv);
+    const int shift = da - db;
+    q[shift] = factor;
+    for (int i = 0; i <= db; ++i) {
+      a[shift + i] ^= f.mul(factor, b[i]);
+    }
+    poly_trim(a);
+  }
+  poly_trim(q);
+  return q;
+}
+
+Poly poly_gcd(const Field& f, Poly a, Poly b) {
+  while (!b.empty()) {
+    Poly r = poly_mod(f, a, b);
+    a = std::move(b);
+    b = std::move(r);
+  }
+  poly_make_monic(f, a);
+  return a;
+}
+
+void poly_make_monic(const Field& f, Poly& p) {
+  if (p.empty()) return;
+  const std::uint64_t lead = p.back();
+  if (lead == 1) return;
+  const std::uint64_t li = f.inv(lead);
+  for (auto& c : p) c = f.mul(c, li);
+}
+
+std::uint64_t poly_eval(const Field& f, const Poly& p, std::uint64_t x) {
+  std::uint64_t r = 0;
+  for (std::size_t i = p.size(); i-- > 0;) {
+    r = f.mul(r, x) ^ p[i];
+  }
+  return r;
+}
+
+Poly poly_sqr(const Field& f, const Poly& p) {
+  if (p.empty()) return {};
+  Poly r(2 * p.size() - 1, 0);
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    r[2 * i] = f.sqr(p[i]);
+  }
+  poly_trim(r);
+  return r;
+}
+
+}  // namespace lo::gf

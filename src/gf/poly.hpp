@@ -1,0 +1,42 @@
+// Dense univariate polynomials over GF(2^m).
+//
+// Coefficients are stored in ascending degree order (coeffs[i] is the
+// coefficient of x^i). The zero polynomial is an empty vector. All operations
+// take the Field explicitly; a Poly does not own its field.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gf/gf2m.hpp"
+
+namespace lo::gf {
+
+using Poly = std::vector<std::uint64_t>;
+
+// Removes leading zero coefficients.
+void poly_trim(Poly& p);
+
+int poly_deg(const Poly& p);  // -1 for the zero polynomial
+
+Poly poly_add(const Poly& a, const Poly& b);  // == subtraction in char 2
+
+Poly poly_mul(const Field& f, const Poly& a, const Poly& b);
+
+// (a mod b); precondition: b != 0.
+Poly poly_mod(const Field& f, Poly a, const Poly& b);
+
+// Quotient of a / b; precondition: b != 0.
+Poly poly_div(const Field& f, Poly a, const Poly& b);
+
+Poly poly_gcd(const Field& f, Poly a, Poly b);
+
+// Scales so the leading coefficient is 1; zero polynomial unchanged.
+void poly_make_monic(const Field& f, Poly& p);
+
+std::uint64_t poly_eval(const Field& f, const Poly& p, std::uint64_t x);
+
+// p(x)^2 using the Frobenius identity (sum a_i x^i)^2 = sum a_i^2 x^(2i).
+Poly poly_sqr(const Field& f, const Poly& p);
+
+}  // namespace lo::gf

@@ -1,0 +1,101 @@
+#include "gf/root_find.hpp"
+
+#include "util/rng.hpp"
+
+namespace lo::gf {
+
+namespace {
+
+// x^(2^m) mod f, by m squarings. f splits into distinct linear factors over
+// GF(2^m) iff f divides x^(2^m) - x, i.e. iff this equals x mod f. Checking
+// this up front makes rejection of invalid locators (the common case when a
+// sketch has overflowed) cheap and certain instead of probabilistic.
+Poly frobenius_x(const Field& fld, const Poly& f) {
+  Poly p{0, 1};  // x
+  p = poly_mod(fld, p, f);
+  for (unsigned i = 0; i < fld.bits(); ++i) {
+    p = poly_mod(fld, poly_sqr(fld, p), f);
+  }
+  return p;
+}
+
+// T_beta(x) mod f, built by repeated Frobenius squaring.
+Poly trace_poly(const Field& fld, std::uint64_t beta, const Poly& f) {
+  Poly p{0, beta};  // beta * x
+  p = poly_mod(fld, p, f);
+  Poly t = p;
+  for (unsigned i = 1; i < fld.bits(); ++i) {
+    p = poly_mod(fld, poly_sqr(fld, p), f);
+    t = poly_add(t, p);
+  }
+  return t;
+}
+
+// Recursive splitter. `out` accumulates roots; returns false on any evidence
+// that p does not split into distinct linear factors.
+bool split(const Field& fld, Poly p, util::Rng& rng, int depth,
+           std::vector<std::uint64_t>& out) {
+  poly_make_monic(fld, p);
+  const int d = poly_deg(p);
+  if (d <= 0) return d == 0 || p.empty();
+  if (d == 1) {
+    out.push_back(p[0]);  // x + r => root r (char 2)
+    return true;
+  }
+  if (d == 2 && p[1] == 0) {
+    // x^2 + c: double root sqrt(c) — not squarefree, cannot be a valid locator.
+    return false;
+  }
+  // A polynomial splitting into distinct linear factors has degree <= |field|;
+  // also guard the recursion depth against adversarial non-splitting inputs.
+  if (depth > 200) return false;
+
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const std::uint64_t beta = fld.map_nonzero(rng.next());
+    const Poly t = trace_poly(fld, beta, p);
+    Poly g = poly_gcd(fld, p, t);
+    if (poly_deg(g) <= 0) {
+      // All roots might have trace 1 for this beta: try gcd(p, T + 1).
+      Poly t1 = t;
+      if (t1.empty()) t1.push_back(0);
+      t1[0] ^= 1;
+      poly_trim(t1);
+      g = poly_gcd(fld, p, t1);
+    }
+    const int dg = poly_deg(g);
+    if (dg > 0 && dg < d) {
+      const Poly q = poly_div(fld, p, g);
+      return split(fld, g, rng, depth + 1, out) &&
+             split(fld, q, rng, depth + 1, out);
+    }
+  }
+  return false;  // no split found: p almost surely has irreducible factors
+}
+
+}  // namespace
+
+std::optional<std::vector<std::uint64_t>> find_roots(const Field& f, Poly p,
+                                                     std::uint64_t seed) {
+  poly_trim(p);
+  if (p.empty()) return std::nullopt;  // zero polynomial: undefined
+  const int d = poly_deg(p);
+  if (d > 1) {
+    Poly x_frob = frobenius_x(f, p);
+    const Poly x_poly{0, 1};
+    if (x_frob != x_poly) return std::nullopt;  // does not split: reject early
+  }
+  std::vector<std::uint64_t> roots;
+  roots.reserve(static_cast<std::size_t>(d));
+  util::Rng rng(seed ^ 0x9e3779b97f4a7c15ULL);
+  if (!split(f, std::move(p), rng, 0, roots)) return std::nullopt;
+  if (static_cast<int>(roots.size()) != d) return std::nullopt;
+  // Distinctness check (duplicates mean the input was not squarefree).
+  for (std::size_t i = 0; i < roots.size(); ++i) {
+    for (std::size_t j = i + 1; j < roots.size(); ++j) {
+      if (roots[i] == roots[j]) return std::nullopt;
+    }
+  }
+  return roots;
+}
+
+}  // namespace lo::gf

@@ -1,0 +1,26 @@
+// Root finding for polynomials over GF(2^m) that split into distinct linear
+// factors — the case that arises when decoding a valid PinSketch locator.
+//
+// Uses the Berlekamp trace algorithm: for a random beta, the trace polynomial
+//   T_beta(x) = sum_{i=0..m-1} (beta x)^(2^i)
+// maps every field element to GF(2), so gcd(f, T_beta) splits f by trace
+// value. Recursing with fresh betas separates all roots in expected
+// O(deg^2 log) field operations.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "gf/gf2m.hpp"
+#include "gf/poly.hpp"
+
+namespace lo::gf {
+
+// Returns all roots of p if p splits into deg(p) distinct linear factors over
+// the field; std::nullopt otherwise (the PinSketch "decode failure" signal).
+// `seed` makes the beta sequence deterministic.
+std::optional<std::vector<std::uint64_t>> find_roots(const Field& f, Poly p,
+                                                     std::uint64_t seed = 1);
+
+}  // namespace lo::gf

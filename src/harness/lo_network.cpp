@@ -1,0 +1,236 @@
+#include "harness/lo_network.hpp"
+
+#include <algorithm>
+
+namespace lo::harness {
+
+LoNetwork::LoNetwork(const NetworkConfig& config)
+    : config_(config), sim_(config.seed) {
+  const std::size_t n = config.num_nodes;
+
+  if (config.city_latency) {
+    sim_.set_latency_model(std::make_shared<sim::CityLatencyModel>());
+  } else {
+    sim_.set_latency_model(
+        std::make_shared<sim::ConstantLatency>(config.constant_latency));
+  }
+
+  // Malicious assignment: random subset of the requested size.
+  malicious_.assign(n, false);
+  malicious_count_ = static_cast<std::size_t>(
+      config.malicious_fraction * static_cast<double>(n) + 0.5);
+  if (malicious_count_ > 0) {
+    auto idx = sim_.rng().sample_indices(n, malicious_count_);
+    for (auto i : idx) malicious_[i] = true;
+  }
+
+  // Topology with the paper's degree limits, then the Sec. 6.2 preconditions.
+  topology_ = overlay::Topology::random(n, config.topology, sim_.rng());
+  if (config.ensure_honest_connected && malicious_count_ > 0) {
+    std::vector<bool> honest(n);
+    for (std::size_t i = 0; i < n; ++i) honest[i] = !malicious_[i];
+    topology_.ensure_connected_among(honest, sim_.rng());
+  }
+  if (config.connect_malicious_clique && malicious_count_ > 1) {
+    std::vector<core::NodeId> bad;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (malicious_[i]) bad.push_back(static_cast<core::NodeId>(i));
+    }
+    for (std::size_t i = 0; i + 1 < bad.size(); ++i) {
+      topology_.add_edge(bad[i], bad[i + 1]);  // ring suffices for collusion
+    }
+  }
+
+  // Metric hooks.
+  hooks_.on_mempool_admit = [this](core::NodeId, const core::Transaction& tx,
+                                   sim::TimePoint when) {
+    mempool_latency_.add(sim::to_seconds(when - tx.created_at));
+  };
+  hooks_.on_suspect = [this](core::NodeId node, core::NodeId suspect,
+                             sim::TimePoint when) {
+    suspicion_events_.push_back(
+        BlameEvent{node, suspect, sim::to_seconds(when)});
+  };
+  hooks_.on_exposure = [this](core::NodeId node, core::NodeId accused,
+                              sim::TimePoint when) {
+    exposure_events_.push_back(
+        BlameEvent{node, accused, sim::to_seconds(when)});
+  };
+
+  nodes_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto keys = crypto::derive_keypair(config.seed * 0x10001ULL + i,
+                                       config.node.sig_mode);
+    auto node = std::make_unique<core::LoNode>(
+        sim_, static_cast<core::NodeId>(i), config.node, keys, &hooks_);
+    if (malicious_[i]) node->behavior() = config.malicious;
+    const core::NodeId id = sim_.add_node(node.get());
+    (void)id;
+    nodes_.push_back(std::move(node));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    nodes_[i]->set_neighbors(topology_.neighbors(static_cast<core::NodeId>(i)));
+  }
+  if (config.node.rotate_interval > 0) {
+    std::vector<core::NodeId> everyone(n);
+    for (std::size_t i = 0; i < n; ++i) everyone[i] = static_cast<core::NodeId>(i);
+    for (std::size_t i = 0; i < n; ++i) nodes_[i]->set_peer_candidates(everyone);
+  }
+}
+
+void LoNetwork::start_workload(const workload::WorkloadConfig& cfg,
+                               std::size_t submit_fanout) {
+  txgen_ = std::make_unique<workload::TxGenerator>(cfg);
+  submit_fanout_ = std::max<std::size_t>(1, submit_fanout);
+  schedule_next_tx();
+}
+
+void LoNetwork::schedule_next_tx() {
+  sim_.schedule(txgen_->next_gap_us(), [this] {
+    if (workload_stopped_) return;
+    auto tx = txgen_->next(sim_.now());
+    tx_created_.emplace(tx.id, tx.created_at);
+    ++txs_injected_;
+    // Submit to random correct nodes (clients would avoid known-bad peers;
+    // submitting to a censoring node would only measure the censorship).
+    std::size_t placed = 0;
+    int guard = 0;
+    while (placed < submit_fanout_ && guard < 200) {
+      ++guard;
+      const auto i = sim_.rng().next_below(nodes_.size());
+      if (malicious_[i]) continue;
+      nodes_[i]->submit_transaction(tx);
+      ++placed;
+    }
+    schedule_next_tx();
+  });
+}
+
+void LoNetwork::start_block_production(const consensus::LeaderConfig& cfg,
+                                       bool correct_leaders_only) {
+  leaders_ = std::make_unique<consensus::LeaderSchedule>(nodes_.size(), cfg);
+  correct_leaders_only_ = correct_leaders_only;
+  schedule_next_block();
+}
+
+void LoNetwork::schedule_next_block() {
+  sim_.schedule(leaders_->next_interval(), [this] {
+    std::vector<bool> eligible;
+    const std::vector<bool>* filter = nullptr;
+    if (correct_leaders_only_ && malicious_count_ > 0) {
+      eligible.resize(nodes_.size());
+      for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        eligible[i] = !malicious_[i];
+      }
+      filter = &eligible;
+    }
+    const auto leader = leaders_->next_leader(filter);
+    const auto block =
+        nodes_[leader]->create_block(chain_.height() + 1, chain_.tip_hash());
+    chain_.append(block);
+    // First-inclusion latency per transaction (Fig. 8 left).
+    const double now_s = sim::to_seconds(sim_.now());
+    for (const auto& seg : block.segments) {
+      for (const auto& id : seg.txids) {
+        if (!tx_settled_.insert(id).second) continue;
+        auto it = tx_created_.find(id);
+        if (it == tx_created_.end()) continue;
+        block_latency_.add(now_s - sim::to_seconds(it->second));
+      }
+    }
+    schedule_next_block();
+  });
+}
+
+void LoNetwork::run_for(double seconds) {
+  sim_.run_until(sim_.now() + sim::from_seconds(seconds));
+}
+
+double LoNetwork::coverage(const core::TxId& id) const {
+  std::size_t holders = 0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (malicious_[i]) continue;
+    ++correct;
+    if (nodes_[i]->has_tx(id)) ++holders;
+  }
+  return correct == 0 ? 0.0
+                      : static_cast<double>(holders) /
+                            static_cast<double>(correct);
+}
+
+std::uint64_t LoNetwork::total_sketch_decodes() const {
+  std::uint64_t sum = 0;
+  for (const auto& n : nodes_) sum += n->sketch_decodes();
+  return sum;
+}
+
+DetectionTimes LoNetwork::detection_times() const {
+  DetectionTimes out;
+  if (malicious_count_ == 0) return out;
+
+  // For completeness we need, for every (correct node, faulty node) pair, the
+  // first time the correct node blamed the faulty one.
+  const std::size_t n = nodes_.size();
+  auto pair_key = [n](core::NodeId a, core::NodeId b) {
+    return static_cast<std::uint64_t>(a) * n + b;
+  };
+
+  auto complete_time = [&](const std::vector<BlameEvent>& events) {
+    std::unordered_map<std::uint64_t, double> first;
+    for (const auto& ev : events) {
+      if (ev.observer >= n || ev.accused >= n) continue;
+      if (malicious_[ev.observer] || !malicious_[ev.accused]) continue;
+      auto [it, inserted] = first.emplace(pair_key(ev.observer, ev.accused), ev.when_s);
+      if (!inserted && ev.when_s < it->second) it->second = ev.when_s;
+    }
+    const std::size_t want = (n - malicious_count_) * malicious_count_;
+    if (first.size() < want) return -1.0;
+    double latest = 0.0;
+    for (const auto& [k, t] : first) latest = std::max(latest, t);
+    return latest;
+  };
+
+  out.suspicion_complete_s = complete_time(suspicion_events_);
+  out.exposure_complete_s = complete_time(exposure_events_);
+  if (!exposure_events_.empty()) {
+    double first = exposure_events_.front().when_s;
+    for (const auto& ev : exposure_events_) first = std::min(first, ev.when_s);
+    out.first_exposure_s = first;
+  }
+
+  // Per-attacker dissemination lag (paper's Fig. 6 "Exposure" measurement).
+  if (out.exposure_complete_s >= 0) {
+    std::unordered_map<core::NodeId, double> first_by;
+    std::unordered_map<core::NodeId, double> last_by;
+    std::unordered_map<core::NodeId, std::size_t> seen_by;
+    std::unordered_map<std::uint64_t, bool> pair_seen;
+    for (const auto& ev : exposure_events_) {
+      if (ev.observer >= n || ev.accused >= n) continue;
+      if (malicious_[ev.observer] || !malicious_[ev.accused]) continue;
+      if (!pair_seen.emplace(pair_key(ev.observer, ev.accused), true).second) {
+        continue;
+      }
+      auto [fit, fnew] = first_by.emplace(ev.accused, ev.when_s);
+      if (!fnew) fit->second = std::min(fit->second, ev.when_s);
+      auto [lit, lnew] = last_by.emplace(ev.accused, ev.when_s);
+      if (!lnew) lit->second = std::max(lit->second, ev.when_s);
+      ++seen_by[ev.accused];
+    }
+    double spread = 0.0;
+    bool all = true;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!malicious_[i]) continue;
+      const auto id = static_cast<core::NodeId>(i);
+      if (seen_by[id] < n - malicious_count_) {
+        all = false;
+        break;
+      }
+      spread = std::max(spread, last_by[id] - first_by[id]);
+    }
+    if (all) out.exposure_spread_s = spread;
+  }
+  return out;
+}
+
+}  // namespace lo::harness

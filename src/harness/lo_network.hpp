@@ -1,0 +1,143 @@
+// LoNetwork — experiment harness assembling a full LØ deployment:
+// simulator + latency model + overlay topology + LoNodes + workload +
+// consensus stub + metric collection. Every evaluation figure and all
+// integration tests drive the protocol through this class.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "consensus/chain.hpp"
+#include "consensus/leader.hpp"
+#include "core/config.hpp"
+#include "core/node.hpp"
+#include "overlay/topology.hpp"
+#include "sim/metrics.hpp"
+#include "sim/simulator.hpp"
+#include "workload/txgen.hpp"
+
+namespace lo::harness {
+
+struct NetworkConfig {
+  std::size_t num_nodes = 64;
+  std::uint64_t seed = 1;
+
+  core::LoConfig node;
+  overlay::TopologyConfig topology;
+
+  // Latency model: true = 32-city geographic model (paper setup); false =
+  // constant latency (useful for deterministic unit tests).
+  bool city_latency = true;
+  sim::Duration constant_latency = 50 * sim::kMillisecond;
+
+  // Malicious population: the first ceil(fraction*n) node ids after shuffling
+  // by seed are faulty with `malicious` behavior. Honest-subgraph
+  // connectivity is enforced as in Sec. 6.2.
+  double malicious_fraction = 0.0;
+  core::MaliciousBehavior malicious;
+  bool connect_malicious_clique = true;  // paper: all malicious interconnected
+  bool ensure_honest_connected = true;
+};
+
+struct DetectionTimes {
+  // For each faulty node: the time by which EVERY correct node had
+  // suspected/learned-exposure of it; <0 when incomplete.
+  double suspicion_complete_s = -1.0;
+  double exposure_complete_s = -1.0;
+  double first_exposure_s = -1.0;  // first detection anywhere
+  // The paper's Fig. 6 "Exposure" series measures dissemination: the time
+  // from the FIRST node detecting a given attacker until ALL correct nodes
+  // know that attacker, maximized over attackers; <0 when incomplete.
+  double exposure_spread_s = -1.0;
+};
+
+class LoNetwork {
+ public:
+  explicit LoNetwork(const NetworkConfig& config);
+
+  sim::Simulator& sim() noexcept { return sim_; }
+  std::size_t size() const noexcept { return nodes_.size(); }
+  core::LoNode& node(std::size_t i) { return *nodes_.at(i); }
+  const std::vector<bool>& malicious_mask() const noexcept { return malicious_; }
+  std::size_t malicious_count() const noexcept { return malicious_count_; }
+  std::size_t correct_count() const noexcept {
+    return nodes_.size() - malicious_count_;
+  }
+  const overlay::Topology& topology() const noexcept { return topology_; }
+
+  // --- workload ---
+  // Starts Poisson transaction injection: each tx is submitted to
+  // `submit_fanout` random correct nodes. Runs until the simulation stops.
+  void start_workload(const workload::WorkloadConfig& cfg,
+                      std::size_t submit_fanout = 1);
+  // Stops injection after the currently scheduled arrival (for drain phases).
+  void stop_workload() noexcept { workload_stopped_ = true; }
+  std::uint64_t txs_injected() const noexcept { return txs_injected_; }
+
+  // --- consensus stub ---
+  // Schedules block production: random leaders at the configured cadence.
+  void start_block_production(const consensus::LeaderConfig& cfg,
+                              bool correct_leaders_only = false);
+  const consensus::Chain& chain() const noexcept { return chain_; }
+
+  // --- running ---
+  void run_for(double seconds);
+
+  // --- metrics ---
+  // Fig. 7: per-(node, tx) mempool admission latencies, seconds.
+  sim::Samples& mempool_latency() noexcept { return mempool_latency_; }
+  // Fig. 8: creation -> first block inclusion, seconds.
+  sim::Samples& block_latency() noexcept { return block_latency_; }
+  // Fig. 6: detection completeness over the whole faulty population.
+  DetectionTimes detection_times() const;
+  // Fraction of correct nodes holding the tx with the given id.
+  double coverage(const core::TxId& id) const;
+  // Average number of correct nodes' mempools that converged on all txs.
+  std::uint64_t total_sketch_decodes() const;
+
+  // Raw event feeds for custom analyses.
+  struct BlameEvent {
+    core::NodeId observer;
+    core::NodeId accused;
+    double when_s;
+  };
+  const std::vector<BlameEvent>& suspicion_events() const noexcept {
+    return suspicion_events_;
+  }
+  const std::vector<BlameEvent>& exposure_events() const noexcept {
+    return exposure_events_;
+  }
+
+ private:
+  void schedule_next_tx();
+  void schedule_next_block();
+
+  NetworkConfig config_;
+  sim::Simulator sim_;
+  overlay::Topology topology_;
+  std::vector<std::unique_ptr<core::LoNode>> nodes_;
+  std::vector<bool> malicious_;
+  std::size_t malicious_count_ = 0;
+  core::Hooks hooks_;
+
+  std::unique_ptr<workload::TxGenerator> txgen_;
+  std::size_t submit_fanout_ = 1;
+  std::uint64_t txs_injected_ = 0;
+  bool workload_stopped_ = false;
+
+  std::unique_ptr<consensus::LeaderSchedule> leaders_;
+  bool correct_leaders_only_ = false;
+  consensus::Chain chain_;
+  std::unordered_map<core::TxId, std::int64_t, core::TxIdHash> tx_created_;
+  std::unordered_set<core::TxId, core::TxIdHash> tx_settled_;
+
+  sim::Samples mempool_latency_;
+  sim::Samples block_latency_;
+  std::vector<BlameEvent> suspicion_events_;
+  std::vector<BlameEvent> exposure_events_;
+};
+
+}  // namespace lo::harness

@@ -1,0 +1,68 @@
+#include "minisketch/partitioned.hpp"
+
+#include <unordered_map>
+
+#include "util/rng.hpp"
+
+namespace lo::sketch {
+
+bool partition_bit(std::uint64_t raw_item, unsigned depth) {
+  std::uint64_t s = raw_item ^ (0xa5a5a5a5a5a5a5a5ULL + depth);
+  return (util::splitmix64(s) & 1) != 0;
+}
+
+std::optional<std::vector<std::uint64_t>> PartitionedReconciler::reconcile(
+    std::span<const std::uint64_t> a, std::span<const std::uint64_t> b,
+    ReconcileStats* stats) const {
+  ReconcileStats local;
+  std::vector<std::uint64_t> out;
+  const bool ok = recurse(a, b, 0, local, out);
+  if (stats != nullptr) *stats = local;
+  if (!ok) return std::nullopt;
+  return out;
+}
+
+bool PartitionedReconciler::recurse(std::span<const std::uint64_t> a,
+                                    std::span<const std::uint64_t> b,
+                                    unsigned depth, ReconcileStats& stats,
+                                    std::vector<std::uint64_t>& out) const {
+  Sketch sa(bits_, capacity_);
+  Sketch sb(bits_, capacity_);
+  // Field elements are a many-to-one image of raw items; remember the
+  // preimages so decoded elements can be mapped back. Items appearing in both
+  // sets cancel inside the merged sketch and never need resolving.
+  std::unordered_map<std::uint64_t, std::uint64_t> preimage;
+  preimage.reserve(a.size() + b.size());
+  for (auto raw : a) {
+    sa.add(raw);
+    preimage.emplace(sa.field().map_nonzero(raw), raw);
+  }
+  for (auto raw : b) {
+    sb.add(raw);
+    preimage.emplace(sb.field().map_nonzero(raw), raw);
+  }
+  sa.merge(sb);
+  stats.sketches_used += 2;  // one transmitted per side
+  stats.bytes += 2 * sa.serialized_size();
+  if (depth > stats.rounds) stats.rounds = depth;
+
+  if (auto elems = sa.decode()) {
+    for (auto e : *elems) {
+      auto it = preimage.find(e);
+      if (it == preimage.end()) return false;  // decode produced a non-member
+      out.push_back(it->second);
+    }
+    return true;
+  }
+
+  ++stats.decode_failures;
+  if (depth >= max_depth_) return false;
+
+  std::vector<std::uint64_t> a0, a1, b0, b1;
+  for (auto raw : a) (partition_bit(raw, depth) ? a1 : a0).push_back(raw);
+  for (auto raw : b) (partition_bit(raw, depth) ? b1 : b0).push_back(raw);
+  return recurse(a0, b0, depth + 1, stats, out) &&
+         recurse(a1, b1, depth + 1, stats, out);
+}
+
+}  // namespace lo::sketch

@@ -1,0 +1,139 @@
+#include "minisketch/sketch.hpp"
+
+#include <stdexcept>
+
+#include "gf/berlekamp_massey.hpp"
+#include "gf/poly.hpp"
+#include "gf/root_find.hpp"
+
+namespace lo::sketch {
+
+Sketch::Sketch(unsigned bits, std::size_t capacity)
+    : field_(bits), syndromes_(capacity, 0) {
+  if (capacity == 0) throw std::invalid_argument("sketch capacity must be > 0");
+}
+
+void Sketch::add(std::uint64_t raw_item) {
+  add_element(field_.map_nonzero(raw_item));
+}
+
+void Sketch::add_element(std::uint64_t element) {
+  // Incremental update: s_k += element^(2k+1). Uses p *= element^2 stepping.
+  const std::uint64_t e2 = field_.sqr(element);
+  std::uint64_t p = element;
+  for (auto& s : syndromes_) {
+    s ^= p;
+    p = field_.mul(p, e2);
+  }
+}
+
+void Sketch::merge(const Sketch& other) {
+  if (other.bits() != bits() || other.capacity() != capacity()) {
+    throw std::invalid_argument("sketch parameter mismatch");
+  }
+  for (std::size_t i = 0; i < syndromes_.size(); ++i) {
+    syndromes_[i] ^= other.syndromes_[i];
+  }
+}
+
+Sketch Sketch::truncated(std::size_t new_capacity) const {
+  if (new_capacity == 0) new_capacity = 1;
+  if (new_capacity >= syndromes_.size()) return *this;
+  Sketch out(bits(), new_capacity);
+  for (std::size_t i = 0; i < new_capacity; ++i) {
+    out.syndromes_[i] = syndromes_[i];
+  }
+  return out;
+}
+
+bool Sketch::is_zero() const noexcept {
+  for (auto s : syndromes_) {
+    if (s != 0) return false;
+  }
+  return true;
+}
+
+void Sketch::clear() noexcept {
+  for (auto& s : syndromes_) s = 0;
+}
+
+std::optional<std::vector<std::uint64_t>> Sketch::decode() const {
+  if (is_zero()) return std::vector<std::uint64_t>{};
+
+  const std::size_t c = syndromes_.size();
+  // Full syndrome sequence S_1 .. S_2c: odd entries are stored, even entries
+  // derived via Frobenius (S_2j = S_j^2).
+  std::vector<std::uint64_t> s(2 * c, 0);
+  for (std::size_t k = 0; k < c; ++k) s[2 * k] = syndromes_[k];  // S_{2k+1}
+  for (std::size_t j = 1; 2 * j <= 2 * c; ++j) {
+    s[2 * j - 1] = field_.sqr(s[j - 1]);  // S_{2j} = S_j^2
+  }
+
+  gf::Poly locator = gf::berlekamp_massey(field_, s);
+  const int t = gf::poly_deg(locator);
+  if (t <= 0 || static_cast<std::size_t>(t) > c) return std::nullopt;
+
+  // The locator is Lambda(x) = prod (1 - X_i x); its reciprocal
+  // x^t Lambda(1/x) = prod (x - X_i) has the difference elements as roots.
+  gf::Poly recip(locator.rbegin(), locator.rend());
+  gf::poly_trim(recip);
+  if (gf::poly_deg(recip) != t) {
+    // Lambda had a zero constant term — impossible for a valid locator.
+    return std::nullopt;
+  }
+
+  // Deterministic root finding seeded from the syndromes for reproducibility.
+  std::uint64_t seed = 0x5eed;
+  for (auto v : syndromes_) seed = seed * 0x100000001b3ULL ^ v;
+  auto roots = gf::find_roots(field_, std::move(recip), seed);
+  if (!roots) return std::nullopt;
+
+  // Overflow detection: verify that the recovered set reproduces all stored
+  // syndromes. (When |diff| > capacity BM can still emit a degree-<=c
+  // polynomial; this check rejects such spurious decodes.)
+  Sketch check(bits(), capacity());
+  for (auto r : *roots) {
+    if (r == 0) return std::nullopt;
+    check.add_element(r);
+  }
+  for (std::size_t i = 0; i < c; ++i) {
+    if (check.syndromes_[i] != syndromes_[i]) return std::nullopt;
+  }
+  return roots;
+}
+
+std::size_t Sketch::serialized_size() const noexcept {
+  const std::size_t bytes_per = (field_.bits() + 7) / 8;
+  return syndromes_.size() * bytes_per;
+}
+
+std::vector<std::uint8_t> Sketch::serialize() const {
+  const std::size_t bytes_per = (field_.bits() + 7) / 8;
+  std::vector<std::uint8_t> out;
+  out.reserve(serialized_size());
+  for (auto s : syndromes_) {
+    for (std::size_t b = 0; b < bytes_per; ++b) {
+      out.push_back(static_cast<std::uint8_t>(s >> (8 * b)));
+    }
+  }
+  return out;
+}
+
+Sketch Sketch::deserialize(unsigned bits, std::size_t capacity,
+                           std::span<const std::uint8_t> data) {
+  Sketch sk(bits, capacity);
+  const std::size_t bytes_per = (bits + 7) / 8;
+  if (data.size() != capacity * bytes_per) {
+    throw std::invalid_argument("sketch byte length mismatch");
+  }
+  for (std::size_t i = 0; i < capacity; ++i) {
+    std::uint64_t v = 0;
+    for (std::size_t b = 0; b < bytes_per; ++b) {
+      v |= static_cast<std::uint64_t>(data[i * bytes_per + b]) << (8 * b);
+    }
+    sk.syndromes_[i] = v;
+  }
+  return sk;
+}
+
+}  // namespace lo::sketch

@@ -1,0 +1,70 @@
+// PinSketch set sketches (Dodis et al. [15], Naumenko et al. "Erlay" /
+// Minisketch [29]) — the commitment and reconciliation codec of LØ (Sec. 4.2).
+//
+// A sketch of capacity c over GF(2^m) is the vector of odd power sums
+//   s_k = sum_{x in S} x^(2k+1),   k = 0 .. c-1.
+// XOR of two sketches is the sketch of the symmetric difference, which can be
+// decoded as long as |A △ B| <= c. Decoding reconstructs the even syndromes
+// via the Frobenius identity s_2j = s_j^2, runs Berlekamp–Massey to find the
+// locator polynomial, and recovers the difference as the locator's roots.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "gf/gf2m.hpp"
+
+namespace lo::sketch {
+
+class Sketch {
+ public:
+  // capacity = maximum recoverable symmetric-difference size; bits = field
+  // size m (elements are nonzero m-bit values).
+  Sketch(unsigned bits, std::size_t capacity);
+
+  unsigned bits() const noexcept { return field_.bits(); }
+  std::size_t capacity() const noexcept { return syndromes_.size(); }
+
+  // Adds (or, by the XOR structure, removes) a raw 64-bit item; the item is
+  // hashed into a nonzero field element via Field::map_nonzero.
+  void add(std::uint64_t raw_item);
+
+  // Adds an element that is already a nonzero field element.
+  void add_element(std::uint64_t element);
+
+  // Combines with another sketch of identical parameters: the result encodes
+  // the symmetric difference of the two underlying sets.
+  void merge(const Sketch& other);
+
+  // PinSketch sketches are prefix-truncatable: the first k syndromes of a
+  // capacity-c sketch ARE the capacity-k sketch of the same set. This lets a
+  // node maintain one large sketch and transmit only as many syndromes as
+  // the estimated set difference requires — the key to LØ's bandwidth
+  // efficiency (Sec. 6.4). new_capacity > capacity() keeps the original.
+  Sketch truncated(std::size_t new_capacity) const;
+
+  // Decodes the set difference. Returns the elements if at most `capacity`
+  // differences exist (with overwhelming probability detects overflow and
+  // returns nullopt instead of garbage).
+  std::optional<std::vector<std::uint64_t>> decode() const;
+
+  bool is_zero() const noexcept;
+  void clear() noexcept;
+
+  // Wire format: capacity * ceil(bits/8) bytes, little-endian per syndrome.
+  std::size_t serialized_size() const noexcept;
+  std::vector<std::uint8_t> serialize() const;
+  static Sketch deserialize(unsigned bits, std::size_t capacity,
+                            std::span<const std::uint8_t> data);
+
+  const std::vector<std::uint64_t>& syndromes() const noexcept { return syndromes_; }
+  const gf::Field& field() const noexcept { return field_; }
+
+ private:
+  gf::Field field_;
+  std::vector<std::uint64_t> syndromes_;
+};
+
+}  // namespace lo::sketch

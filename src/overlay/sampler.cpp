@@ -1,0 +1,84 @@
+#include "overlay/sampler.hpp"
+
+#include <algorithm>
+
+namespace lo::overlay {
+
+std::vector<NodeId> UniformSamplerOracle::sample(
+    NodeId self, std::size_t k, const std::function<bool(NodeId)>& exclude) {
+  std::vector<NodeId> out;
+  out.reserve(k);
+  // Rejection sampling with a bounded number of attempts; falls back to a
+  // scan when the universe is small or heavily excluded.
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = 20 * (k + 1);
+  while (out.size() < k && attempts < max_attempts) {
+    ++attempts;
+    const NodeId c = static_cast<NodeId>(rng_.next_below(universe_));
+    if (c == self) continue;
+    if (exclude && exclude(c)) continue;
+    if (std::find(out.begin(), out.end(), c) != out.end()) continue;
+    out.push_back(c);
+  }
+  if (out.size() < k) {
+    for (NodeId c = 0; c < universe_ && out.size() < k; ++c) {
+      if (c == self) continue;
+      if (exclude && exclude(c)) continue;
+      if (std::find(out.begin(), out.end(), c) != out.end()) continue;
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+BasaltView::BasaltView(NodeId self, std::size_t view_size, std::uint64_t seed)
+    : self_(self),
+      slot_seed_(view_size),
+      slot_peer_(view_size, 0),
+      slot_filled_(view_size, false),
+      rng_(seed) {
+  for (auto& s : slot_seed_) s = rng_.next();
+}
+
+std::uint64_t BasaltView::rank(std::size_t slot, NodeId peer) const {
+  std::uint64_t x = slot_seed_[slot] ^ (0x9e3779b97f4a7c15ULL * (peer + 1));
+  return util::splitmix64(x);
+}
+
+void BasaltView::offer(NodeId peer) {
+  if (peer == self_) return;
+  for (std::size_t i = 0; i < slot_seed_.size(); ++i) {
+    if (!slot_filled_[i] || rank(i, peer) < rank(i, slot_peer_[i])) {
+      slot_peer_[i] = peer;
+      slot_filled_[i] = true;
+    }
+  }
+}
+
+void BasaltView::refresh() {
+  if (slot_seed_.empty()) return;
+  const std::size_t i = next_refresh_ % slot_seed_.size();
+  next_refresh_ = (next_refresh_ + 1) % slot_seed_.size();
+  slot_seed_[i] = rng_.next();
+  // The occupant keeps the slot only if it also wins under the new seed
+  // against future offers; rank resets implicitly since comparisons use the
+  // new seed from now on.
+}
+
+void BasaltView::evict(NodeId peer) {
+  for (std::size_t i = 0; i < slot_peer_.size(); ++i) {
+    if (slot_filled_[i] && slot_peer_[i] == peer) slot_filled_[i] = false;
+  }
+}
+
+std::vector<NodeId> BasaltView::view() const {
+  std::vector<NodeId> out;
+  for (std::size_t i = 0; i < slot_peer_.size(); ++i) {
+    if (slot_filled_[i]) out.push_back(slot_peer_[i]);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace lo::overlay

@@ -1,0 +1,79 @@
+// Byzantine-resilient uniform peer sampling (Sec. 3 "Continuous Sampling",
+// Sec. 5.1), modeled on Basalt [4] and Brahms [7].
+//
+// LØ assumes a sampler with two properties: (i) honest peers eventually form
+// a connected subgraph, and (ii) samples are uniform over the membership.
+// Two implementations are provided:
+//
+//  - UniformSamplerOracle: directly samples the membership list. This is the
+//    assumption-level model used by the evaluation harness (the paper itself
+//    "first runs an unbiased sampling algorithm" before measuring).
+//
+//  - BasaltView: a hash-ranking view, the core mechanism of Basalt. Each node
+//    keeps the v peers minimizing H(seed_slot ‖ peer). Because ranking seeds
+//    are local and refreshed, an adversary cannot craft ids that dominate all
+//    views; exposed/suspected peers are filtered out before ranking, which is
+//    exactly where LØ's blame output feeds back into the overlay (Sec. 5.1:
+//    discovery continues "until it is provided with a sufficient number of
+//    non-suspected and non-exposed peers").
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace lo::overlay {
+
+using NodeId = std::uint32_t;
+
+class UniformSamplerOracle {
+ public:
+  UniformSamplerOracle(std::size_t universe, std::uint64_t seed)
+      : universe_(universe), rng_(seed) {}
+
+  // k distinct peers, uniform over the universe, excluding `self` and any id
+  // for which `exclude` returns true. Returns fewer than k if the candidate
+  // pool is smaller than k.
+  std::vector<NodeId> sample(NodeId self, std::size_t k,
+                             const std::function<bool(NodeId)>& exclude = {});
+
+ private:
+  std::size_t universe_;
+  util::Rng rng_;
+};
+
+class BasaltView {
+ public:
+  // view_size: v; slots are reseeded round-robin, one per refresh() call,
+  // bounding the lifetime of any adversarial placement.
+  BasaltView(NodeId self, std::size_t view_size, std::uint64_t seed);
+
+  // Offers a candidate peer (learned from gossip); it is kept in slot i if it
+  // hash-ranks below the current occupant.
+  void offer(NodeId peer);
+
+  // Reseeds the next slot (forcing eventual turnover) — call periodically.
+  void refresh();
+
+  // Removes a peer from all slots (e.g. after exposure).
+  void evict(NodeId peer);
+
+  // Current view contents (deduplicated, excludes empty slots).
+  std::vector<NodeId> view() const;
+
+  std::size_t slots() const noexcept { return slot_seed_.size(); }
+
+ private:
+  std::uint64_t rank(std::size_t slot, NodeId peer) const;
+
+  NodeId self_;
+  std::vector<std::uint64_t> slot_seed_;
+  std::vector<NodeId> slot_peer_;   // kNone when empty
+  std::vector<bool> slot_filled_;
+  std::size_t next_refresh_ = 0;
+  util::Rng rng_;
+};
+
+}  // namespace lo::overlay

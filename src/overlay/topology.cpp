@@ -1,0 +1,168 @@
+#include "overlay/topology.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace lo::overlay {
+
+namespace {
+
+// Union-find over node ids.
+class Dsu {
+ public:
+  explicit Dsu(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+  bool unite(std::size_t a, std::size_t b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    parent_[a] = b;
+    return true;
+  }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+}  // namespace
+
+Topology Topology::random(std::size_t n, const TopologyConfig& cfg,
+                          util::Rng& rng) {
+  Topology t(n);
+  if (n < 2) return t;
+  std::vector<std::size_t> in_degree(n, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    std::size_t attempts = 0;
+    std::size_t made = 0;
+    const std::size_t want = std::min(cfg.out_degree, n - 1);
+    while (made < want && attempts < 50 * cfg.out_degree) {
+      ++attempts;
+      const NodeId u = static_cast<NodeId>(rng.next_below(n));
+      if (u == v || t.has_edge(v, u)) continue;
+      if (in_degree[u] >= cfg.max_in_degree) continue;
+      t.add_edge(v, u);
+      ++in_degree[u];
+      ++made;
+    }
+  }
+  t.ensure_connected(rng);
+  return t;
+}
+
+bool Topology::has_edge(NodeId a, NodeId b) const {
+  const auto& na = adj_.at(a);
+  return std::find(na.begin(), na.end(), b) != na.end();
+}
+
+void Topology::add_edge(NodeId a, NodeId b) {
+  if (a == b) return;
+  if (a >= adj_.size() || b >= adj_.size()) throw std::out_of_range("node id");
+  if (has_edge(a, b)) return;
+  adj_[a].push_back(b);
+  adj_[b].push_back(a);
+}
+
+void Topology::remove_edge(NodeId a, NodeId b) {
+  auto erase_from = [this](NodeId x, NodeId y) {
+    auto& v = adj_.at(x);
+    v.erase(std::remove(v.begin(), v.end(), y), v.end());
+  };
+  erase_from(a, b);
+  erase_from(b, a);
+}
+
+std::size_t Topology::edge_count() const noexcept {
+  std::size_t sum = 0;
+  for (const auto& v : adj_) sum += v.size();
+  return sum / 2;
+}
+
+bool Topology::connected() const {
+  std::vector<bool> all(adj_.size(), true);
+  return connected_among(all);
+}
+
+bool Topology::connected_among(const std::vector<bool>& include) const {
+  const std::size_t n = adj_.size();
+  if (include.size() != n) throw std::invalid_argument("include size mismatch");
+  // BFS from the first included node, traversing only included nodes.
+  std::size_t start = n, want = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (include[i]) {
+      if (start == n) start = i;
+      ++want;
+    }
+  }
+  if (want <= 1) return true;
+  std::vector<bool> seen(n, false);
+  std::vector<NodeId> stack{static_cast<NodeId>(start)};
+  seen[start] = true;
+  std::size_t found = 1;
+  while (!stack.empty()) {
+    const NodeId v = stack.back();
+    stack.pop_back();
+    for (NodeId u : adj_[v]) {
+      if (!include[u] || seen[u]) continue;
+      seen[u] = true;
+      ++found;
+      stack.push_back(u);
+    }
+  }
+  return found == want;
+}
+
+void Topology::ensure_connected(util::Rng& rng) {
+  std::vector<bool> all(adj_.size(), true);
+  ensure_connected_among(all, rng);
+}
+
+void Topology::ensure_connected_among(const std::vector<bool>& include,
+                                      util::Rng& rng) {
+  const std::size_t n = adj_.size();
+  if (include.size() != n) throw std::invalid_argument("include size mismatch");
+  std::vector<NodeId> members;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (include[i]) members.push_back(static_cast<NodeId>(i));
+  }
+  if (members.size() <= 1) return;
+
+  Dsu dsu(n);
+  for (NodeId v : members) {
+    for (NodeId u : adj_[v]) {
+      if (include[u]) dsu.unite(v, u);
+    }
+  }
+  // Link component representatives with random member pairs.
+  std::vector<NodeId> reps;
+  for (NodeId v : members) {
+    if (dsu.find(v) == v) reps.push_back(v);
+  }
+  // Re-derive components as groups and chain them with random edges.
+  while (true) {
+    // Find two distinct components.
+    NodeId a = members[rng.next_below(members.size())];
+    bool done = true;
+    for (NodeId v : members) {
+      if (dsu.find(v) != dsu.find(a)) {
+        done = false;
+        // Pick random endpoints in each component for a less star-like repair.
+        NodeId b = v;
+        add_edge(a, b);
+        dsu.unite(a, b);
+        break;
+      }
+    }
+    if (done) break;
+  }
+}
+
+}  // namespace lo::overlay

@@ -1,0 +1,65 @@
+// Communication overlay construction (Sec. 3 "Communication Overlay",
+// Sec. 6.1 experimental setup).
+//
+// The paper's topology: every node opens 8 outgoing connections and accepts
+// up to 125 incoming ones (Bitcoin defaults); links are undirected once
+// established. For the resilience experiments (Sec. 6.2) the harness must
+// additionally guarantee that the correct nodes form a connected subgraph —
+// every pair of correct nodes is joined by a path of correct nodes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace lo::overlay {
+
+using NodeId = std::uint32_t;
+
+struct TopologyConfig {
+  std::size_t out_degree = 8;
+  std::size_t max_in_degree = 125;
+};
+
+class Topology {
+ public:
+  Topology() = default;
+  explicit Topology(std::size_t n) : adj_(n) {}
+
+  // Random graph per the config; connectivity is then repaired so the whole
+  // graph is connected.
+  static Topology random(std::size_t n, const TopologyConfig& cfg,
+                         util::Rng& rng);
+
+  std::size_t size() const noexcept { return adj_.size(); }
+  const std::vector<NodeId>& neighbors(NodeId v) const { return adj_.at(v); }
+
+  bool has_edge(NodeId a, NodeId b) const;
+  // Adds an undirected edge (no-op if present or a == b).
+  void add_edge(NodeId a, NodeId b);
+  void remove_edge(NodeId a, NodeId b);
+
+  std::size_t edge_count() const noexcept;
+  std::size_t degree(NodeId v) const { return adj_.at(v).size(); }
+
+  // True iff the whole graph is connected (empty/1-node graphs count as
+  // connected).
+  bool connected() const;
+
+  // True iff the subgraph induced by nodes with include[v] == true is
+  // connected.
+  bool connected_among(const std::vector<bool>& include) const;
+
+  // Adds random edges until the graph is connected.
+  void ensure_connected(util::Rng& rng);
+
+  // Adds random edges between included nodes until the induced subgraph is
+  // connected (used to set up the Sec. 6.2 honest-connectivity precondition).
+  void ensure_connected_among(const std::vector<bool>& include, util::Rng& rng);
+
+ private:
+  std::vector<std::vector<NodeId>> adj_;
+};
+
+}  // namespace lo::overlay

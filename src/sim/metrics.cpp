@@ -1,0 +1,72 @@
+#include "sim/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace lo::sim {
+
+double Samples::mean() const {
+  if (values_.empty()) return 0.0;
+  double s = 0.0;
+  for (double v : values_) s += v;
+  return s / static_cast<double>(values_.size());
+}
+
+double Samples::stddev() const {
+  if (values_.size() < 2) return 0.0;
+  const double m = mean();
+  double s = 0.0;
+  for (double v : values_) s += (v - m) * (v - m);
+  return std::sqrt(s / static_cast<double>(values_.size() - 1));
+}
+
+double Samples::min() const {
+  if (values_.empty()) return 0.0;
+  return *std::min_element(values_.begin(), values_.end());
+}
+
+double Samples::max() const {
+  if (values_.empty()) return 0.0;
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+double Samples::percentile(double q) const {
+  if (values_.empty()) return 0.0;
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("percentile out of range");
+  std::vector<double> sorted = values_;
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
+
+std::vector<Samples::HistogramBin> Samples::histogram(std::size_t bins,
+                                                      double lo,
+                                                      double hi) const {
+  if (bins == 0 || hi <= lo) throw std::invalid_argument("bad histogram spec");
+  std::vector<HistogramBin> out(bins);
+  const double width = (hi - lo) / static_cast<double>(bins);
+  for (std::size_t i = 0; i < bins; ++i) {
+    out[i].lo = lo + width * static_cast<double>(i);
+    out[i].hi = out[i].lo + width;
+    out[i].count = 0;
+  }
+  std::size_t total = 0;
+  for (double v : values_) {
+    if (v < lo || v >= hi) continue;
+    const std::size_t idx = static_cast<std::size_t>((v - lo) / width);
+    ++out[idx < bins ? idx : bins - 1].count;
+    ++total;
+  }
+  for (auto& b : out) {
+    b.density = total == 0 ? 0.0
+                           : static_cast<double>(b.count) /
+                                 (static_cast<double>(total) * width);
+  }
+  return out;
+}
+
+}  // namespace lo::sim

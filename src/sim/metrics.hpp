@@ -1,0 +1,40 @@
+// Lightweight metric collectors shared by experiments and tests.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace lo::sim {
+
+// A bag of scalar samples with summary statistics and a fixed-bin histogram
+// (used for the Fig. 7 latency density plot).
+class Samples {
+ public:
+  void add(double v) { values_.push_back(v); }
+  std::size_t count() const noexcept { return values_.size(); }
+  bool empty() const noexcept { return values_.empty(); }
+
+  double mean() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  // Linear-interpolated percentile, q in [0, 1].
+  double percentile(double q) const;
+
+  struct HistogramBin {
+    double lo;
+    double hi;
+    std::size_t count;
+    double density;  // count / (total * width)
+  };
+  std::vector<HistogramBin> histogram(std::size_t bins, double lo, double hi) const;
+
+  const std::vector<double>& values() const noexcept { return values_; }
+  void clear() noexcept { values_.clear(); }
+
+ private:
+  std::vector<double> values_;
+};
+
+}  // namespace lo::sim

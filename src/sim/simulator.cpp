@@ -1,0 +1,64 @@
+#include "sim/simulator.hpp"
+
+#include <stdexcept>
+
+namespace lo::sim {
+
+Simulator::Simulator(std::uint64_t seed) : rng_(seed) {
+  latency_ = std::make_shared<ConstantLatency>(50 * kMillisecond);
+}
+
+NodeId Simulator::add_node(INode* node) {
+  if (node == nullptr) throw std::invalid_argument("null node");
+  nodes_.push_back(node);
+  bandwidth_.ensure_nodes(nodes_.size());
+  return static_cast<NodeId>(nodes_.size() - 1);
+}
+
+void Simulator::send(NodeId from, NodeId to, PayloadPtr msg) {
+  if (to >= nodes_.size()) throw std::out_of_range("unknown destination node");
+  bandwidth_.record(from, msg->type_name(), msg->wire_size());
+  if (drop_probability_ > 0.0 && rng_.next_bool(drop_probability_)) return;
+  if (filter_ && !filter_(from, to)) return;
+  const Duration lat = latency_->latency_us(from, to, rng_);
+  INode* dest = nodes_[to];
+  schedule(lat, [dest, from, msg = std::move(msg)] { dest->on_message(from, msg); });
+}
+
+void Simulator::schedule(Duration delay, std::function<void()> fn) {
+  if (delay < 0) delay = 0;
+  queue_.push(Event{now_ + delay, next_seq_++, std::move(fn)});
+}
+
+void Simulator::start() {
+  if (started_) return;
+  started_ = true;
+  bandwidth_.ensure_nodes(nodes_.size());
+  for (auto* n : nodes_) n->on_start();
+}
+
+std::size_t Simulator::run_until(TimePoint horizon) {
+  start();
+  std::size_t processed = 0;
+  while (!queue_.empty() && queue_.top().at <= horizon) {
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.at;
+    ev.fn();
+    ++processed;
+  }
+  if (now_ < horizon) now_ = horizon;
+  return processed;
+}
+
+bool Simulator::step() {
+  start();
+  if (queue_.empty()) return false;
+  Event ev = queue_.top();
+  queue_.pop();
+  now_ = ev.at;
+  ev.fn();
+  return true;
+}
+
+}  // namespace lo::sim

@@ -1,0 +1,130 @@
+// Deterministic discrete-event network simulator.
+//
+// The paper evaluates LØ on a 10,000-process cluster deployment; this
+// reproduction substitutes a single-process event-driven simulation (see
+// DESIGN.md, substitution 3). Nodes exchange Payload messages; delivery
+// latency comes from a pluggable LatencyModel; every sent byte is recorded by
+// the BandwidthAccountant, which is the ground truth for the Fig. 9
+// bandwidth-overhead comparison.
+//
+// Determinism: events fire in (time, insertion sequence) order and all
+// randomness flows from the seed passed to the constructor, so a run is
+// reproducible bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/bandwidth.hpp"
+#include "sim/latency.hpp"
+#include "util/rng.hpp"
+
+namespace lo::sim {
+
+using NodeId = std::uint32_t;
+using TimePoint = std::int64_t;  // microseconds since simulation start
+using Duration = std::int64_t;   // microseconds
+
+constexpr Duration from_seconds(double s) noexcept {
+  return static_cast<Duration>(s * 1e6);
+}
+constexpr double to_seconds(TimePoint t) noexcept {
+  return static_cast<double>(t) / 1e6;
+}
+constexpr Duration kMillisecond = 1000;
+constexpr Duration kSecond = 1000000;
+
+// Base class for all wire messages. wire_size() must return the serialized
+// size in bytes — it is what the bandwidth accountant charges.
+class Payload {
+ public:
+  virtual ~Payload() = default;
+  virtual const char* type_name() const noexcept = 0;
+  virtual std::size_t wire_size() const noexcept = 0;
+};
+
+using PayloadPtr = std::shared_ptr<const Payload>;
+
+class INode {
+ public:
+  virtual ~INode() = default;
+  // Called once when the simulation starts (after all nodes are registered).
+  virtual void on_start() {}
+  virtual void on_message(NodeId from, const PayloadPtr& msg) = 0;
+};
+
+class Simulator {
+ public:
+  explicit Simulator(std::uint64_t seed);
+
+  TimePoint now() const noexcept { return now_; }
+  util::Rng& rng() noexcept { return rng_; }
+  BandwidthAccountant& bandwidth() noexcept { return bandwidth_; }
+  const BandwidthAccountant& bandwidth() const noexcept { return bandwidth_; }
+
+  // Registers a node; ids are assigned densely starting at 0. The simulator
+  // does not own the node.
+  NodeId add_node(INode* node);
+  std::size_t node_count() const noexcept { return nodes_.size(); }
+
+  void set_latency_model(std::shared_ptr<LatencyModel> model) {
+    latency_ = std::move(model);
+  }
+
+  // Uniform message loss probability (applied per message).
+  void set_drop_probability(double p) noexcept { drop_probability_ = p; }
+
+  // Arbitrary delivery filter for partitions/censorship at the network level;
+  // return false to drop the message. Bandwidth is still charged to the
+  // sender (the bytes left the NIC).
+  using DeliveryFilter = std::function<bool(NodeId from, NodeId to)>;
+  void set_delivery_filter(DeliveryFilter f) { filter_ = std::move(f); }
+
+  // Sends a message; it arrives at `to` after the model latency.
+  void send(NodeId from, NodeId to, PayloadPtr msg);
+
+  // Schedules fn at now() + delay (delay >= 0).
+  void schedule(Duration delay, std::function<void()> fn);
+
+  // Calls on_start() on every node (in id order). Must be called once before
+  // stepping/running; idempotent.
+  void start();
+
+  // Processes events until the queue is empty or the horizon is reached.
+  // Returns the number of events processed.
+  std::size_t run_until(TimePoint horizon);
+
+  // Processes a single event; returns false when the queue is empty.
+  bool step();
+
+  std::size_t pending_events() const noexcept { return queue_.size(); }
+
+ private:
+  struct Event {
+    TimePoint at;
+    std::uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct EventOrder {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.at != b.at) return a.at > b.at;  // min-heap on time
+      return a.seq > b.seq;                  // FIFO among simultaneous events
+    }
+  };
+
+  TimePoint now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  util::Rng rng_;
+  std::vector<INode*> nodes_;
+  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+  std::shared_ptr<LatencyModel> latency_;
+  BandwidthAccountant bandwidth_;
+  double drop_probability_ = 0.0;
+  DeliveryFilter filter_;
+  bool started_ = false;
+};
+
+}  // namespace lo::sim

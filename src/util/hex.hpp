@@ -1,0 +1,32 @@
+// Hex encoding helpers, mostly for test vectors and log/debug output.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace lo::util {
+
+std::string to_hex(std::span<const std::uint8_t> data);
+
+template <std::size_t N>
+std::string to_hex(const std::array<std::uint8_t, N>& data) {
+  return to_hex(std::span<const std::uint8_t>(data.data(), N));
+}
+
+// Parses a hex string (even length, [0-9a-fA-F]); throws std::invalid_argument.
+std::vector<std::uint8_t> from_hex(std::string_view hex);
+
+template <std::size_t N>
+std::array<std::uint8_t, N> from_hex_fixed(std::string_view hex) {
+  auto v = from_hex(hex);
+  if (v.size() != N) throw std::invalid_argument("hex length mismatch");
+  std::array<std::uint8_t, N> out;
+  for (std::size_t i = 0; i < N; ++i) out[i] = v[i];
+  return out;
+}
+
+}  // namespace lo::util

@@ -1,0 +1,43 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace lo::util {
+
+double Rng::next_exponential(double mean) noexcept {
+  // Inverse CDF; guard against log(0).
+  double u = next_double();
+  if (u >= 1.0) u = 0.9999999999999999;
+  return -mean * std::log1p(-u);
+}
+
+double Rng::next_normal() noexcept {
+  // Box–Muller, discarding the second variate so the stream stays stateless.
+  double u1 = next_double();
+  double u2 = next_double();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double Rng::next_lognormal(double mu, double sigma) noexcept {
+  return std::exp(mu + sigma * next_normal());
+}
+
+std::vector<std::size_t> Rng::sample_indices(std::size_t n, std::size_t k) {
+  std::vector<std::size_t> all(n);
+  for (std::size_t i = 0; i < n; ++i) all[i] = i;
+  if (k >= n) {
+    shuffle(all);
+    return all;
+  }
+  // Partial Fisher–Yates: shuffle only the first k slots.
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t j = i + static_cast<std::size_t>(next_below(n - i));
+    std::swap(all[i], all[j]);
+  }
+  all.resize(k);
+  return all;
+}
+
+}  // namespace lo::util

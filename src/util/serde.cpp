@@ -1,0 +1,23 @@
+#include "util/serde.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace lo::util {
+
+void Writer::f64(double v) {
+  static_assert(sizeof(double) == sizeof(std::uint64_t));
+  std::uint64_t bits = std::bit_cast<std::uint64_t>(v);
+  u64(bits);
+}
+
+std::vector<std::uint8_t> Writer::take_u8() {
+  std::vector<std::uint8_t> out(buf_.size());
+  std::memcpy(out.data(), buf_.data(), buf_.size());
+  buf_.clear();
+  return out;
+}
+
+double Reader::f64() { return std::bit_cast<double>(u64()); }
+
+}  // namespace lo::util

@@ -1,0 +1,32 @@
+#include "workload/txgen.hpp"
+
+#include <cmath>
+
+namespace lo::workload {
+
+TxGenerator::TxGenerator(const WorkloadConfig& config)
+    : config_(config), rng_(config.seed) {
+  clients_.reserve(config_.num_clients);
+  for (std::size_t i = 0; i < config_.num_clients; ++i) {
+    clients_.emplace_back(
+        crypto::derive_keypair(config.seed * 1000003ULL + i, config.sig_mode),
+        config.sig_mode);
+  }
+}
+
+core::Transaction TxGenerator::next(std::int64_t now_us) {
+  const auto& client = clients_[rng_.next_below(clients_.size())];
+  const double fee_f = rng_.next_lognormal(config_.fee_mu, config_.fee_sigma);
+  const std::uint64_t fee =
+      1 + static_cast<std::uint64_t>(std::min(fee_f, 1e15));
+  return core::make_transaction(client, ++count_, fee, now_us);
+}
+
+std::int64_t TxGenerator::next_gap_us() {
+  const double mean_us = 1e6 / config_.tps;
+  if (!config_.poisson_arrivals) return static_cast<std::int64_t>(mean_us);
+  const double gap = rng_.next_exponential(mean_us);
+  return std::max<std::int64_t>(1, static_cast<std::int64_t>(gap));
+}
+
+}  // namespace lo::workload

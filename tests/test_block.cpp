@@ -1,0 +1,172 @@
+// Block tests: canonical segment construction, seeded intra-bundle shuffle,
+// signing, hashing, serialization sizes (Sec. 4.3).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/block.hpp"
+#include "util/rng.hpp"
+
+namespace lo::core {
+namespace {
+
+constexpr auto kMode = crypto::SignatureMode::kSimFast;
+
+crypto::Signer signer(std::uint64_t id) {
+  return crypto::Signer(crypto::derive_keypair(id, kMode), kMode);
+}
+
+TxId random_txid(util::Rng& rng) {
+  TxId id;
+  for (auto& b : id) b = static_cast<std::uint8_t>(rng.next());
+  return id;
+}
+
+std::vector<TxId> random_txids(util::Rng& rng, std::size_t n) {
+  std::vector<TxId> out(n);
+  for (auto& id : out) id = random_txid(rng);
+  return out;
+}
+
+crypto::Digest256 some_hash(std::uint8_t fill) {
+  crypto::Digest256 h;
+  h.fill(fill);
+  return h;
+}
+
+TEST(CanonicalShuffle, DeterministicForSeed) {
+  util::Rng rng(1);
+  const auto ids = random_txids(rng, 20);
+  const auto a = canonical_shuffle(ids, some_hash(1), 3);
+  const auto b = canonical_shuffle(ids, some_hash(1), 3);
+  EXPECT_EQ(a, b);
+}
+
+TEST(CanonicalShuffle, SeedChangesOrder) {
+  util::Rng rng(2);
+  const auto ids = random_txids(rng, 20);
+  const auto a = canonical_shuffle(ids, some_hash(1), 3);
+  const auto b = canonical_shuffle(ids, some_hash(2), 3);  // different prev
+  const auto c = canonical_shuffle(ids, some_hash(1), 4);  // different seqno
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(CanonicalShuffle, IsPermutation) {
+  util::Rng rng(3);
+  auto ids = random_txids(rng, 30);
+  auto shuffled = canonical_shuffle(ids, some_hash(7), 1);
+  std::sort(ids.begin(), ids.end());
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(ids, shuffled);
+}
+
+TEST(BuildSegments, OneSegmentPerBundleInOrder) {
+  CommitmentLog log(1, CommitmentParams{});
+  util::Rng rng(4);
+  log.append(random_txids(rng, 4), 2);
+  log.append(random_txids(rng, 3), 3);
+  const auto segs = build_canonical_segments(log, some_hash(1), nullptr);
+  ASSERT_EQ(segs.size(), 2u);
+  EXPECT_EQ(segs[0].seqno, 1u);
+  EXPECT_EQ(segs[1].seqno, 2u);
+  EXPECT_EQ(segs[0].txids.size(), 4u);
+  EXPECT_EQ(segs[1].txids.size(), 3u);
+  // Segment content must be the canonical shuffle of the bundle.
+  EXPECT_EQ(segs[0].txids,
+            canonical_shuffle(log.bundles()[0].txids, some_hash(1), 1));
+}
+
+TEST(BuildSegments, IncludeFilterDropsButKeepsOrder) {
+  CommitmentLog log(1, CommitmentParams{});
+  util::Rng rng(5);
+  log.append(random_txids(rng, 10), 2);
+  const auto all = build_canonical_segments(log, some_hash(2), nullptr);
+  ASSERT_EQ(all.size(), 1u);
+  // Keep only every other tx of the canonical order.
+  std::unordered_set<TxId, TxIdHash> keep;
+  for (std::size_t i = 0; i < all[0].txids.size(); i += 2) {
+    keep.insert(all[0].txids[i]);
+  }
+  const auto filtered = build_canonical_segments(
+      log, some_hash(2), [&keep](const TxId& id) { return keep.count(id) != 0; });
+  ASSERT_EQ(filtered.size(), 1u);
+  ASSERT_EQ(filtered[0].txids.size(), keep.size());
+  // Filtered sequence must be a subsequence of the canonical order.
+  std::size_t pos = 0;
+  for (const auto& id : filtered[0].txids) {
+    while (pos < all[0].txids.size() && all[0].txids[pos] != id) ++pos;
+    ASSERT_LT(pos, all[0].txids.size());
+    ++pos;
+  }
+}
+
+TEST(BuildSegments, EmptySegmentsOmitted) {
+  CommitmentLog log(1, CommitmentParams{});
+  util::Rng rng(6);
+  log.append(random_txids(rng, 3), 2);
+  const auto segs = build_canonical_segments(
+      log, some_hash(3), [](const TxId&) { return false; });
+  EXPECT_TRUE(segs.empty());
+}
+
+TEST(Block, BuildSignVerify) {
+  CommitmentLog log(5, CommitmentParams{});
+  util::Rng rng(7);
+  log.append(random_txids(rng, 6), 2);
+  const auto s = signer(5);
+  const auto block = build_block(log, s, 10, some_hash(9), nullptr);
+  EXPECT_EQ(block.creator, 5u);
+  EXPECT_EQ(block.height, 10u);
+  EXPECT_EQ(block.commit_seqno, 1u);
+  EXPECT_EQ(block.tx_count(), 6u);
+  EXPECT_TRUE(block.verify(kMode));
+  auto tampered = block;
+  tampered.height = 11;
+  EXPECT_FALSE(tampered.verify(kMode));
+}
+
+TEST(Block, HashChangesWithContent) {
+  CommitmentLog log(5, CommitmentParams{});
+  util::Rng rng(8);
+  log.append(random_txids(rng, 4), 2);
+  const auto s = signer(5);
+  const auto a = build_block(log, s, 1, some_hash(1), nullptr);
+  const auto b = build_block(log, s, 2, some_hash(1), nullptr);
+  EXPECT_NE(a.hash(), b.hash());
+}
+
+TEST(Block, FlatTxidsMatchesSegments) {
+  CommitmentLog log(5, CommitmentParams{});
+  util::Rng rng(9);
+  log.append(random_txids(rng, 3), 2);
+  log.append(random_txids(rng, 2), 3);
+  const auto block = build_block(log, signer(5), 1, some_hash(1), nullptr);
+  const auto flat = block.flat_txids();
+  EXPECT_EQ(flat.size(), 5u);
+  std::vector<TxId> manual;
+  for (const auto& seg : block.segments) {
+    manual.insert(manual.end(), seg.txids.begin(), seg.txids.end());
+  }
+  EXPECT_EQ(flat, manual);
+}
+
+TEST(Block, WireSizeScalesWithTxs) {
+  CommitmentLog log(5, CommitmentParams{});
+  util::Rng rng(10);
+  const auto empty_block = build_block(log, signer(5), 1, some_hash(1), nullptr);
+  log.append(random_txids(rng, 10), 2);
+  const auto full_block = build_block(log, signer(5), 1, some_hash(1), nullptr);
+  EXPECT_GE(full_block.wire_size(), empty_block.wire_size() + 10 * 32);
+}
+
+TEST(Block, EmptyLogGivesEmptyBlock) {
+  CommitmentLog log(5, CommitmentParams{});
+  const auto block = build_block(log, signer(5), 1, some_hash(1), nullptr);
+  EXPECT_EQ(block.tx_count(), 0u);
+  EXPECT_EQ(block.commit_seqno, 0u);
+  EXPECT_TRUE(block.verify(kMode));
+}
+
+}  // namespace
+}  // namespace lo::core

@@ -1,0 +1,166 @@
+// Bloom Clock tests: partial-order laws, difference estimation, merge
+// semantics, and the paper's 68-byte wire format.
+#include <gtest/gtest.h>
+
+#include "bloomclock/bloom_clock.hpp"
+#include "util/rng.hpp"
+
+namespace lo::bloom {
+namespace {
+
+TEST(BloomClock, FreshClocksAreEqual) {
+  BloomClock a, b;
+  EXPECT_EQ(a.compare(b), ClockOrder::kEqual);
+  EXPECT_TRUE(a.dominated_by(b));
+  EXPECT_TRUE(b.dominated_by(a));
+}
+
+TEST(BloomClock, AddMakesStrictlyAfter) {
+  BloomClock a, b;
+  b.add(42);
+  EXPECT_EQ(a.compare(b), ClockOrder::kBefore);
+  EXPECT_EQ(b.compare(a), ClockOrder::kAfter);
+  EXPECT_TRUE(a.dominated_by(b));
+  EXPECT_FALSE(b.dominated_by(a));
+}
+
+TEST(BloomClock, PrefixIsDominated) {
+  BloomClock a, b;
+  util::Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    const auto v = rng.next();
+    a.add(v);
+    b.add(v);
+  }
+  for (int i = 0; i < 20; ++i) b.add(rng.next());
+  EXPECT_TRUE(a.dominated_by(b));
+  EXPECT_EQ(b.compare(a), ClockOrder::kAfter);
+}
+
+TEST(BloomClock, DivergentHistoriesAreConcurrent) {
+  BloomClock a, b;
+  util::Rng rng(2);
+  for (int i = 0; i < 64; ++i) a.add(rng.next());
+  for (int i = 0; i < 64; ++i) b.add(rng.next());
+  EXPECT_EQ(a.compare(b), ClockOrder::kConcurrent);
+  EXPECT_FALSE(a.dominated_by(b));
+  EXPECT_FALSE(b.dominated_by(a));
+}
+
+TEST(BloomClock, SameSetSameClock) {
+  BloomClock a, b;
+  util::Rng rng(3);
+  std::vector<std::uint64_t> items;
+  for (int i = 0; i < 100; ++i) items.push_back(rng.next());
+  for (auto v : items) a.add(v);
+  // Insert in reverse order — clocks are order-insensitive (set semantics).
+  for (auto it = items.rbegin(); it != items.rend(); ++it) b.add(*it);
+  EXPECT_EQ(a, b);
+}
+
+TEST(BloomClock, L1DistanceTracksDifference) {
+  BloomClock a, b;
+  util::Rng rng(4);
+  for (int i = 0; i < 100; ++i) {
+    const auto v = rng.next();
+    a.add(v);
+    b.add(v);
+  }
+  EXPECT_EQ(a.l1_distance(b), 0u);
+  for (int i = 0; i < 30; ++i) b.add(rng.next());
+  // With k=1 hash, L1 distance equals the insert-count difference exactly.
+  EXPECT_EQ(a.l1_distance(b), 30u);
+}
+
+TEST(BloomClock, PopulationCountsInsertions) {
+  BloomClock c(32, 2);
+  for (int i = 0; i < 25; ++i) c.add(static_cast<std::uint64_t>(i) * 77);
+  EXPECT_EQ(c.population(), 25u);
+}
+
+TEST(BloomClock, MergeIsCellwiseSum) {
+  BloomClock a, b;
+  util::Rng rng(5);
+  for (int i = 0; i < 10; ++i) a.add(rng.next());
+  for (int i = 0; i < 15; ++i) b.add(rng.next());
+  BloomClock m = a;
+  m.merge(b);
+  EXPECT_EQ(m.population(), 25u);
+  EXPECT_TRUE(a.dominated_by(m));
+  EXPECT_TRUE(b.dominated_by(m));
+}
+
+TEST(BloomClock, MergeParameterMismatchThrows) {
+  BloomClock a(32, 1), b(64, 1), c(32, 2);
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+  EXPECT_THROW(a.merge(c), std::invalid_argument);
+}
+
+TEST(BloomClock, InvalidConstructionThrows) {
+  EXPECT_THROW(BloomClock(0, 1), std::invalid_argument);
+  EXPECT_THROW(BloomClock(32, 0), std::invalid_argument);
+}
+
+TEST(BloomClock, PaperWireFormat) {
+  // Sec. 6.1: 32 cells, 68 bytes total.
+  BloomClock c;
+  EXPECT_EQ(c.cells(), 32u);
+  EXPECT_EQ(c.serialized_size(), 68u);
+  EXPECT_EQ(c.serialize().size(), 68u);
+}
+
+TEST(BloomClock, SerializeRoundTrip) {
+  BloomClock c(16, 3);
+  util::Rng rng(6);
+  for (int i = 0; i < 40; ++i) c.add(rng.next());
+  const auto bytes = c.serialize();
+  const auto back = BloomClock::deserialize(bytes);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, c);
+  EXPECT_EQ(back->cells(), 16u);
+  EXPECT_EQ(back->hashes(), 3u);
+}
+
+TEST(BloomClock, DeserializeRejectsGarbage) {
+  EXPECT_FALSE(BloomClock::deserialize(std::vector<std::uint8_t>{}).has_value());
+  EXPECT_FALSE(
+      BloomClock::deserialize(std::vector<std::uint8_t>{1, 2, 3}).has_value());
+  // Header claims 32 cells but payload is short.
+  std::vector<std::uint8_t> bad{32, 0, 1, 0, 5, 5};
+  EXPECT_FALSE(BloomClock::deserialize(bad).has_value());
+  // Zero cells is invalid.
+  std::vector<std::uint8_t> zero{0, 0, 1, 0};
+  EXPECT_FALSE(BloomClock::deserialize(zero).has_value());
+}
+
+TEST(BloomClock, SaturatingSerialization) {
+  BloomClock c(1, 1);  // everything lands in one cell
+  for (int i = 0; i < 70000; ++i) c.add(static_cast<std::uint64_t>(i));
+  const auto bytes = c.serialize();
+  const auto back = BloomClock::deserialize(bytes);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->counters()[0], 0xffffu);  // clamped at u16 max
+}
+
+TEST(BloomClock, DominationIsTransitive) {
+  BloomClock a, b, c;
+  util::Rng rng(7);
+  for (int i = 0; i < 10; ++i) {
+    const auto v = rng.next();
+    a.add(v);
+    b.add(v);
+    c.add(v);
+  }
+  for (int i = 0; i < 10; ++i) {
+    const auto v = rng.next();
+    b.add(v);
+    c.add(v);
+  }
+  for (int i = 0; i < 10; ++i) c.add(rng.next());
+  EXPECT_TRUE(a.dominated_by(b));
+  EXPECT_TRUE(b.dominated_by(c));
+  EXPECT_TRUE(a.dominated_by(c));
+}
+
+}  // namespace
+}  // namespace lo::bloom

@@ -1,0 +1,78 @@
+// Consensus-stub tests: leader schedule statistics and chain settlement.
+#include <gtest/gtest.h>
+
+#include "consensus/chain.hpp"
+#include "consensus/leader.hpp"
+#include "core/block.hpp"
+#include "util/rng.hpp"
+
+namespace lo::consensus {
+namespace {
+
+TEST(LeaderSchedule, MeanIntervalMatchesConfig) {
+  LeaderConfig cfg;
+  cfg.mean_block_interval = 12 * sim::kSecond;
+  LeaderSchedule sched(100, cfg);
+  double total = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) total += static_cast<double>(sched.next_interval());
+  EXPECT_NEAR(total / kN, 12e6, 12e6 * 0.05);
+}
+
+TEST(LeaderSchedule, FixedIntervals) {
+  LeaderConfig cfg;
+  cfg.mean_block_interval = 5 * sim::kSecond;
+  cfg.exponential_intervals = false;
+  LeaderSchedule sched(10, cfg);
+  EXPECT_EQ(sched.next_interval(), 5 * sim::kSecond);
+}
+
+TEST(LeaderSchedule, LeadersAreUniform) {
+  LeaderSchedule sched(10, LeaderConfig{});
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[sched.next_leader()];
+  for (int c : counts) EXPECT_NEAR(c, 2000, 250);
+}
+
+TEST(LeaderSchedule, EligibilityFilterHonored) {
+  LeaderSchedule sched(10, LeaderConfig{});
+  std::vector<bool> eligible(10, false);
+  eligible[3] = eligible[7] = true;
+  for (int i = 0; i < 500; ++i) {
+    const auto l = sched.next_leader(&eligible);
+    EXPECT_TRUE(l == 3 || l == 7);
+  }
+}
+
+TEST(Chain, GenesisTipIsZero) {
+  Chain chain;
+  EXPECT_EQ(chain.height(), 0u);
+  EXPECT_EQ(chain.tip_hash(), crypto::Digest256{});
+}
+
+TEST(Chain, AppendSettlesOnce) {
+  Chain chain;
+  constexpr auto kMode = crypto::SignatureMode::kSimFast;
+  crypto::Signer s(crypto::derive_keypair(1, kMode), kMode);
+  core::CommitmentLog log(1, core::CommitmentParams{});
+  util::Rng rng(1);
+  std::vector<core::TxId> ids(5);
+  for (auto& id : ids) {
+    for (auto& b : id) b = static_cast<std::uint8_t>(rng.next());
+  }
+  log.append(ids, 1);
+
+  const auto b1 = core::build_block(log, s, 1, chain.tip_hash(), nullptr);
+  EXPECT_EQ(chain.append(b1), 5u);
+  EXPECT_EQ(chain.height(), 1u);
+  EXPECT_NE(chain.tip_hash(), crypto::Digest256{});
+  for (const auto& id : ids) EXPECT_TRUE(chain.is_settled(id));
+
+  // A second block with the same txs settles nothing new.
+  const auto b2 = core::build_block(log, s, 2, chain.tip_hash(), nullptr);
+  EXPECT_EQ(chain.append(b2), 0u);
+  EXPECT_EQ(chain.settled_count(), 5u);
+}
+
+}  // namespace
+}  // namespace lo::consensus

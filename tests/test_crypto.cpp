@@ -1,0 +1,330 @@
+// Crypto substrate tests: FIPS 180-4 vectors for SHA-256/512, RFC 8032
+// vectors and algebraic properties for the from-scratch Ed25519.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "crypto/ed25519.hpp"
+#include "crypto/keys.hpp"
+#include "crypto/sha256.hpp"
+#include "crypto/sha512.hpp"
+#include "util/hex.hpp"
+
+namespace lo::crypto {
+namespace {
+
+using util::from_hex_fixed;
+using util::to_hex;
+
+// ------------------------------------------------------------- SHA-256 ----
+
+TEST(Sha256, NistVectors) {
+  EXPECT_EQ(to_hex(sha256("")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  EXPECT_EQ(to_hex(sha256("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  EXPECT_EQ(to_hex(sha256(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 h;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(to_hex(h.finalize()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  const std::string msg = "The quick brown fox jumps over the lazy dog";
+  for (std::size_t split = 0; split <= msg.size(); ++split) {
+    Sha256 h;
+    h.update(msg.substr(0, split));
+    h.update(msg.substr(split));
+    EXPECT_EQ(h.finalize(), sha256(msg)) << "split at " << split;
+  }
+}
+
+TEST(Sha256, PaddingBoundaries) {
+  // Lengths around the 55/56/64-byte padding edge must all be distinct and
+  // reproducible.
+  std::set<std::string> seen;
+  for (std::size_t len : {54u, 55u, 56u, 57u, 63u, 64u, 65u, 119u, 120u}) {
+    const std::string m(len, 'x');
+    const auto d = to_hex(sha256(m));
+    EXPECT_TRUE(seen.insert(d).second);
+    EXPECT_EQ(d, to_hex(sha256(m)));
+  }
+}
+
+// ------------------------------------------------------------- SHA-512 ----
+
+TEST(Sha512, NistVectors) {
+  EXPECT_EQ(to_hex(sha512("")),
+            "cf83e1357eefb8bdf1542850d66d8007d620e4050b5715dc83f4a921d36ce9ce"
+            "47d0d13c5d85f2b0ff8318d2877eec2f63b931bd47417a81a538327af927da3e");
+  EXPECT_EQ(to_hex(sha512("abc")),
+            "ddaf35a193617abacc417349ae20413112e6fa4e89a97ea20a9eeee64b55d39a"
+            "2192992a274fc1a836ba3c23a3feebbd454d4423643ce80e2a9ac94fa54ca49f");
+}
+
+TEST(Sha512, TwoBlockMessage) {
+  EXPECT_EQ(
+      to_hex(sha512("abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmn"
+                    "hijklmnoijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu")),
+      "8e959b75dae313da8cf4f72814fc143f8f7779c6eb9f7fa17299aeadb6889018"
+      "501d289e4900f7e4331b99dec4b5433ac7d329eeb6dd26545e96e55b874be909");
+}
+
+TEST(Sha512, IncrementalAcrossBlockBoundary) {
+  const std::string msg(300, 'q');
+  Sha512 h;
+  h.update(msg.substr(0, 127));
+  h.update(msg.substr(127, 2));
+  h.update(msg.substr(129));
+  EXPECT_EQ(h.finalize(), sha512(msg));
+}
+
+// ------------------------------------------------------------- Ed25519 ----
+
+struct Rfc8032Vector {
+  const char* seed;
+  const char* pub;
+  const char* msg_hex;
+  const char* sig;
+};
+
+// Test vectors from RFC 8032 Sec. 7.1 (TEST 1, 2, 3).
+const Rfc8032Vector kVectors[] = {
+    {"9d61b19deffd5a60ba844af492ec2cc44449c5697b326919703bac031cae7f60",
+     "d75a980182b10ab7d54bfed3c964073a0ee172f3daa62325af021a68f707511a", "",
+     "e5564300c360ac729086e2cc806e828a84877f1eb8e5d974d873e06522490155"
+     "5fb8821590a33bacc61e39701cf9b46bd25bf5f0595bbe24655141438e7a100b"},
+    {"4ccd089b28ff96da9db6c346ec114e0f5b8a319f35aba624da8cf6ed4fb8a6fb",
+     "3d4017c3e843895a92b70aa74d1b7ebc9c982ccf2ec4968cc0cd55f12af4660c", "72",
+     "92a009a9f0d4cab8720e820b5f642540a2b27b5416503f8fb3762223ebdb69da"
+     "085ac1e43e15996e458f3613d0f11d8c387b2eaeb4302aeeb00d291612bb0c00"},
+    {"c5aa8df43f9f837bedb7442f31dcb7b166d38535076f094b85ce3a2e0b4458f7",
+     "fc51cd8e6218a1a38da47ed00230f0580816ed13ba3303ac5deb911548908025",
+     "af82",
+     "6291d657deec24024827e69c3abe01a30ce548a284743a445e3680d7db5ac3ac"
+     "18ff9b538d16f290ae67f760984dc6594a7c15e9716ed28dc027beceea1ec40a"},
+};
+
+class Rfc8032Test : public ::testing::TestWithParam<Rfc8032Vector> {};
+
+TEST_P(Rfc8032Test, KeyGenSignVerify) {
+  const auto& v = GetParam();
+  const auto seed = from_hex_fixed<32>(v.seed);
+  const auto msg = util::from_hex(v.msg_hex);
+
+  const auto pub = ed25519_public_key(seed);
+  EXPECT_EQ(to_hex(pub), v.pub);
+
+  const auto sig = ed25519_sign(seed, msg);
+  EXPECT_EQ(to_hex(sig), v.sig);
+
+  EXPECT_TRUE(ed25519_verify(pub, msg, sig));
+}
+
+INSTANTIATE_TEST_SUITE_P(Vectors, Rfc8032Test, ::testing::ValuesIn(kVectors));
+
+TEST(Ed25519, TamperedMessageRejected) {
+  const auto seed = from_hex_fixed<32>(kVectors[2].seed);
+  const auto pub = ed25519_public_key(seed);
+  auto msg = util::from_hex(kVectors[2].msg_hex);
+  const auto sig = ed25519_sign(seed, msg);
+  msg[0] ^= 1;
+  EXPECT_FALSE(ed25519_verify(pub, msg, sig));
+}
+
+TEST(Ed25519, TamperedSignatureRejected) {
+  const auto seed = from_hex_fixed<32>(kVectors[0].seed);
+  const auto pub = ed25519_public_key(seed);
+  auto sig = ed25519_sign(seed, {});
+  for (std::size_t pos : {0u, 31u, 32u, 63u}) {
+    auto bad = sig;
+    bad[pos] ^= 0x40;
+    EXPECT_FALSE(ed25519_verify(pub, {}, bad)) << "flip at " << pos;
+  }
+}
+
+TEST(Ed25519, WrongKeyRejected) {
+  const auto seed_a = from_hex_fixed<32>(kVectors[0].seed);
+  const auto seed_b = from_hex_fixed<32>(kVectors[1].seed);
+  const auto pub_b = ed25519_public_key(seed_b);
+  const auto sig = ed25519_sign(seed_a, {});
+  EXPECT_FALSE(ed25519_verify(pub_b, {}, sig));
+}
+
+TEST(Ed25519, NonCanonicalScalarRejected) {
+  // S >= L must be rejected (malleability guard). Take a valid signature and
+  // add L to S.
+  const auto seed = from_hex_fixed<32>(kVectors[0].seed);
+  const auto pub = ed25519_public_key(seed);
+  auto sig = ed25519_sign(seed, {});
+  // L little-endian.
+  const auto l_bytes = util::from_hex(
+      "edd3f55c1a631258d69cf7a2def9de14000000000000000000000000000000"
+      "10");
+  unsigned carry = 0;
+  for (int i = 0; i < 32; ++i) {
+    const unsigned sum = sig[32 + i] + l_bytes[static_cast<std::size_t>(i)] + carry;
+    sig[32 + i] = static_cast<std::uint8_t>(sum);
+    carry = sum >> 8;
+  }
+  EXPECT_FALSE(ed25519_verify(pub, {}, sig));
+}
+
+TEST(Ed25519, SignatureIsDeterministic) {
+  const auto seed = from_hex_fixed<32>(kVectors[1].seed);
+  const auto msg = util::from_hex("deadbeef");
+  EXPECT_EQ(ed25519_sign(seed, msg), ed25519_sign(seed, msg));
+}
+
+TEST(Ed25519, LargeMessage) {
+  const auto seed = from_hex_fixed<32>(kVectors[0].seed);
+  const auto pub = ed25519_public_key(seed);
+  std::vector<std::uint8_t> msg(10000);
+  for (std::size_t i = 0; i < msg.size(); ++i) msg[i] = static_cast<std::uint8_t>(i);
+  const auto sig = ed25519_sign(seed, msg);
+  EXPECT_TRUE(ed25519_verify(pub, msg, sig));
+}
+
+// Field and group internals.
+
+TEST(Ed25519Internals, FieldArithmetic) {
+  using namespace detail;
+  const Fe two = fe_add(fe_one(), fe_one());
+  const Fe four = fe_mul(two, two);
+  EXPECT_TRUE(fe_eq(four, fe_sq(two)));
+  EXPECT_TRUE(fe_eq(fe_sub(four, two), two));
+  EXPECT_TRUE(fe_is_zero(fe_sub(two, two)));
+  // Inverse: 2 * 2^-1 == 1.
+  EXPECT_TRUE(fe_eq(fe_mul(two, fe_invert(two)), fe_one()));
+}
+
+TEST(Ed25519Internals, FieldBytesRoundTrip) {
+  using namespace detail;
+  std::array<std::uint8_t, 32> b{};
+  b[0] = 42;
+  b[13] = 0xaa;
+  b[31] = 0x55;  // below p, top bit clear
+  EXPECT_EQ(fe_to_bytes(fe_from_bytes(b)), b);
+}
+
+TEST(Ed25519Internals, GroupIdentityAndInverse) {
+  using namespace detail;
+  std::array<std::uint8_t, 32> k{};
+  k[0] = 5;
+  const Ge p = ge_scalarmult_base(k);
+  EXPECT_TRUE(ge_eq(ge_add(p, ge_identity()), p));
+  // p + (-p) == identity.
+  EXPECT_TRUE(ge_eq(ge_add(p, ge_neg(p)), ge_identity()));
+}
+
+TEST(Ed25519Internals, ScalarMultDistributes) {
+  using namespace detail;
+  // (a+b)*B == a*B + b*B for small scalars.
+  std::array<std::uint8_t, 32> a{}, b{}, ab{};
+  a[0] = 100;
+  b[0] = 55;
+  ab[0] = 155;
+  EXPECT_TRUE(ge_eq(ge_scalarmult_base(ab),
+                    ge_add(ge_scalarmult_base(a), ge_scalarmult_base(b))));
+}
+
+TEST(Ed25519Internals, DoubleMatchesAdd) {
+  using namespace detail;
+  std::array<std::uint8_t, 32> k{};
+  k[0] = 9;
+  const Ge p = ge_scalarmult_base(k);
+  EXPECT_TRUE(ge_eq(ge_double(p), ge_add(p, p)));
+}
+
+TEST(Ed25519Internals, PointCompressionRoundTrip) {
+  using namespace detail;
+  for (std::uint8_t s : {1, 2, 3, 77, 200}) {
+    std::array<std::uint8_t, 32> k{};
+    k[0] = s;
+    const Ge p = ge_scalarmult_base(k);
+    const auto enc = ge_to_bytes(p);
+    const auto back = ge_from_bytes(enc);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_TRUE(ge_eq(*back, p));
+    EXPECT_EQ(ge_to_bytes(*back), enc);
+  }
+}
+
+TEST(Ed25519Internals, InvalidPointRejected) {
+  using namespace detail;
+  // A y-coordinate whose curve equation has no solution.
+  std::array<std::uint8_t, 32> bad{};
+  bad[0] = 2;  // y=2: d*y^2+1 vs y^2-1 — not a square ratio for curve25519
+  const auto p = ge_from_bytes(bad);
+  // Either decodes (if on curve) or not; flip until one fails to decode.
+  bool rejected_some = !p.has_value();
+  for (std::uint8_t y = 3; y < 40 && !rejected_some; ++y) {
+    std::array<std::uint8_t, 32> b{};
+    b[0] = y;
+    if (!ge_from_bytes(b)) rejected_some = true;
+  }
+  EXPECT_TRUE(rejected_some);
+}
+
+TEST(Ed25519Internals, ScalarReduceMatchesKnownIdentity) {
+  using namespace detail;
+  // L reduces to 0.
+  const auto l_bytes = util::from_hex(
+      "edd3f55c1a631258d69cf7a2def9de14000000000000000000000000000000"
+      "10");
+  const Sc zero = sc_reduce(l_bytes);
+  EXPECT_EQ(sc_to_bytes(zero), sc_to_bytes(sc_zero()));
+}
+
+TEST(Ed25519Internals, ScalarMulAddConsistency) {
+  using namespace detail;
+  // (3 * 5) + 2 == 17 mod L.
+  auto sc_from_u64 = [](std::uint64_t v) {
+    std::uint8_t b[8];
+    for (int i = 0; i < 8; ++i) b[i] = static_cast<std::uint8_t>(v >> (8 * i));
+    return sc_reduce(std::span<const std::uint8_t>(b, 8));
+  };
+  const Sc lhs = sc_add(sc_mul(sc_from_u64(3), sc_from_u64(5)), sc_from_u64(2));
+  EXPECT_EQ(sc_to_bytes(lhs), sc_to_bytes(sc_from_u64(17)));
+}
+
+// ----------------------------------------------------------------- keys ----
+
+TEST(Keys, DeriveIsDeterministic) {
+  const auto a = derive_keypair(7, SignatureMode::kEd25519);
+  const auto b = derive_keypair(7, SignatureMode::kEd25519);
+  EXPECT_EQ(a.pub, b.pub);
+  EXPECT_EQ(a.seed, b.seed);
+  const auto c = derive_keypair(8, SignatureMode::kEd25519);
+  EXPECT_NE(a.pub, c.pub);
+}
+
+TEST(Keys, SignerRoundTripBothModes) {
+  const std::vector<std::uint8_t> msg{1, 2, 3, 4};
+  for (auto mode : {SignatureMode::kEd25519, SignatureMode::kSimFast}) {
+    Signer s(derive_keypair(99, mode), mode);
+    const auto sig = s.sign(msg);
+    EXPECT_TRUE(Signer::verify(mode, s.public_key(), msg, sig));
+    auto bad = msg;
+    bad[0] ^= 1;
+    EXPECT_FALSE(Signer::verify(mode, s.public_key(), bad, sig));
+  }
+}
+
+TEST(Keys, SimFastRejectsWrongKey) {
+  const std::vector<std::uint8_t> msg{9, 9, 9};
+  Signer a(derive_keypair(1, SignatureMode::kSimFast), SignatureMode::kSimFast);
+  Signer b(derive_keypair(2, SignatureMode::kSimFast), SignatureMode::kSimFast);
+  const auto sig = a.sign(msg);
+  EXPECT_FALSE(Signer::verify(SignatureMode::kSimFast, b.public_key(), msg, sig));
+}
+
+}  // namespace
+}  // namespace lo::crypto

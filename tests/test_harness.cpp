@@ -1,0 +1,174 @@
+// Harness-level tests: LoNetwork assembly invariants, metric plumbing,
+// detection-time computation, coverage helper, workload control.
+#include <gtest/gtest.h>
+
+#include "harness/lo_network.hpp"
+
+namespace lo::harness {
+namespace {
+
+constexpr auto kMode = crypto::SignatureMode::kSimFast;
+
+NetworkConfig cfg_of(std::size_t n, std::uint64_t seed, double bad = 0.0) {
+  NetworkConfig cfg;
+  cfg.num_nodes = n;
+  cfg.seed = seed;
+  cfg.node.sig_mode = kMode;
+  cfg.node.prevalidation.sig_mode = kMode;
+  cfg.malicious_fraction = bad;
+  return cfg;
+}
+
+workload::WorkloadConfig load_of(double tps, std::uint64_t seed) {
+  workload::WorkloadConfig w;
+  w.tps = tps;
+  w.seed = seed;
+  w.sig_mode = kMode;
+  return w;
+}
+
+TEST(Harness, MaliciousCountMatchesFraction) {
+  for (double f : {0.0, 0.1, 0.25, 0.5}) {
+    LoNetwork net(cfg_of(20, 3, f));
+    std::size_t count = 0;
+    for (bool b : net.malicious_mask()) count += b ? 1 : 0;
+    EXPECT_EQ(count, net.malicious_count());
+    EXPECT_EQ(count, static_cast<std::size_t>(f * 20 + 0.5));
+    EXPECT_EQ(net.correct_count(), 20 - count);
+  }
+}
+
+TEST(Harness, HonestSubgraphIsConnected) {
+  auto cfg = cfg_of(30, 5, 0.4);
+  cfg.malicious.censor_txs = true;
+  LoNetwork net(cfg);
+  std::vector<bool> honest(net.size());
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    honest[i] = !net.malicious_mask()[i];
+  }
+  EXPECT_TRUE(net.topology().connected_among(honest));
+  EXPECT_TRUE(net.topology().connected());
+}
+
+TEST(Harness, NeighborsMatchTopology) {
+  LoNetwork net(cfg_of(12, 7));
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    EXPECT_EQ(net.node(i).neighbors(),
+              net.topology().neighbors(static_cast<core::NodeId>(i)));
+  }
+}
+
+TEST(Harness, WorkloadInjectsAtConfiguredRate) {
+  LoNetwork net(cfg_of(10, 9));
+  net.start_workload(load_of(20.0, 11));
+  net.run_for(20.0);
+  // Poisson(400): 5-sigma band.
+  EXPECT_NEAR(static_cast<double>(net.txs_injected()), 400.0, 100.0);
+}
+
+TEST(Harness, StopWorkloadStopsInjection) {
+  LoNetwork net(cfg_of(10, 13));
+  net.start_workload(load_of(20.0, 15));
+  net.run_for(5.0);
+  net.stop_workload();
+  const auto at_stop = net.txs_injected();
+  net.run_for(10.0);
+  EXPECT_LE(net.txs_injected(), at_stop + 1);  // at most one in-flight arrival
+}
+
+TEST(Harness, WorkloadAvoidsMaliciousEntryNodes) {
+  auto cfg = cfg_of(10, 17, 0.3);
+  cfg.malicious.censor_txs = true;
+  cfg.malicious.ignore_requests = true;
+  LoNetwork net(cfg);
+  net.start_workload(load_of(10.0, 19));
+  net.run_for(5.0);
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    if (net.malicious_mask()[i]) {
+      EXPECT_EQ(net.node(i).log().count(), 0u)
+          << "client submitted to a censoring node";
+    }
+  }
+}
+
+TEST(Harness, CoverageReportsFraction) {
+  LoNetwork net(cfg_of(8, 21));
+  crypto::Signer client(crypto::derive_keypair(50, kMode), kMode);
+  const auto tx = core::make_transaction(client, 1, 9, 0);
+  EXPECT_EQ(net.coverage(tx.id), 0.0);
+  net.node(0).submit_transaction(tx);
+  EXPECT_NEAR(net.coverage(tx.id), 1.0 / 8.0, 1e-9);
+  net.run_for(8.0);
+  EXPECT_EQ(net.coverage(tx.id), 1.0);
+}
+
+TEST(Harness, DetectionTimesEmptyWithoutMalicious) {
+  LoNetwork net(cfg_of(8, 23));
+  net.start_workload(load_of(5.0, 25));
+  net.run_for(5.0);
+  const auto t = net.detection_times();
+  EXPECT_LT(t.suspicion_complete_s, 0.0);
+  EXPECT_LT(t.exposure_complete_s, 0.0);
+  EXPECT_LT(t.exposure_spread_s, 0.0);
+}
+
+TEST(Harness, DetectionTimesOrdering) {
+  auto cfg = cfg_of(16, 27, 0.15);
+  cfg.malicious.equivocate = true;
+  LoNetwork net(cfg);
+  net.start_workload(load_of(8.0, 29));
+  net.run_for(40.0);
+  const auto t = net.detection_times();
+  ASSERT_GE(t.exposure_complete_s, 0.0);
+  EXPECT_LE(t.first_exposure_s, t.exposure_complete_s);
+  ASSERT_GE(t.exposure_spread_s, 0.0);
+  EXPECT_LE(t.exposure_spread_s, t.exposure_complete_s - 0.0);
+}
+
+TEST(Harness, BlockProductionRespectsCorrectLeaderFilter) {
+  auto cfg = cfg_of(12, 31, 0.25);
+  cfg.malicious.reorder_block = true;
+  LoNetwork net(cfg);
+  net.start_workload(load_of(8.0, 33));
+  consensus::LeaderConfig lc;
+  lc.mean_block_interval = 3 * sim::kSecond;
+  lc.exponential_intervals = false;
+  net.start_block_production(lc, /*correct_leaders_only=*/true);
+  net.run_for(30.0);
+  ASSERT_GT(net.chain().height(), 3u);
+  for (const auto& block : net.chain().blocks()) {
+    EXPECT_FALSE(net.malicious_mask()[block.creator])
+        << "malicious leader elected despite filter";
+  }
+  // With only honest leaders there must be no exposures.
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    EXPECT_TRUE(net.node(i).registry().exposed().empty());
+  }
+}
+
+TEST(Harness, BlockLatencyTracksOnlyFirstInclusion) {
+  LoNetwork net(cfg_of(10, 35));
+  net.start_workload(load_of(10.0, 37));
+  consensus::LeaderConfig lc;
+  lc.mean_block_interval = 4 * sim::kSecond;
+  lc.exponential_intervals = false;
+  net.start_block_production(lc);
+  net.run_for(30.0);
+  // Each injected tx is counted at most once even though later blocks
+  // re-include everything (no settlement pruning in the stub).
+  EXPECT_LE(net.block_latency().count(), net.txs_injected());
+  EXPECT_GT(net.block_latency().count(), 0u);
+}
+
+TEST(Harness, SeedsChangeOutcomes) {
+  auto run = [](std::uint64_t seed) {
+    LoNetwork net(cfg_of(10, seed));
+    net.start_workload(load_of(10.0, seed + 1));
+    net.run_for(5.0);
+    return net.sim().bandwidth().total_bytes();
+  };
+  EXPECT_NE(run(1), run(2));
+}
+
+}  // namespace
+}  // namespace lo::harness

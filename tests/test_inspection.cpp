@@ -1,0 +1,278 @@
+// Block inspection tests: every verdict of Sec. 4.3/5.2 — canonical blocks
+// pass, reorders/injections/censorship/bad structure are caught, partial
+// bundle knowledge yields kNeedBundles, and transferable BlockEvidence
+// verifies end-to-end.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/block.hpp"
+#include "core/inspection.hpp"
+#include "core/messages.hpp"
+#include "util/rng.hpp"
+
+namespace lo::core {
+namespace {
+
+constexpr auto kMode = crypto::SignatureMode::kSimFast;
+
+crypto::Signer signer(std::uint64_t id) {
+  return crypto::Signer(crypto::derive_keypair(id, kMode), kMode);
+}
+
+struct Fixture {
+  CommitmentParams params;
+  CommitmentLog log{7, params};
+  util::Rng rng{42};
+  crypto::Digest256 prev{};
+
+  Fixture() {
+    prev.fill(0xab);
+    log.append(make_ids(5), 1);
+    log.append(make_ids(4), 2);
+  }
+
+  std::vector<TxId> make_ids(std::size_t n) {
+    std::vector<TxId> out(n);
+    for (auto& id : out) {
+      for (auto& b : id) b = static_cast<std::uint8_t>(rng.next());
+    }
+    return out;
+  }
+
+  BundleMap full_map() const {
+    BundleMap m;
+    for (const auto& b : log.bundles()) m[b.seqno] = b.txids;
+    return m;
+  }
+
+  Block honest_block() {
+    return build_block(log, signer(7), 1, prev, nullptr);
+  }
+};
+
+TEST(Inspection, HonestBlockIsOk) {
+  Fixture f;
+  const auto res = inspect_block(f.honest_block(), f.full_map(), nullptr);
+  EXPECT_EQ(res.verdict, BlockVerdict::kOk);
+}
+
+TEST(Inspection, HonestBlockWithExclusionsIsOkWithoutProof) {
+  Fixture f;
+  // Creator drops two txs (e.g. low fee); inspector has no content knowledge,
+  // so no censorship can be proven and the order is still a subsequence.
+  auto block = f.honest_block();
+  block.segments[0].txids.erase(block.segments[0].txids.begin() + 1);
+  block.segments[1].txids.pop_back();
+  auto msg = block.signing_bytes();
+  block.sig = signer(7).sign(std::span<const std::uint8_t>(msg.data(), msg.size()));
+  const auto res = inspect_block(block, f.full_map(), nullptr);
+  EXPECT_EQ(res.verdict, BlockVerdict::kOk);
+}
+
+TEST(Inspection, ReorderDetected) {
+  Fixture f;
+  auto block = f.honest_block();
+  ASSERT_GE(block.segments[0].txids.size(), 2u);
+  std::swap(block.segments[0].txids[0], block.segments[0].txids[1]);
+  const auto res = inspect_block(block, f.full_map(), nullptr);
+  EXPECT_EQ(res.verdict, BlockVerdict::kReordered);
+  EXPECT_EQ(res.offending_seqno, 1u);
+}
+
+TEST(Inspection, FeeSortedSegmentDetected) {
+  Fixture f;
+  auto block = f.honest_block();
+  // Any deterministic re-sort that differs from the canonical shuffle.
+  std::sort(block.segments[1].txids.begin(), block.segments[1].txids.end());
+  const auto canonical =
+      canonical_shuffle(f.log.bundles()[1].txids, f.prev, 2);
+  if (block.segments[1].txids == canonical) {
+    std::swap(block.segments[1].txids[0], block.segments[1].txids[1]);
+  }
+  const auto res = inspect_block(block, f.full_map(), nullptr);
+  EXPECT_EQ(res.verdict, BlockVerdict::kReordered);
+}
+
+TEST(Inspection, InjectionDetected) {
+  Fixture f;
+  auto block = f.honest_block();
+  auto foreign = f.make_ids(1);
+  block.segments[0].txids.insert(block.segments[0].txids.begin(), foreign[0]);
+  const auto res = inspect_block(block, f.full_map(), nullptr);
+  EXPECT_EQ(res.verdict, BlockVerdict::kInjected);
+  EXPECT_EQ(res.offending_tx, foreign[0]);
+}
+
+TEST(Inspection, CensorshipDetectedWithContentKnowledge) {
+  Fixture f;
+  auto block = f.honest_block();
+  const TxId victim = block.segments[0].txids[2];
+  std::erase(block.segments[0].txids, victim);
+  const auto res = inspect_block(
+      block, f.full_map(), [&victim](const TxId& id) { return id == victim; });
+  EXPECT_EQ(res.verdict, BlockVerdict::kCensored);
+  EXPECT_EQ(res.offending_tx, victim);
+}
+
+TEST(Inspection, WholeBundleDroppedIsCensorship) {
+  Fixture f;
+  auto block = f.honest_block();
+  const TxId known = block.segments[1].txids[0];
+  block.segments.erase(block.segments.begin() + 1);
+  const auto res = inspect_block(
+      block, f.full_map(), [&known](const TxId& id) { return id == known; });
+  EXPECT_EQ(res.verdict, BlockVerdict::kCensored);
+}
+
+TEST(Inspection, NonMonotonicSegmentsRejected) {
+  Fixture f;
+  auto block = f.honest_block();
+  std::swap(block.segments[0], block.segments[1]);
+  const auto res = inspect_block(block, f.full_map(), nullptr);
+  EXPECT_EQ(res.verdict, BlockVerdict::kBadStructure);
+}
+
+TEST(Inspection, SeqnoBeyondCommitmentRejected) {
+  Fixture f;
+  auto block = f.honest_block();
+  block.segments[1].seqno = block.commit_seqno + 5;
+  const auto res = inspect_block(block, f.full_map(), nullptr);
+  EXPECT_EQ(res.verdict, BlockVerdict::kBadStructure);
+}
+
+TEST(Inspection, MissingBundlesRequested) {
+  Fixture f;
+  BundleMap partial = f.full_map();
+  partial.erase(2);
+  const auto res = inspect_block(f.honest_block(), partial, nullptr);
+  EXPECT_EQ(res.verdict, BlockVerdict::kNeedBundles);
+  ASSERT_EQ(res.missing_bundles.size(), 1u);
+  EXPECT_EQ(res.missing_bundles[0], 2u);
+}
+
+TEST(Inspection, ViolationInKnownSegmentBeatsMissingBundle) {
+  // A reorder in a known segment is reported even if another segment's
+  // bundle is missing — violations have priority over kNeedBundles.
+  Fixture f;
+  auto block = f.honest_block();
+  std::swap(block.segments[1].txids[0], block.segments[1].txids[1]);
+  BundleMap partial = f.full_map();
+  partial.erase(1);
+  const auto res = inspect_block(block, partial, nullptr);
+  EXPECT_EQ(res.verdict, BlockVerdict::kReordered);
+}
+
+TEST(Inspection, EmptyBlockEmptyMapIsOk) {
+  Block block;
+  block.commit_seqno = 0;
+  const auto res = inspect_block(block, {}, nullptr);
+  EXPECT_EQ(res.verdict, BlockVerdict::kOk);
+}
+
+// -------------------------------------------------------- BlockEvidence ----
+
+SignedBundle make_signed_bundle(const CommitmentLog& log, std::uint64_t seqno,
+                                const crypto::Signer& s) {
+  SignedBundle sb;
+  sb.owner = log.self();
+  sb.seqno = seqno;
+  sb.txids = log.bundle_by_seqno(seqno)->txids;
+  sb.key = s.public_key();
+  auto bytes = sb.signing_bytes();
+  sb.sig = s.sign(std::span<const std::uint8_t>(bytes.data(), bytes.size()));
+  return sb;
+}
+
+TEST(BlockEvidence, ReorderEvidenceVerifies) {
+  Fixture f;
+  const auto s = signer(7);
+  auto block = f.honest_block();
+  std::swap(block.segments[0].txids[0], block.segments[0].txids[1]);
+  auto msg = block.signing_bytes();
+  block.sig = s.sign(std::span<const std::uint8_t>(msg.data(), msg.size()));
+
+  BlockEvidence ev;
+  ev.accused = 7;
+  ev.block = block;
+  ev.bundles.push_back(make_signed_bundle(f.log, 1, s));
+  ev.bundles.push_back(make_signed_bundle(f.log, 2, s));
+  EXPECT_TRUE(
+      ev.verify(kMode, static_cast<std::uint8_t>(BlockVerdict::kReordered)));
+  // Wrong claim fails.
+  EXPECT_FALSE(
+      ev.verify(kMode, static_cast<std::uint8_t>(BlockVerdict::kInjected)));
+}
+
+TEST(BlockEvidence, HonestBlockCannotBeFramed) {
+  Fixture f;
+  const auto s = signer(7);
+  const auto block = f.honest_block();
+  BlockEvidence ev;
+  ev.accused = 7;
+  ev.block = block;
+  ev.bundles.push_back(make_signed_bundle(f.log, 1, s));
+  ev.bundles.push_back(make_signed_bundle(f.log, 2, s));
+  for (auto verdict : {BlockVerdict::kReordered, BlockVerdict::kInjected,
+                       BlockVerdict::kBadStructure}) {
+    EXPECT_FALSE(ev.verify(kMode, static_cast<std::uint8_t>(verdict)));
+  }
+}
+
+TEST(BlockEvidence, TamperedBundleRejected) {
+  Fixture f;
+  const auto s = signer(7);
+  auto block = f.honest_block();
+  std::swap(block.segments[0].txids[0], block.segments[0].txids[1]);
+  auto msg = block.signing_bytes();
+  block.sig = s.sign(std::span<const std::uint8_t>(msg.data(), msg.size()));
+
+  BlockEvidence ev;
+  ev.accused = 7;
+  ev.block = block;
+  auto sb = make_signed_bundle(f.log, 1, s);
+  std::swap(sb.txids[0], sb.txids[1]);  // forged bundle, signature now stale
+  ev.bundles.push_back(sb);
+  EXPECT_FALSE(
+      ev.verify(kMode, static_cast<std::uint8_t>(BlockVerdict::kReordered)));
+}
+
+TEST(ExposureMsgCheck, EquivocationEvidenceVerifies) {
+  CommitmentParams params;
+  util::Rng rng(1);
+  auto make_ids = [&rng](std::size_t n) {
+    std::vector<TxId> out(n);
+    for (auto& id : out) {
+      for (auto& b : id) b = static_cast<std::uint8_t>(rng.next());
+    }
+    return out;
+  };
+  CommitmentLog a(3, params), b(3, params);
+  a.append(make_ids(3), 1);
+  b.append(make_ids(3), 1);
+  const auto s = signer(3);
+
+  ExposureMsg msg;
+  msg.accused = 3;
+  msg.verdict = 0xff;
+  EquivocationEvidence eq;
+  eq.accused = 3;
+  eq.first = a.make_header(s);
+  eq.second = b.make_header(s);
+  msg.equivocation = eq;
+  EXPECT_TRUE(msg.verify(kMode));
+
+  // Consistent headers are not evidence.
+  ExposureMsg good;
+  good.accused = 3;
+  good.verdict = 0xff;
+  EquivocationEvidence eq2;
+  eq2.accused = 3;
+  eq2.first = a.make_header(s);
+  eq2.second = a.make_header(s);
+  good.equivocation = eq2;
+  EXPECT_FALSE(good.verify(kMode));
+}
+
+}  // namespace
+}  // namespace lo::core

@@ -1,0 +1,240 @@
+// End-to-end integration tests: full LØ networks under honest and adversarial
+// conditions, exercising the accountability properties of Sec. 3.2.
+#include <gtest/gtest.h>
+
+#include "harness/lo_network.hpp"
+
+namespace lo {
+namespace {
+
+harness::NetworkConfig small_net(std::size_t n, std::uint64_t seed) {
+  harness::NetworkConfig cfg;
+  cfg.num_nodes = n;
+  cfg.seed = seed;
+  cfg.city_latency = true;
+  // Fast signatures keep the test suite quick; wire sizes are unchanged.
+  cfg.node.sig_mode = crypto::SignatureMode::kSimFast;
+  cfg.node.prevalidation.sig_mode = crypto::SignatureMode::kSimFast;
+  return cfg;
+}
+
+workload::WorkloadConfig light_load(double tps, std::uint64_t seed) {
+  workload::WorkloadConfig w;
+  w.tps = tps;
+  w.seed = seed;
+  w.sig_mode = crypto::SignatureMode::kSimFast;
+  return w;
+}
+
+TEST(Integration, HonestNetworkConvergesAndStaysClean) {
+  harness::LoNetwork net(small_net(16, 11));
+  net.start_workload(light_load(5.0, 21));
+  net.run_for(10.0);
+  // Stop injecting; drain.
+  net.stop_workload();
+  net.run_for(10.0);
+  const auto injected = net.txs_injected();
+  ASSERT_GT(injected, 20u);
+
+  // Every correct node ends with the same mempool (Sec. 4.2: reconciliation
+  // converges to a common set).
+  const std::size_t expect = net.node(0).mempool_size();
+  EXPECT_GT(expect, 0u);
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    EXPECT_EQ(net.node(i).mempool_size(), injected)
+        << "node " << i << " did not converge";
+  }
+
+  // Accuracy (Sec. 3.2): no correct node is suspected or exposed.
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    EXPECT_TRUE(net.node(i).registry().suspected().empty());
+    EXPECT_TRUE(net.node(i).registry().exposed().empty());
+  }
+}
+
+TEST(Integration, MempoolLatencyIsRealistic) {
+  harness::LoNetwork net(small_net(32, 5));
+  net.start_workload(light_load(10.0, 7));
+  net.run_for(20.0);
+  auto& lat = net.mempool_latency();
+  ASSERT_GT(lat.count(), 100u);
+  // Paper: ~1.14 s average mempool-inclusion latency with 1 s reconciliation
+  // rounds. Accept a generous band around that shape.
+  EXPECT_GT(lat.mean(), 0.2);
+  EXPECT_LT(lat.mean(), 4.0);
+}
+
+TEST(Integration, SilentNodesGetSuspectedEverywhere) {
+  auto cfg = small_net(20, 31);
+  cfg.malicious_fraction = 0.15;  // 3 nodes
+  cfg.malicious.ignore_requests = true;
+  cfg.malicious.censor_txs = true;
+  cfg.malicious.drop_gossip = true;
+  harness::LoNetwork net(cfg);
+  net.start_workload(light_load(5.0, 33));
+  net.run_for(30.0);
+
+  const auto times = net.detection_times();
+  EXPECT_GE(times.suspicion_complete_s, 0.0)
+      << "not every correct node suspected every silent node";
+  // Suspicion needs timeout + retries (4 s at the default parameters) but
+  // must complete well within the run.
+  EXPECT_LT(times.suspicion_complete_s, 30.0);
+}
+
+TEST(Integration, EquivocatorsAreExposedEverywhere) {
+  auto cfg = small_net(20, 41);
+  cfg.malicious_fraction = 0.10;  // 2 nodes
+  cfg.malicious.equivocate = true;
+  harness::LoNetwork net(cfg);
+  net.start_workload(light_load(8.0, 43));
+  net.run_for(40.0);
+
+  const auto times = net.detection_times();
+  EXPECT_GE(times.exposure_complete_s, 0.0)
+      << "equivocators not exposed at every correct node";
+  EXPECT_GE(times.first_exposure_s, 0.0);
+  EXPECT_LE(times.first_exposure_s, times.exposure_complete_s);
+}
+
+TEST(Integration, ReorderingBlockCreatorIsExposed) {
+  auto cfg = small_net(12, 51);
+  cfg.malicious_fraction = 0.1;  // 1 node
+  cfg.malicious.reorder_block = true;
+  harness::LoNetwork net(cfg);
+  net.start_workload(light_load(8.0, 53));
+  net.run_for(15.0);  // let mempools fill
+
+  // Elect the malicious node as leader explicitly.
+  std::size_t bad = net.size();
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    if (net.malicious_mask()[i]) bad = i;
+  }
+  ASSERT_LT(bad, net.size());
+  ASSERT_GT(net.node(bad).log().count(), 10u) << "attacker saw no txs";
+  net.node(bad).create_block(1, crypto::Digest256{});
+  net.run_for(20.0);
+
+  std::size_t exposed_at = 0;
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    if (net.malicious_mask()[i]) continue;
+    if (net.node(i).registry().is_exposed(static_cast<core::NodeId>(bad))) {
+      ++exposed_at;
+    }
+  }
+  EXPECT_EQ(exposed_at, net.correct_count())
+      << "reordering creator should be exposed at every correct node";
+}
+
+TEST(Integration, HonestBlockCreatorIsNotBlamed) {
+  harness::LoNetwork net(small_net(12, 61));
+  net.start_workload(light_load(8.0, 63));
+  net.run_for(15.0);
+  net.node(3).create_block(1, crypto::Digest256{});
+  net.run_for(20.0);
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    EXPECT_FALSE(net.node(i).registry().is_exposed(3));
+    EXPECT_FALSE(net.node(i).registry().is_suspected(3));
+  }
+}
+
+TEST(Integration, InjectingBlockCreatorIsExposed) {
+  auto cfg = small_net(12, 71);
+  cfg.malicious_fraction = 0.1;
+  cfg.malicious.inject_uncommitted = true;
+  harness::LoNetwork net(cfg);
+  net.start_workload(light_load(8.0, 73));
+  net.run_for(15.0);
+
+  std::size_t bad = net.size();
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    if (net.malicious_mask()[i]) bad = i;
+  }
+  ASSERT_LT(bad, net.size());
+  net.node(bad).create_block(1, crypto::Digest256{});
+  net.run_for(20.0);
+
+  std::size_t exposed_at = 0;
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    if (net.malicious_mask()[i]) continue;
+    if (net.node(i).registry().is_exposed(static_cast<core::NodeId>(bad))) {
+      ++exposed_at;
+    }
+  }
+  EXPECT_EQ(exposed_at, net.correct_count());
+}
+
+TEST(Integration, OffChannelCollusionIsExposed) {
+  // Sec. 5.3 / Fig. 5: colluding miners exchange a transaction off-channel to
+  // evade commitments, then the block creator includes it out of order. The
+  // block then contains a transaction with no commitment trail — the creator
+  // "faces blame for introducing a transaction without node A's commitment".
+  auto cfg = small_net(14, 91);
+  cfg.malicious_fraction = 0.07;  // one colluding block creator
+  cfg.malicious.inject_uncommitted = true;
+  harness::LoNetwork net(cfg);
+  net.start_workload(light_load(8.0, 93));
+  net.run_for(12.0);
+
+  std::size_t colluder = net.size();
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    if (net.malicious_mask()[i]) colluder = i;
+  }
+  ASSERT_LT(colluder, net.size());
+
+  // The victim's transaction reaches the colluder off-channel: content only,
+  // no commitment, no acknowledgement.
+  crypto::Signer victim(
+      crypto::derive_keypair(424242, crypto::SignatureMode::kSimFast),
+      crypto::SignatureMode::kSimFast);
+  const auto tx =
+      core::make_transaction(victim, 1, 999999, net.sim().now());
+  net.node(colluder).stealth_store(tx);
+  EXPECT_FALSE(net.node(colluder).log().contains(tx.id))
+      << "off-channel receipt must leave no commitment trace";
+
+  const auto block = net.node(colluder).create_block(1, crypto::Digest256{});
+  // The stealth tx sits at the front of the block.
+  ASSERT_FALSE(block.segments.empty());
+  EXPECT_EQ(block.segments.front().txids.front(), tx.id);
+
+  net.run_for(20.0);
+  std::size_t exposed_at = 0;
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    if (net.malicious_mask()[i]) continue;
+    if (net.node(i).registry().is_exposed(
+            static_cast<core::NodeId>(colluder))) {
+      ++exposed_at;
+    }
+  }
+  EXPECT_EQ(exposed_at, net.correct_count())
+      << "uncommitted off-channel tx in a block must expose the creator";
+}
+
+TEST(Integration, BlockProductionSettlesTransactions) {
+  harness::LoNetwork net(small_net(16, 81));
+  net.start_workload(light_load(10.0, 83));
+  consensus::LeaderConfig lc;
+  lc.mean_block_interval = 6 * sim::kSecond;
+  lc.exponential_intervals = false;  // fixed cadence keeps the test stable
+  net.start_block_production(lc);
+  net.run_for(40.0);
+  EXPECT_GT(net.chain().height(), 2u);
+  EXPECT_GT(net.chain().settled_count(), 50u);
+  EXPECT_GT(net.block_latency().count(), 50u);
+  EXPECT_GT(net.block_latency().mean(), 0.5);
+}
+
+TEST(Integration, DeterministicGivenSeed) {
+  auto run = [] {
+    harness::LoNetwork net(small_net(12, 99));
+    net.start_workload(light_load(6.0, 17));
+    net.run_for(8.0);
+    return std::tuple{net.txs_injected(), net.node(3).mempool_size(),
+                      net.sim().bandwidth().total_bytes()};
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace lo

@@ -1,0 +1,256 @@
+// PinSketch/Minisketch tests: roundtrips across sizes and capacities
+// (parameterized), overflow detection, XOR-merge semantics, serialization,
+// and the hash-partitioned reconciler of Sec. 6.5.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "minisketch/partitioned.hpp"
+#include "minisketch/sketch.hpp"
+#include "util/rng.hpp"
+
+namespace lo::sketch {
+namespace {
+
+std::set<std::uint64_t> mapped(const gf::Field& f,
+                               const std::vector<std::uint64_t>& raw) {
+  std::set<std::uint64_t> out;
+  for (auto r : raw) out.insert(f.map_nonzero(r));
+  return out;
+}
+
+TEST(Sketch, EmptyDecodesToEmpty) {
+  Sketch s(32, 8);
+  auto d = s.decode();
+  ASSERT_TRUE(d.has_value());
+  EXPECT_TRUE(d->empty());
+  EXPECT_TRUE(s.is_zero());
+}
+
+TEST(Sketch, SingleElementRoundTrip) {
+  Sketch s(32, 8);
+  s.add(0xfeedface);
+  auto d = s.decode();
+  ASSERT_TRUE(d.has_value());
+  ASSERT_EQ(d->size(), 1u);
+  EXPECT_EQ((*d)[0], s.field().map_nonzero(0xfeedface));
+}
+
+TEST(Sketch, AddTwiceCancels) {
+  Sketch s(32, 8);
+  s.add(123);
+  s.add(123);
+  EXPECT_TRUE(s.is_zero());
+}
+
+struct SketchParam {
+  unsigned bits;
+  std::size_t capacity;
+  std::size_t diff;
+};
+
+class SketchRoundTrip : public ::testing::TestWithParam<SketchParam> {};
+
+TEST_P(SketchRoundTrip, MergeDecodesSymmetricDifference) {
+  const auto p = GetParam();
+  Sketch a(p.bits, p.capacity);
+  Sketch b(p.bits, p.capacity);
+  util::Rng rng(p.bits * 1000 + p.diff);
+
+  std::vector<std::uint64_t> only_a, only_b, shared;
+  for (std::size_t i = 0; i < p.diff / 2; ++i) only_a.push_back(rng.next());
+  for (std::size_t i = 0; i < p.diff - p.diff / 2; ++i) only_b.push_back(rng.next());
+  for (std::size_t i = 0; i < 100; ++i) shared.push_back(rng.next());
+
+  for (auto v : only_a) a.add(v);
+  for (auto v : shared) a.add(v);
+  for (auto v : only_b) b.add(v);
+  for (auto v : shared) b.add(v);
+
+  a.merge(b);
+  auto d = a.decode();
+  ASSERT_TRUE(d.has_value());
+  std::set<std::uint64_t> got(d->begin(), d->end());
+  std::set<std::uint64_t> want = mapped(a.field(), only_a);
+  for (auto e : mapped(a.field(), only_b)) want.insert(e);
+  EXPECT_EQ(got, want);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SketchRoundTrip,
+    ::testing::Values(SketchParam{16, 8, 4}, SketchParam{16, 8, 8},
+                      SketchParam{32, 8, 1}, SketchParam{32, 8, 8},
+                      SketchParam{32, 32, 20}, SketchParam{32, 64, 64},
+                      SketchParam{32, 128, 100}, SketchParam{48, 16, 10},
+                      SketchParam{63, 8, 5}));
+
+TEST(Sketch, OverflowDetected) {
+  // More differences than capacity: decode must fail, not hallucinate.
+  for (std::size_t over : {1u, 2u, 10u, 100u}) {
+    Sketch s(32, 8);
+    util::Rng rng(over);
+    for (std::size_t i = 0; i < 8 + over; ++i) s.add(rng.next());
+    EXPECT_FALSE(s.decode().has_value()) << "capacity 8, items " << 8 + over;
+  }
+}
+
+TEST(Sketch, CapacityExactlyFull) {
+  Sketch s(32, 16);
+  util::Rng rng(3);
+  std::set<std::uint64_t> want;
+  for (int i = 0; i < 16; ++i) {
+    const auto v = rng.next();
+    s.add(v);
+    want.insert(s.field().map_nonzero(v));
+  }
+  auto d = s.decode();
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(std::set<std::uint64_t>(d->begin(), d->end()), want);
+}
+
+TEST(Sketch, SerializeRoundTrip) {
+  Sketch s(32, 16);
+  util::Rng rng(9);
+  for (int i = 0; i < 10; ++i) s.add(rng.next());
+  const auto bytes = s.serialize();
+  EXPECT_EQ(bytes.size(), s.serialized_size());
+  EXPECT_EQ(bytes.size(), 16u * 4u);  // capacity * 4 bytes for 32-bit field
+  const Sketch back = Sketch::deserialize(32, 16, bytes);
+  EXPECT_EQ(back.syndromes(), s.syndromes());
+}
+
+TEST(Sketch, DeserializeRejectsWrongLength) {
+  std::vector<std::uint8_t> bytes(63);
+  EXPECT_THROW(Sketch::deserialize(32, 16, bytes), std::invalid_argument);
+}
+
+TEST(Sketch, MergeParameterMismatchThrows) {
+  Sketch a(32, 8), b(32, 16), c(16, 8);
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+  EXPECT_THROW(a.merge(c), std::invalid_argument);
+}
+
+TEST(Sketch, ZeroCapacityThrows) {
+  EXPECT_THROW(Sketch(32, 0), std::invalid_argument);
+}
+
+TEST(Sketch, WireSizeMatchesPaperScale) {
+  // The paper uses a 1,000-byte sketch for up to ~100 differences of 32-bit
+  // elements; 128 * 4 = 512 bytes is the same order.
+  Sketch s(32, 128);
+  EXPECT_EQ(s.serialized_size(), 512u);
+}
+
+TEST(Sketch, SupersetDecodesAsGrowth) {
+  // B = A + extras: merged sketch contains exactly the extras — this is the
+  // append-only consistency check of Sec. 5.2.
+  Sketch a(32, 32);
+  Sketch b(32, 32);
+  util::Rng rng(21);
+  std::vector<std::uint64_t> base, extras;
+  for (int i = 0; i < 500; ++i) base.push_back(rng.next());
+  for (int i = 0; i < 20; ++i) extras.push_back(rng.next());
+  for (auto v : base) {
+    a.add(v);
+    b.add(v);
+  }
+  for (auto v : extras) b.add(v);
+  a.merge(b);
+  auto d = a.decode();
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->size(), extras.size());
+}
+
+// ----------------------------------------------------------- partitioned ----
+
+TEST(Partitioned, SmallDiffNeedsOneRound) {
+  std::vector<std::uint64_t> a, b;
+  util::Rng rng(31);
+  for (int i = 0; i < 100; ++i) {
+    const auto v = rng.next();
+    a.push_back(v);
+    b.push_back(v);
+  }
+  for (int i = 0; i < 5; ++i) a.push_back(rng.next());
+  PartitionedReconciler pr(32, 16);
+  ReconcileStats st;
+  auto d = pr.reconcile(a, b, &st);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->size(), 5u);
+  EXPECT_EQ(st.rounds, 0u);
+  EXPECT_EQ(st.decode_failures, 0u);
+  EXPECT_EQ(st.sketches_used, 2u);
+}
+
+TEST(Partitioned, LargeDiffSplitsAndSucceeds) {
+  std::vector<std::uint64_t> a, b;
+  util::Rng rng(32);
+  std::set<std::uint64_t> expect;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.next();
+    a.push_back(v);
+    b.push_back(v);
+  }
+  for (int i = 0; i < 300; ++i) {
+    const auto v = rng.next();
+    a.push_back(v);
+    expect.insert(v);
+  }
+  PartitionedReconciler pr(32, 16);
+  ReconcileStats st;
+  auto d = pr.reconcile(a, b, &st);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(std::set<std::uint64_t>(d->begin(), d->end()), expect);
+  EXPECT_GT(st.rounds, 0u);
+  EXPECT_GT(st.decode_failures, 0u);
+}
+
+TEST(Partitioned, IdenticalSetsAreFree) {
+  std::vector<std::uint64_t> a;
+  util::Rng rng(33);
+  for (int i = 0; i < 1000; ++i) a.push_back(rng.next());
+  PartitionedReconciler pr(32, 16);
+  ReconcileStats st;
+  auto d = pr.reconcile(a, a, &st);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_TRUE(d->empty());
+  EXPECT_EQ(st.sketches_used, 2u);
+}
+
+TEST(Partitioned, DisjointSetsFullDifference) {
+  std::vector<std::uint64_t> a, b;
+  util::Rng rng(34);
+  for (int i = 0; i < 200; ++i) a.push_back(rng.next());
+  for (int i = 0; i < 200; ++i) b.push_back(rng.next());
+  PartitionedReconciler pr(32, 32);
+  auto d = pr.reconcile(a, b, nullptr);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->size(), 400u);
+}
+
+TEST(Partitioned, PartitionBitIsDeterministicAndBalanced) {
+  util::Rng rng(35);
+  int ones = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.next();
+    EXPECT_EQ(partition_bit(v, 3), partition_bit(v, 3));
+    if (partition_bit(v, 0)) ++ones;
+  }
+  EXPECT_NEAR(ones, 5000, 300);
+}
+
+TEST(Partitioned, DepthsAreIndependent) {
+  // The same item must not always land on the same side at every depth,
+  // otherwise splitting would never separate a clustered difference.
+  int same_side = 0;
+  util::Rng rng(36);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.next();
+    if (partition_bit(v, 0) == partition_bit(v, 1)) ++same_side;
+  }
+  EXPECT_GT(same_side, 300);
+  EXPECT_LT(same_side, 700);
+}
+
+}  // namespace
+}  // namespace lo::sketch

@@ -1,0 +1,283 @@
+// Protocol-level LoNode tests on tiny networks: reconciliation mechanics,
+// commitments in received order (Alg. 1), suspicion timers and the
+// mempool-censorship check — at a finer grain than the integration suite.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "harness/lo_network.hpp"
+
+namespace lo {
+namespace {
+
+constexpr auto kMode = crypto::SignatureMode::kSimFast;
+
+harness::NetworkConfig tiny(std::size_t n, std::uint64_t seed) {
+  harness::NetworkConfig cfg;
+  cfg.num_nodes = n;
+  cfg.seed = seed;
+  cfg.city_latency = false;  // constant 50 ms for exact timing assertions
+  cfg.node.sig_mode = kMode;
+  cfg.node.prevalidation.sig_mode = kMode;
+  return cfg;
+}
+
+core::Transaction make_tx(std::uint64_t nonce, std::uint64_t fee = 100) {
+  crypto::Signer client(crypto::derive_keypair(7777, kMode), kMode);
+  return core::make_transaction(client, nonce, fee, 0);
+}
+
+TEST(NodeProtocol, SubmitCommitsImmediately) {
+  harness::LoNetwork net(tiny(2, 1));
+  const auto tx = make_tx(1);
+  net.node(0).submit_transaction(tx);
+  EXPECT_TRUE(net.node(0).has_tx(tx.id));
+  EXPECT_TRUE(net.node(0).log().contains(tx.id));
+  EXPECT_EQ(net.node(0).log().seqno(), 1u);
+}
+
+TEST(NodeProtocol, InvalidTxRejected) {
+  harness::LoNetwork net(tiny(2, 2));
+  auto tx = make_tx(1);
+  tx.body[0] ^= 1;  // id mismatch
+  net.node(0).submit_transaction(tx);
+  EXPECT_FALSE(net.node(0).has_tx(tx.id));
+  EXPECT_EQ(net.node(0).log().count(), 0u);
+}
+
+TEST(NodeProtocol, LowFeeTxRejectedByPolicy) {
+  auto cfg = tiny(2, 3);
+  cfg.node.prevalidation.min_fee = 50;
+  harness::LoNetwork net(cfg);
+  const auto tx = make_tx(1, 10);
+  net.node(0).submit_transaction(tx);
+  EXPECT_FALSE(net.node(0).has_tx(tx.id));
+}
+
+TEST(NodeProtocol, PairwiseReconciliationTransfersTx) {
+  harness::LoNetwork net(tiny(2, 4));
+  const auto tx = make_tx(1);
+  net.node(0).submit_transaction(tx);
+  net.run_for(3.0);
+  EXPECT_TRUE(net.node(1).has_tx(tx.id));
+  EXPECT_TRUE(net.node(1).log().contains(tx.id));
+  // Receiver committed it as a bundle sourced from node 0.
+  ASSERT_FALSE(net.node(1).log().bundles().empty());
+  EXPECT_EQ(net.node(1).log().bundles()[0].source, 0u);
+}
+
+TEST(NodeProtocol, CommitmentsFollowReceivedOrder) {
+  harness::LoNetwork net(tiny(2, 5));
+  std::vector<core::TxId> ids;
+  for (std::uint64_t n = 1; n <= 5; ++n) {
+    const auto tx = make_tx(n);
+    ids.push_back(tx.id);
+    net.node(0).submit_transaction(tx);
+  }
+  net.run_for(3.0);
+  // Node 0's log records submission order.
+  const auto& order0 = net.node(0).log().order();
+  ASSERT_EQ(order0.size(), 5u);
+  EXPECT_EQ(order0, ids);
+  // Node 1 committed them in the order advertised by node 0 (one bundle).
+  const auto& order1 = net.node(1).log().order();
+  EXPECT_EQ(order1, ids);
+}
+
+TEST(NodeProtocol, RegistryTracksPeerCommitments) {
+  harness::LoNetwork net(tiny(2, 6));
+  net.node(0).submit_transaction(make_tx(1));
+  net.run_for(3.0);
+  const auto* h = net.node(1).registry().latest(0);
+  ASSERT_NE(h, nullptr);
+  EXPECT_GE(h->count, 1u);
+  EXPECT_TRUE(h->verify(kMode));
+}
+
+TEST(NodeProtocol, SilentPeerSuspectedAfterTimeoutAndRetries) {
+  auto cfg = tiny(2, 7);
+  cfg.malicious_fraction = 0.5;  // node pool of 2 -> 1 malicious
+  cfg.malicious.ignore_requests = true;
+  harness::LoNetwork net(cfg);
+  std::size_t bad = net.malicious_mask()[0] ? 0u : 1u;
+  std::size_t good = 1 - bad;
+  net.node(good).submit_transaction(make_tx(1));
+  // Timeout 1 s x (1 + 3 retries) = 4 s, plus the first sync round offset.
+  net.run_for(2.0);
+  EXPECT_FALSE(net.node(good).registry().is_suspected(
+      static_cast<core::NodeId>(bad)));
+  net.run_for(6.0);
+  EXPECT_TRUE(net.node(good).registry().is_suspected(
+      static_cast<core::NodeId>(bad)));
+}
+
+TEST(NodeProtocol, RecoveredPeerIsUnsuspected) {
+  // Accuracy/temporal (Sec. 3.2): a correct node is not perpetually
+  // suspected. Simulate a transient partition with a delivery filter.
+  auto cfg = tiny(2, 8);
+  harness::LoNetwork net(cfg);
+  net.node(0).submit_transaction(make_tx(1));
+  bool partitioned = true;
+  net.sim().set_delivery_filter(
+      [&partitioned](core::NodeId, core::NodeId to) {
+        return !(partitioned && to == 1);  // node 1 unreachable
+      });
+  net.run_for(10.0);
+  EXPECT_TRUE(net.node(0).registry().is_suspected(1));
+  partitioned = false;  // heal; node 0 keeps new syncs going
+  net.node(0).submit_transaction(make_tx(2));
+  net.run_for(10.0);
+  EXPECT_FALSE(net.node(0).registry().is_suspected(1))
+      << "healed peer must be unsuspected after direct contact";
+  EXPECT_TRUE(net.node(1).has_tx(make_tx(2).id));
+}
+
+TEST(NodeProtocol, CensoringPeerGetsSuspectedByCensorshipCheck) {
+  auto cfg = tiny(2, 9);
+  cfg.malicious_fraction = 0.5;
+  cfg.malicious.censor_txs = true;  // responds, but never commits foreign txs
+  harness::LoNetwork net(cfg);
+  std::size_t bad = net.malicious_mask()[0] ? 0u : 1u;
+  std::size_t good = 1 - bad;
+  net.node(good).submit_transaction(make_tx(1));
+  net.run_for(15.0);
+  EXPECT_TRUE(net.node(good).registry().is_suspected(
+      static_cast<core::NodeId>(bad)))
+      << "sketch-based censorship check should flag the dropped delta";
+}
+
+TEST(NodeProtocol, ThreeNodeRelayPropagation) {
+  // Line topology: 0 - 1 - 2 (forced via custom neighbors).
+  harness::LoNetwork net(tiny(3, 10));
+  net.node(0).set_neighbors({1});
+  net.node(1).set_neighbors({0, 2});
+  net.node(2).set_neighbors({1});
+  const auto tx = make_tx(1);
+  net.node(0).submit_transaction(tx);
+  net.run_for(6.0);
+  EXPECT_TRUE(net.node(2).has_tx(tx.id)) << "tx must cross two hops";
+  // Node 2 learned it from node 1.
+  ASSERT_FALSE(net.node(2).log().bundles().empty());
+  EXPECT_EQ(net.node(2).log().bundles()[0].source, 1u);
+}
+
+TEST(NodeProtocol, BandwidthUsesRealMessageSizes) {
+  harness::LoNetwork net(tiny(2, 11));
+  net.node(0).submit_transaction(make_tx(1));
+  net.run_for(3.0);
+  const auto& by_class = net.sim().bandwidth().by_class();
+  ASSERT_TRUE(by_class.count("lo.sync_req"));
+  ASSERT_TRUE(by_class.count("lo.sync_resp"));
+  ASSERT_TRUE(by_class.count("lo.txs"));
+  // A sync request carries the commitment: clock (68B) + truncated sketch
+  // (>= 8 syndromes = 32B) + header/key/sig (~150B) + the explicit delta.
+  const auto& req = by_class.at("lo.sync_req");
+  EXPECT_GT(req.bytes / req.messages, 250u);
+  EXPECT_LT(req.bytes / req.messages, 2000u);
+  // tx bodies: 250 bytes each plus bundle framing.
+  const auto& txs = by_class.at("lo.txs");
+  EXPECT_GE(txs.bytes / txs.messages, 250u);
+}
+
+TEST(NodeProtocol, QuiescentWhenConverged) {
+  harness::LoNetwork net(tiny(2, 12));
+  net.node(0).submit_transaction(make_tx(1));
+  net.run_for(5.0);
+  const auto bytes_before = net.sim().bandwidth().total_bytes();
+  net.run_for(5.0);
+  const auto bytes_after = net.sim().bandwidth().total_bytes();
+  // Converged nodes skip sync rounds entirely (watermark test in
+  // send_sync_request), so no further protocol traffic flows.
+  EXPECT_EQ(bytes_after, bytes_before);
+}
+
+TEST(NodeProtocol, EquivocatorExposedWhenHonestSubgraphConnected) {
+  // Sec. 6.2 precondition: correct nodes stay connected among themselves.
+  // Node 1 equivocates towards its even-id peer (0) and serves the real log
+  // to node 3; the honest edge 0-3 lets the two signed stories meet.
+  auto cfg = tiny(4, 13);
+  harness::LoNetwork net(cfg);
+  net.node(1).behavior().equivocate = true;
+  net.node(0).set_neighbors({1, 3});
+  net.node(1).set_neighbors({0, 3});
+  net.node(2).set_neighbors({3});
+  net.node(3).set_neighbors({0, 1, 2});
+  for (std::uint64_t n = 1; n <= 8; ++n) {
+    net.node(0).submit_transaction(make_tx(n));
+  }
+  net.run_for(20.0);
+  const bool exposed = net.node(0).registry().is_exposed(1) ||
+                       net.node(3).registry().is_exposed(1);
+  EXPECT_TRUE(exposed) << "fork should be caught once headers meet";
+}
+
+TEST(NodeProtocol, BridgeEquivocatorIsAtLeastSuspected) {
+  // When the equivocator is the only bridge (a line), no correct node can
+  // assemble both stories — exposure is impossible — but the censored fork
+  // still fails coverage checks, so the attacker ends up suspected.
+  auto cfg = tiny(3, 14);
+  harness::LoNetwork net(cfg);
+  net.node(1).behavior().equivocate = true;
+  net.node(0).set_neighbors({1});
+  net.node(1).set_neighbors({0, 2});
+  net.node(2).set_neighbors({1});
+  for (std::uint64_t n = 1; n <= 8; ++n) {
+    net.node(0).submit_transaction(make_tx(n));
+  }
+  net.run_for(30.0);
+  EXPECT_TRUE(net.node(0).registry().is_suspected(1) ||
+              net.node(0).registry().is_exposed(1))
+      << "fork censorship must at least trip the coverage check";
+}
+
+TEST(NodeProtocol, NeighborRotationKeepsConvergence) {
+  auto cfg = tiny(16, 71);
+  cfg.node.rotate_interval = 2 * sim::kSecond;
+  harness::LoNetwork net(cfg);
+  for (std::uint64_t n = 1; n <= 10; ++n) {
+    net.node(n % 16).submit_transaction(make_tx(n));
+  }
+  net.run_for(20.0);
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    EXPECT_EQ(net.node(i).mempool_size(), 10u) << "node " << i;
+    EXPECT_TRUE(net.node(i).registry().suspected().empty());
+  }
+}
+
+TEST(NodeProtocol, RotationDropsExposedPeers) {
+  auto cfg = tiny(12, 73);
+  cfg.node.rotate_interval = 1 * sim::kSecond;
+  cfg.malicious_fraction = 0.1;  // one equivocator
+  cfg.malicious.equivocate = true;
+  harness::LoNetwork net(cfg);
+  for (std::uint64_t n = 1; n <= 20; ++n) {
+    net.node(0).behavior().equivocate;  // no-op; keep mask-driven behavior
+    std::size_t target = n % 12;
+    if (!net.malicious_mask()[target]) net.node(target).submit_transaction(make_tx(n));
+  }
+  net.run_for(30.0);
+  std::size_t bad = 0;
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    if (net.malicious_mask()[i]) bad = i;
+  }
+  // Once exposed, the attacker disappears from honest neighbor sets.
+  std::size_t still_linked = 0;
+  std::size_t exposed_at = 0;
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    if (net.malicious_mask()[i]) continue;
+    const auto& reg = net.node(i).registry();
+    if (!reg.is_exposed(static_cast<core::NodeId>(bad))) continue;
+    ++exposed_at;
+    const auto& nb = net.node(i).neighbors();
+    if (std::find(nb.begin(), nb.end(), static_cast<core::NodeId>(bad)) !=
+        nb.end()) {
+      ++still_linked;
+    }
+  }
+  EXPECT_GT(exposed_at, 0u);
+  EXPECT_EQ(still_linked, 0u)
+      << "rotation must purge exposed peers from neighbor sets";
+}
+
+}  // namespace
+}  // namespace lo

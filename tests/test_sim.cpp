@@ -1,0 +1,247 @@
+// Discrete-event simulator tests: event ordering, latency models, bandwidth
+// accounting, message loss, delivery filters, metrics.
+#include <gtest/gtest.h>
+
+#include "sim/metrics.hpp"
+#include "sim/simulator.hpp"
+
+namespace lo::sim {
+namespace {
+
+struct TestPayload final : Payload {
+  explicit TestPayload(std::size_t size = 100, int tag = 0)
+      : size_(size), tag_(tag) {}
+  const char* type_name() const noexcept override { return "test.msg"; }
+  std::size_t wire_size() const noexcept override { return size_; }
+  std::size_t size_;
+  int tag_;
+};
+
+struct RecordingNode final : INode {
+  void on_start() override { started = true; }
+  void on_message(NodeId from, const PayloadPtr& msg) override {
+    senders.push_back(from);
+    tags.push_back(dynamic_cast<const TestPayload&>(*msg).tag_);
+  }
+  bool started = false;
+  std::vector<NodeId> senders;
+  std::vector<int> tags;
+};
+
+TEST(Simulator, TimersFireInOrder) {
+  Simulator sim(1);
+  std::vector<int> order;
+  sim.schedule(300, [&] { order.push_back(3); });
+  sim.schedule(100, [&] { order.push_back(1); });
+  sim.schedule(200, [&] { order.push_back(2); });
+  sim.run_until(1000);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 1000);
+}
+
+TEST(Simulator, SimultaneousEventsFifo) {
+  Simulator sim(1);
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule(500, [&order, i] { order.push_back(i); });
+  }
+  sim.run_until(1000);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulator, StartCallsEveryNodeOnce) {
+  Simulator sim(1);
+  RecordingNode a, b;
+  sim.add_node(&a);
+  sim.add_node(&b);
+  sim.run_until(1);
+  EXPECT_TRUE(a.started);
+  EXPECT_TRUE(b.started);
+}
+
+TEST(Simulator, MessageDeliveredWithLatency) {
+  Simulator sim(1);
+  sim.set_latency_model(std::make_shared<ConstantLatency>(250));
+  RecordingNode a, b;
+  const NodeId ida = sim.add_node(&a);
+  const NodeId idb = sim.add_node(&b);
+  sim.start();
+  sim.send(ida, idb, std::make_shared<TestPayload>(64, 7));
+  sim.run_until(249);
+  EXPECT_TRUE(b.senders.empty());
+  sim.run_until(250);
+  ASSERT_EQ(b.senders.size(), 1u);
+  EXPECT_EQ(b.senders[0], ida);
+  EXPECT_EQ(b.tags[0], 7);
+}
+
+TEST(Simulator, BandwidthChargedToSenderByClass) {
+  Simulator sim(1);
+  RecordingNode a, b;
+  const NodeId ida = sim.add_node(&a);
+  const NodeId idb = sim.add_node(&b);
+  sim.start();
+  sim.send(ida, idb, std::make_shared<TestPayload>(111));
+  sim.send(ida, idb, std::make_shared<TestPayload>(222));
+  sim.run_until(sim::kSecond);
+  EXPECT_EQ(sim.bandwidth().sent_by(ida), 333u);
+  EXPECT_EQ(sim.bandwidth().sent_by(idb), 0u);
+  EXPECT_EQ(sim.bandwidth().total_bytes(), 333u);
+  EXPECT_EQ(sim.bandwidth().total_messages(), 2u);
+  const auto& cls = sim.bandwidth().by_class();
+  ASSERT_TRUE(cls.count("test.msg"));
+  EXPECT_EQ(cls.at("test.msg").bytes, 333u);
+}
+
+TEST(Simulator, BytesExcludingFiltersClasses) {
+  BandwidthAccountant acc;
+  acc.reset(2);
+  acc.record(0, "a", 100);
+  acc.record(0, "b", 50);
+  acc.record(1, "c", 7);
+  EXPECT_EQ(acc.bytes_excluding({"b"}), 107u);
+  EXPECT_EQ(acc.bytes_excluding({"a", "c"}), 50u);
+  EXPECT_EQ(acc.bytes_excluding({}), 157u);
+}
+
+TEST(Simulator, DropProbabilityOneDropsAll) {
+  Simulator sim(1);
+  sim.set_latency_model(std::make_shared<ConstantLatency>(10));
+  sim.set_drop_probability(1.0);
+  RecordingNode a, b;
+  const NodeId ida = sim.add_node(&a);
+  const NodeId idb = sim.add_node(&b);
+  sim.start();
+  for (int i = 0; i < 20; ++i) sim.send(ida, idb, std::make_shared<TestPayload>());
+  sim.run_until(kSecond);
+  EXPECT_TRUE(b.senders.empty());
+  // Bandwidth is still charged: the bytes left the sender.
+  EXPECT_EQ(sim.bandwidth().total_messages(), 20u);
+}
+
+TEST(Simulator, DeliveryFilterPartitions) {
+  Simulator sim(1);
+  sim.set_latency_model(std::make_shared<ConstantLatency>(10));
+  RecordingNode a, b, c;
+  const NodeId ida = sim.add_node(&a);
+  const NodeId idb = sim.add_node(&b);
+  const NodeId idc = sim.add_node(&c);
+  sim.set_delivery_filter([idb](NodeId, NodeId to) { return to != idb; });
+  sim.start();
+  sim.send(ida, idb, std::make_shared<TestPayload>());
+  sim.send(ida, idc, std::make_shared<TestPayload>());
+  sim.run_until(kSecond);
+  EXPECT_TRUE(b.senders.empty());
+  EXPECT_EQ(c.senders.size(), 1u);
+}
+
+TEST(Simulator, SendToUnknownNodeThrows) {
+  Simulator sim(1);
+  RecordingNode a;
+  const NodeId ida = sim.add_node(&a);
+  EXPECT_THROW(sim.send(ida, 99, std::make_shared<TestPayload>()),
+               std::out_of_range);
+}
+
+TEST(Simulator, DeterministicEventCount) {
+  auto run = [] {
+    Simulator sim(42);
+    RecordingNode a, b;
+    const NodeId ida = sim.add_node(&a);
+    const NodeId idb = sim.add_node(&b);
+    sim.set_latency_model(std::make_shared<ConstantLatency>(100));
+    sim.start();
+    for (int i = 0; i < 50; ++i) sim.send(ida, idb, std::make_shared<TestPayload>());
+    return sim.run_until(kSecond);
+  };
+  EXPECT_EQ(run(), run());
+}
+
+// ------------------------------------------------------------- latency ----
+
+TEST(CityLatency, SymmetricAndPositive) {
+  CityLatencyModel m(0.0);
+  const std::size_t n = CityLatencyModel::city_count();
+  EXPECT_EQ(n, 32u);  // paper: 32 cities
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      EXPECT_EQ(m.base_us(i, j), m.base_us(j, i));
+      EXPECT_GE(m.base_us(i, j), 0);
+    }
+  }
+}
+
+TEST(CityLatency, IntercontinentalSlowerThanRegional) {
+  CityLatencyModel m(0.0);
+  // Amsterdam(0) <-> London(18) vs Amsterdam <-> Sydney(29).
+  EXPECT_LT(m.base_us(0, 18), m.base_us(0, 29));
+  // London <-> Sydney should be in the high tens of ms one-way.
+  EXPECT_GT(m.base_us(18, 29), 50 * kMillisecond);
+  EXPECT_LT(m.base_us(18, 29), 400 * kMillisecond);
+}
+
+TEST(CityLatency, RoundRobinAssignmentAndFloor) {
+  CityLatencyModel m(0.0);
+  util::Rng rng(1);
+  // Same city pair (0, 32) maps to cities (0, 0): floor applies.
+  EXPECT_GE(m.latency_us(0, 32, rng), 200);
+  // Deterministic without jitter.
+  EXPECT_EQ(m.latency_us(3, 700, rng), m.latency_us(3, 700, rng));
+}
+
+TEST(CityLatency, JitterVariesLatency) {
+  CityLatencyModel m(0.2);
+  util::Rng rng(1);
+  const auto a = m.latency_us(0, 5, rng);
+  const auto b = m.latency_us(0, 5, rng);
+  EXPECT_NE(a, b);
+}
+
+// ------------------------------------------------------------- metrics ----
+
+TEST(Samples, SummaryStatistics) {
+  Samples s;
+  for (double v : {1.0, 2.0, 3.0, 4.0, 5.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.5), 3.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(1.0), 5.0);
+  EXPECT_NEAR(s.stddev(), 1.5811, 1e-3);
+}
+
+TEST(Samples, EmptyIsSafe) {
+  Samples s;
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.percentile(0.5), 0.0);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(Samples, HistogramDensityIntegratesToOne) {
+  Samples s;
+  util::Rng rng(5);
+  for (int i = 0; i < 10000; ++i) s.add(rng.next_double() * 10.0);
+  const auto h = s.histogram(20, 0.0, 10.0);
+  double integral = 0.0;
+  for (const auto& bin : h) integral += bin.density * (bin.hi - bin.lo);
+  EXPECT_NEAR(integral, 1.0, 1e-9);
+}
+
+TEST(Samples, HistogramIgnoresOutOfRange) {
+  Samples s;
+  s.add(-5.0);
+  s.add(0.5);
+  s.add(100.0);
+  const auto h = s.histogram(2, 0.0, 1.0);
+  EXPECT_EQ(h[0].count + h[1].count, 1u);
+}
+
+TEST(Samples, BadHistogramSpecThrows) {
+  Samples s;
+  EXPECT_THROW(s.histogram(0, 0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(s.histogram(4, 1.0, 1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lo::sim

@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <set>
+
+#include "util/hex.hpp"
+#include "util/rng.hpp"
+#include "util/serde.hpp"
+
+namespace lo::util {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng r(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(r.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowZeroIsZero) {
+  Rng r(7);
+  EXPECT_EQ(r.next_below(0), 0u);
+}
+
+TEST(Rng, NextBelowIsRoughlyUniform) {
+  Rng r(99);
+  constexpr int kBuckets = 10;
+  constexpr int kDraws = 100000;
+  int counts[kBuckets] = {0};
+  for (int i = 0; i < kDraws; ++i) ++counts[r.next_below(kBuckets)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / kBuckets, kDraws / kBuckets * 0.1);
+  }
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng r(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  Rng r(11);
+  double sum = 0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) sum += r.next_exponential(3.0);
+  EXPECT_NEAR(sum / kN, 3.0, 0.05);
+}
+
+TEST(Rng, LognormalIsPositive) {
+  Rng r(13);
+  for (int i = 0; i < 1000; ++i) EXPECT_GT(r.next_lognormal(1.0, 2.0), 0.0);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng r(17);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  r.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, SampleIndicesDistinct) {
+  Rng r(19);
+  auto s = r.sample_indices(100, 20);
+  ASSERT_EQ(s.size(), 20u);
+  std::set<std::size_t> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 20u);
+  for (auto i : s) EXPECT_LT(i, 100u);
+}
+
+TEST(Rng, SampleIndicesAllWhenKTooLarge) {
+  Rng r(19);
+  auto s = r.sample_indices(5, 50);
+  EXPECT_EQ(s.size(), 5u);
+}
+
+TEST(Serde, RoundTripScalars) {
+  Writer w;
+  w.u8(0xab);
+  w.u16(0x1234);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefULL);
+  w.f64(3.14159);
+  auto bytes = w.take_u8();
+  Reader r(bytes);
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_DOUBLE_EQ(r.f64(), 3.14159);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Serde, RoundTripVarBytesAndString) {
+  Writer w;
+  std::vector<std::uint8_t> payload{1, 2, 3, 250, 255};
+  w.var_bytes(payload);
+  w.str("hello LO");
+  auto bytes = w.take_u8();
+  Reader r(bytes);
+  EXPECT_EQ(r.var_bytes(), payload);
+  EXPECT_EQ(r.str(), "hello LO");
+}
+
+TEST(Serde, RoundTripFixedArray) {
+  std::array<std::uint8_t, 32> arr;
+  for (std::size_t i = 0; i < 32; ++i) arr[i] = static_cast<std::uint8_t>(i * 7);
+  Writer w;
+  w.fixed(arr);
+  auto bytes = w.take_u8();
+  Reader r(bytes);
+  EXPECT_EQ(r.fixed<32>(), arr);
+}
+
+TEST(Serde, UnderrunThrows) {
+  std::vector<std::uint8_t> two{1, 2};
+  Reader r(two);
+  EXPECT_THROW(r.u32(), SerdeError);
+}
+
+TEST(Serde, VarBytesUnderrunThrows) {
+  Writer w;
+  w.u32(1000);  // claims 1000 bytes follow
+  auto bytes = w.take_u8();
+  Reader r(bytes);
+  EXPECT_THROW(r.var_bytes(), SerdeError);
+}
+
+TEST(Serde, LittleEndianLayout) {
+  Writer w;
+  w.u32(0x01020304);
+  auto bytes = w.take_u8();
+  ASSERT_EQ(bytes.size(), 4u);
+  EXPECT_EQ(bytes[0], 0x04);
+  EXPECT_EQ(bytes[3], 0x01);
+}
+
+TEST(Hex, RoundTrip) {
+  std::vector<std::uint8_t> data{0x00, 0x01, 0xab, 0xcd, 0xff};
+  EXPECT_EQ(to_hex(data), "0001abcdff");
+  EXPECT_EQ(from_hex("0001abcdff"), data);
+  EXPECT_EQ(from_hex("0001ABCDFF"), data);
+}
+
+TEST(Hex, RejectsOddLength) {
+  EXPECT_THROW(from_hex("abc"), std::invalid_argument);
+}
+
+TEST(Hex, RejectsNonHexChars) {
+  EXPECT_THROW(from_hex("zz"), std::invalid_argument);
+}
+
+TEST(Hex, FixedSizeMismatchThrows) {
+  EXPECT_THROW((from_hex_fixed<4>("aabb")), std::invalid_argument);
+}
+
+TEST(Hex, EmptyIsValid) {
+  EXPECT_EQ(to_hex(std::vector<std::uint8_t>{}), "");
+  EXPECT_TRUE(from_hex("").empty());
+}
+
+}  // namespace
+}  // namespace lo::util

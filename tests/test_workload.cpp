@@ -1,0 +1,87 @@
+// Workload generator tests: arrival process, fee distribution, determinism.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "workload/txgen.hpp"
+
+namespace lo::workload {
+namespace {
+
+WorkloadConfig fast_cfg(double tps, std::uint64_t seed) {
+  WorkloadConfig c;
+  c.tps = tps;
+  c.seed = seed;
+  c.sig_mode = crypto::SignatureMode::kSimFast;
+  return c;
+}
+
+TEST(TxGen, ArrivalRateMatchesTps) {
+  TxGenerator gen(fast_cfg(20.0, 1));
+  std::int64_t total = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) total += gen.next_gap_us();
+  const double mean_gap = static_cast<double>(total) / kN;
+  EXPECT_NEAR(mean_gap, 1e6 / 20.0, 1e6 / 20.0 * 0.05);
+}
+
+TEST(TxGen, FixedArrivalsWhenPoissonDisabled) {
+  auto cfg = fast_cfg(10.0, 2);
+  cfg.poisson_arrivals = false;
+  TxGenerator gen(cfg);
+  EXPECT_EQ(gen.next_gap_us(), 100000);
+  EXPECT_EQ(gen.next_gap_us(), 100000);
+}
+
+TEST(TxGen, TransactionsAreValidAndUnique) {
+  TxGenerator gen(fast_cfg(20.0, 3));
+  core::PrevalidationPolicy policy;
+  policy.sig_mode = crypto::SignatureMode::kSimFast;
+  std::set<core::TxId> ids;
+  for (int i = 0; i < 200; ++i) {
+    const auto tx = gen.next(i * 1000);
+    EXPECT_TRUE(prevalidate(tx, policy));
+    EXPECT_EQ(tx.wire_size(), core::kTxWireSize);
+    EXPECT_TRUE(ids.insert(tx.id).second);
+  }
+  EXPECT_EQ(gen.generated(), 200u);
+}
+
+TEST(TxGen, FeesAreSkewed) {
+  // Lognormal fees: mean > median (right-skewed), all positive.
+  TxGenerator gen(fast_cfg(20.0, 4));
+  std::vector<std::uint64_t> fees;
+  for (int i = 0; i < 5000; ++i) fees.push_back(gen.next(0).fee);
+  std::sort(fees.begin(), fees.end());
+  double mean = 0;
+  for (auto f : fees) mean += static_cast<double>(f);
+  mean /= static_cast<double>(fees.size());
+  const double median = static_cast<double>(fees[fees.size() / 2]);
+  EXPECT_GT(mean, median);
+  EXPECT_GE(fees.front(), 1u);
+}
+
+TEST(TxGen, DeterministicForSeed) {
+  TxGenerator a(fast_cfg(20.0, 7)), b(fast_cfg(20.0, 7));
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(a.next(i).id, b.next(i).id);
+    EXPECT_EQ(a.next_gap_us(), b.next_gap_us());
+  }
+}
+
+TEST(TxGen, ClientsRotate) {
+  auto cfg = fast_cfg(20.0, 8);
+  cfg.num_clients = 16;
+  TxGenerator gen(cfg);
+  std::set<crypto::PublicKey> creators;
+  for (int i = 0; i < 300; ++i) creators.insert(gen.next(0).creator);
+  EXPECT_EQ(creators.size(), 16u);
+}
+
+TEST(TxGen, CreatedAtPropagates) {
+  TxGenerator gen(fast_cfg(20.0, 9));
+  EXPECT_EQ(gen.next(123456).created_at, 123456);
+}
+
+}  // namespace
+}  // namespace lo::workload
