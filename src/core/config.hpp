@@ -17,10 +17,17 @@ struct LoConfig {
   sim::Duration recon_interval = sim::kSecond;
   std::size_t recon_fanout = 3;
 
-  // Request handling: 1 s timeout, resent up to 3 times, then suspicion
-  // (Sec. 6.1).
+  // Request handling: 1 s base timeout, resent up to 3 times, then suspicion
+  // (Sec. 6.1). The k-th resend waits request_timeout * backoff_factor^k
+  // (capped at backoff_cap) with +/- backoff_jitter relative jitter drawn
+  // from the sim RNG — fixed-interval retries synchronize retransmission
+  // bursts under loss. backoff_factor = 1 and backoff_jitter = 0 restore the
+  // fixed-interval schedule.
   sim::Duration request_timeout = sim::kSecond;
   int max_retries = 3;
+  double backoff_factor = 2.0;
+  sim::Duration backoff_cap = 8 * sim::kSecond;
+  double backoff_jitter = 0.2;
 
   PrevalidationPolicy prevalidation;
   crypto::SignatureMode sig_mode = crypto::SignatureMode::kEd25519;

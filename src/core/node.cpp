@@ -59,6 +59,7 @@ std::size_t LoNode::accountability_memory_bytes() const noexcept {
 // ------------------------------------------------------------- Stage I ----
 
 void LoNode::submit_transaction(const Transaction& tx) {
+  if (crashed_) return;  // a down miner accepts no client traffic
   admit_transaction(tx, id_);
 }
 
@@ -106,6 +107,78 @@ void LoNode::commit_batch(const std::vector<TxId>& ids, NodeId source) {
   }
 }
 
+// ----------------------------------------------------------- crash/restart ----
+
+void LoNode::crash(bool wipe_mempool) {
+  if (crashed_) return;
+  crashed_ = true;
+  ++stats_.crashes;
+  // Volatile state dies with the process. The commitment log (log_ and an
+  // equivocator's fork_log_) persists as "disk"; so do suspicion_epoch_ and
+  // own_nonce_ — monotonic counters a real implementation would fsync to
+  // avoid reusing epochs or tx nonces after a reboot.
+  pending_.clear();
+  outstanding_sync_.clear();
+  coverage_.clear();
+  suspected_by_.clear();
+  suspicion_snapshot_.clear();
+  seen_suspicions_.clear();
+  seen_exposures_.clear();
+  mirrors_.clear();
+  seen_blocks_.clear();
+  blocks_awaiting_bundles_.clear();
+  stealth_txs_.clear();
+  invalid_.clear();
+  registry_ = AccountabilityRegistry(config_.sig_mode, config_.verify_signatures,
+                                     config_.two_stage_checks);
+  if (wipe_mempool) {
+    store_.clear();
+    valid_.clear();
+  }
+  // The content clock describes the content we can actually serve — rebuild
+  // it from what survived (BloomClock addition commutes, so iteration order
+  // of the unordered map cannot affect the result).
+  content_clock_ = bloom::BloomClock(config_.commitment.clock_cells,
+                                     config_.commitment.clock_hashes);
+  for (const auto& [id, tx] : store_) content_clock_.add(txid_short(id));
+}
+
+void LoNode::restart() {
+  if (!crashed_) return;
+  crashed_ = false;
+  ++stats_.restarts;
+  // Fresh random phase, exactly like a cold start; the pre-crash timers were
+  // invalidated by the epoch bump when the simulator marked us down.
+  const sim::Duration phase = static_cast<sim::Duration>(
+      sim_.rng().next_below(static_cast<std::uint64_t>(config_.recon_interval)));
+  sim_.schedule_for(id_, phase, [this] { sync_round(); });
+  if (config_.rotate_interval > 0 && view_) {
+    sim_.schedule_for(id_, config_.rotate_interval, [this] { rotate_neighbors(); });
+  }
+  // Committed ids whose content was lost with the volatile mempool are
+  // re-fetched explicitly; commitments missed while down arrive through the
+  // ordinary sketch/bulk-sync rounds.
+  request_missing_content();
+}
+
+void LoNode::request_missing_content() {
+  std::vector<TxId> missing;
+  for (const auto& id : log_.order()) {
+    if (store_.count(id) == 0 && invalid_.count(id) == 0) missing.push_back(id);
+  }
+  if (missing.empty() || neighbors_.empty()) return;
+  for (std::size_t off = 0; off < missing.size(); off += config_.max_delta) {
+    const std::size_t end = std::min(missing.size(), off + config_.max_delta);
+    auto txreq = std::make_shared<TxRequest>();
+    txreq->want.assign(missing.begin() + static_cast<std::ptrdiff_t>(off),
+                       missing.begin() + static_cast<std::ptrdiff_t>(end));
+    const NodeId peer = neighbors_[sim_.rng().next_below(neighbors_.size())];
+    const std::uint64_t rid = register_pending(peer, RequestKind::kContent, txreq);
+    txreq->request_id = rid;
+    sim_.send(id_, peer, txreq);
+  }
+}
+
 // --------------------------------------------------------- reconciliation ----
 
 void LoNode::on_start() {
@@ -115,13 +188,13 @@ void LoNode::on_start() {
   // Random phase so the network's sync rounds do not beat in lockstep.
   const sim::Duration phase = static_cast<sim::Duration>(
       sim_.rng().next_below(static_cast<std::uint64_t>(config_.recon_interval)));
-  sim_.schedule(phase, [this] { sync_round(); });
+  sim_.schedule_for(id_, phase, [this] { sync_round(); });
 
   if (config_.rotate_interval > 0) {
     view_ = std::make_unique<overlay::BasaltView>(id_, config_.view_size,
                                                   sim_.rng().next());
     for (NodeId n : neighbors_) view_->offer(n);
-    sim_.schedule(config_.rotate_interval, [this] { rotate_neighbors(); });
+    sim_.schedule_for(id_, config_.rotate_interval, [this] { rotate_neighbors(); });
   }
 }
 
@@ -151,11 +224,11 @@ void LoNode::rotate_neighbors() {
     });
     if (!next.empty()) neighbors_ = std::move(next);
   }
-  sim_.schedule(config_.rotate_interval, [this] { rotate_neighbors(); });
+  sim_.schedule_for(id_, config_.rotate_interval, [this] { rotate_neighbors(); });
 }
 
 void LoNode::schedule_sync() {
-  sim_.schedule(config_.recon_interval, [this] { sync_round(); });
+  sim_.schedule_for(id_, config_.recon_interval, [this] { sync_round(); });
 }
 
 void LoNode::sync_round() {
@@ -530,7 +603,7 @@ void LoNode::register_coverage(NodeId peer, const bloom::BloomClock& snapshot) {
 }
 
 void LoNode::arm_coverage_deadline(NodeId peer) {
-  sim_.schedule(config_.coverage_timeout, [this, peer] {
+  sim_.schedule_for(id_, config_.coverage_timeout, [this, peer] {
     auto it = coverage_.find(peer);
     if (it == coverage_.end()) return;
     if (sim_.now() < it->second.deadline) return;  // superseded
@@ -576,6 +649,12 @@ void LoNode::suspect_peer(NodeId peer) {
   if (registry_.is_exposed(peer)) return;
   auto& reporters = suspected_by_[peer];
   if (!reporters.insert(id_).second) return;  // we already reported
+  ++stats_.suspicions_raised;
+  // Remember what we were covering when we complained: any later commitment
+  // from the suspect that dominates this snapshot moots the complaint (the
+  // suspect caught up), letting observe_header retract it even when the logs
+  // are already back in sync and no further requests will ever be sent.
+  suspicion_snapshot_.emplace(peer, content_clock_);
   const bool was_suspected = registry_.is_suspected(peer);
   registry_.suspect(peer);
   if (!was_suspected && hooks_ && hooks_->on_suspect) {
@@ -596,6 +675,8 @@ void LoNode::resolve_suspicion(NodeId peer) {
   // Only our own complaint can be resolved by evidence we observed; other
   // reporters retract for themselves.
   if (it->second.erase(id_) == 0) return;
+  suspicion_snapshot_.erase(peer);
+  ++stats_.suspicions_retracted;
   auto msg = std::make_shared<SuspicionMsg>();
   msg->suspect = peer;
   msg->reporter = id_;
@@ -609,13 +690,35 @@ void LoNode::resolve_suspicion(NodeId peer) {
   }
 }
 
+void LoNode::handle_challenge_response(NodeId from, const CommitmentHeader& h) {
+  // A suspicion we flooded is a public challenge; a header received DIRECTLY
+  // from the suspect is its answer. The complaint is lifted only when the
+  // answered commitment covers the snapshot we complained about — so a
+  // censoring node (whose clock never advances past the snapshot) stays
+  // suspected no matter how promptly it replies, while a recovered node is
+  // cleared as soon as it has caught up. If it has not caught up yet, a
+  // coverage watch keeps the challenge alive: the watch re-probes and either
+  // clears or re-confirms the suspicion at its deadline.
+  if (from != h.node) return;  // relayed headers are not an answer
+  auto it = suspicion_snapshot_.find(h.node);
+  if (it == suspicion_snapshot_.end()) return;
+  const auto* latest = registry_.latest(h.node);
+  if (latest != nullptr && it->second.dominated_by(latest->clock)) {
+    resolve_suspicion(h.node);
+    return;
+  }
+  register_coverage(h.node, it->second);
+}
+
 void LoNode::handle_suspicion(NodeId from, const SuspicionMsg& msg) {
   if (!seen_suspicions_.insert(suspicion_key(msg.reporter, msg.epoch)).second) {
     return;
   }
   if (msg.suspect == id_) {
     // Respond publicly with our current commitment so the reporter (and the
-    // relayer) can lift the suspicion.
+    // relayer) can lift the suspicion. A node that ignores requests ignores
+    // the accusation too — that is exactly what keeps it suspected.
+    if (behavior_.ignore_requests) return;
     auto g = std::make_shared<HeaderGossip>();
     g->headers.push_back(
         log_.make_header(signer_, wire_capacity_for(msg.reporter, log_, 8)));
@@ -900,17 +1003,36 @@ std::uint64_t LoNode::register_pending(NodeId peer, RequestKind kind,
   p.payload = std::move(payload);
   p.retries_left = config_.max_retries;
   pending_.emplace(rid, std::move(p));
+  ++stats_.requests_sent;
   arm_timeout(rid);
   return rid;
 }
 
+sim::Duration LoNode::backoff_delay(int attempt) {
+  double d = static_cast<double>(config_.request_timeout);
+  for (int i = 0; i < attempt; ++i) d *= config_.backoff_factor;
+  d = std::min(d, static_cast<double>(config_.backoff_cap));
+  if (config_.backoff_jitter > 0.0) {
+    // Deterministic jitter from the sim RNG, uniform in +/- jitter fraction:
+    // desynchronizes the retry bursts that fixed intervals would phase-lock.
+    const double u = sim_.rng().next_double() * 2.0 - 1.0;
+    d *= 1.0 + config_.backoff_jitter * u;
+  }
+  return std::max<sim::Duration>(1, static_cast<sim::Duration>(d));
+}
+
 void LoNode::arm_timeout(std::uint64_t request_id) {
-  sim_.schedule(config_.request_timeout, [this, request_id] {
+  const auto pit = pending_.find(request_id);
+  const int attempt = pit == pending_.end() ? 0 : pit->second.attempt;
+  sim_.schedule_for(id_, backoff_delay(attempt), [this, request_id] {
     auto it = pending_.find(request_id);
     if (it == pending_.end()) return;
     Pending& p = it->second;
+    ++stats_.timeouts_fired;
     if (p.retries_left > 0) {
       --p.retries_left;
+      ++p.attempt;
+      ++stats_.retries_sent;
       sim_.send(id_, p.peer, p.payload);
       arm_timeout(request_id);
       return;
@@ -920,7 +1042,10 @@ void LoNode::arm_timeout(std::uint64_t request_id) {
       // The peer answered but could not serve everything (it may itself be
       // waiting for the content). Re-request the remainder with a fresh
       // retry budget instead of suspecting a live peer.
-      auto* old_req = dynamic_cast<const TxRequest*>(p.payload.get());
+      // Keep the payload alive across the erase: the map entry owns (possibly
+      // the last) reference, and old_req points into it.
+      const sim::PayloadPtr payload = p.payload;
+      const auto* old_req = dynamic_cast<const TxRequest*>(payload.get());
       pending_.erase(it);
       if (old_req != nullptr) {
         auto txreq = std::make_shared<TxRequest>();
@@ -988,6 +1113,9 @@ std::vector<CommitmentHeader> LoNode::pick_gossip_headers() {
 }
 
 void LoNode::on_message(NodeId from, const sim::PayloadPtr& msg) {
+  // Belt and braces: the simulator already suppresses delivery to a down
+  // node; a crashed process must not react to anything regardless.
+  if (crashed_) return;
   if (const auto* m = dynamic_cast<const SyncRequest*>(msg.get())) {
     handle_sync_request(from, *m);
   } else if (const auto* m2 = dynamic_cast<const SyncResponse*>(msg.get())) {
@@ -1007,7 +1135,10 @@ void LoNode::on_message(NodeId from, const sim::PayloadPtr& msg) {
   } else if (const auto* m9 = dynamic_cast<const BundleResponse*>(msg.get())) {
     handle_bundle_response(from, *m9);
   } else if (const auto* m10 = dynamic_cast<const HeaderGossip*>(msg.get())) {
-    for (const auto& h : m10->headers) observe_header(from, h);
+    for (const auto& h : m10->headers) {
+      observe_header(from, h);
+      handle_challenge_response(from, h);
+    }
   }
 }
 

@@ -62,6 +62,29 @@ struct Hooks {
   std::function<void(NodeId node, std::size_t decode_ops)> on_reconcile;
 };
 
+// Retry/timeout/blame mechanism counters — fault tests assert on mechanism
+// (how many retries and timeouts fired), not just outcomes.
+struct NodeStats {
+  std::uint64_t requests_sent = 0;        // pendings registered
+  std::uint64_t retries_sent = 0;         // timeout resends
+  std::uint64_t timeouts_fired = 0;       // timer fired with request unanswered
+  std::uint64_t suspicions_raised = 0;    // own complaints reported
+  std::uint64_t suspicions_retracted = 0; // own complaints withdrawn
+  std::uint64_t crashes = 0;
+  std::uint64_t restarts = 0;
+
+  NodeStats& operator+=(const NodeStats& o) noexcept {
+    requests_sent += o.requests_sent;
+    retries_sent += o.retries_sent;
+    timeouts_fired += o.timeouts_fired;
+    suspicions_raised += o.suspicions_raised;
+    suspicions_retracted += o.suspicions_retracted;
+    crashes += o.crashes;
+    restarts += o.restarts;
+    return *this;
+  }
+};
+
 class LoNode final : public sim::INode {
  public:
   LoNode(sim::Simulator& sim, NodeId id, const LoConfig& config,
@@ -89,6 +112,23 @@ class LoNode final : public sim::INode {
   // block. Returns the block actually produced (honest or manipulated).
   Block create_block(std::uint64_t height, const crypto::Digest256& prev_hash);
 
+  // --- crash/restart lifecycle (see DESIGN.md "Fault model") ---
+  // Crash: wipes all volatile state — pending requests, coverage watches,
+  // blame bookkeeping, observed commitments, mirrors, in-flight sync state,
+  // and (optionally) the mempool content. The commitment log (and an
+  // equivocator's fork) persists as "disk", as do the suspicion epoch and tx
+  // nonce counters, so a restarted node can neither reuse a suspicion epoch
+  // nor double-commit. The caller (harness) must also mark the node down in
+  // the simulator, which suppresses this incarnation's timers.
+  void crash(bool wipe_mempool = false);
+  // Restart: re-arms the periodic machinery with a fresh phase and re-fetches
+  // the content of committed-but-lost transactions from neighbors; missed
+  // commitments catch up through the ordinary decode-failure/bulk-sync path.
+  // Never fabricates blame: all complaint state died with the crash.
+  // The caller must mark the node up in the simulator FIRST.
+  void restart();
+  bool crashed() const noexcept { return crashed_; }
+
   // sim::INode
   void on_start() override;
   void on_message(NodeId from, const sim::PayloadPtr& msg) override;
@@ -99,6 +139,10 @@ class LoNode final : public sim::INode {
   const AccountabilityRegistry& registry() const noexcept { return registry_; }
   AccountabilityRegistry& registry() noexcept { return registry_; }
   std::size_t mempool_size() const noexcept { return store_.size(); }
+  const std::unordered_map<TxId, Transaction, TxIdHash>& mempool() const noexcept {
+    return store_;
+  }
+  const NodeStats& stats() const noexcept { return stats_; }
   bool has_tx(const TxId& id) const { return store_.count(id) != 0; }
   const Transaction* get_tx(const TxId& id) const;
   // The inspector's view of a creator's committed bundles (from verified
@@ -121,6 +165,7 @@ class LoNode final : public sim::INode {
     RequestKind kind = RequestKind::kSync;
     sim::PayloadPtr payload;  // resent verbatim on timeout
     int retries_left = 0;
+    int attempt = 0;           // resends so far; drives exponential backoff
     bool got_partial = false;  // peer answered at least partially
     // Our clock when the sync request was sent: everything under it must
     // eventually be covered by the peer's commitments (coverage check).
@@ -154,6 +199,9 @@ class LoNode final : public sim::INode {
   void observe_header(NodeId from, const CommitmentHeader& header);
   void broadcast_exposure(const ExposureMsg& msg);
   void handle_suspicion(NodeId from, const SuspicionMsg& msg);
+  // A header received directly from a peer we reported answers our public
+  // challenge; retracts when it covers the complaint snapshot.
+  void handle_challenge_response(NodeId from, const CommitmentHeader& h);
   void handle_exposure(NodeId from, const ExposureMsg& msg);
   void suspect_peer(NodeId peer);
   // Called when `peer` satisfied our outstanding complaint: lifts our own
@@ -174,6 +222,8 @@ class LoNode final : public sim::INode {
   std::uint64_t register_pending(NodeId peer, RequestKind kind,
                                  sim::PayloadPtr payload);
   void arm_timeout(std::uint64_t request_id);
+  sim::Duration backoff_delay(int attempt);
+  void request_missing_content();
   void clear_pending(std::uint64_t request_id);
   void flood(const sim::PayloadPtr& msg, NodeId except);
   CommitmentLog& log_for_peer(NodeId peer);
@@ -216,6 +266,9 @@ class LoNode final : public sim::INode {
   // Who currently accuses whom, from this node's point of view: suspect ->
   // reporters whose complaints are unresolved (id_ when we reported).
   std::unordered_map<NodeId, std::unordered_set<NodeId>> suspected_by_;
+  // Our content clock at the moment we reported each suspect; a commitment
+  // from the suspect dominating this snapshot retracts our complaint.
+  std::unordered_map<NodeId, bloom::BloomClock> suspicion_snapshot_;
 
   std::unordered_map<NodeId, std::unordered_map<std::uint64_t, SignedBundle>>
       mirrors_;
@@ -229,6 +282,8 @@ class LoNode final : public sim::INode {
   std::uint64_t sync_recons_ = 0;
   std::uint64_t own_nonce_ = 0;
   std::vector<TxId> stealth_txs_;  // off-channel content (Sec. 5.3)
+  NodeStats stats_;
+  bool crashed_ = false;
 };
 
 }  // namespace lo::core

@@ -81,6 +81,7 @@ void Sha256::compress(const std::uint8_t* block) noexcept {
 }
 
 Sha256& Sha256::update(std::span<const std::uint8_t> data) noexcept {
+  if (data.empty()) return *this;  // empty span may carry a null data()
   length_ += data.size();
   std::size_t off = 0;
   if (buf_len_ > 0) {

@@ -1,6 +1,8 @@
 #include "harness/lo_network.hpp"
 
 #include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
 
 namespace lo::harness {
 
@@ -99,6 +101,8 @@ void LoNetwork::schedule_next_tx() {
       ++guard;
       const auto i = sim_.rng().next_below(nodes_.size());
       if (malicious_[i]) continue;
+      // Clients cannot reach a down node; they pick another correct peer.
+      if (!sim_.node_up(static_cast<core::NodeId>(i))) continue;
       nodes_[i]->submit_transaction(tx);
       ++placed;
     }
@@ -125,6 +129,13 @@ void LoNetwork::schedule_next_block() {
       filter = &eligible;
     }
     const auto leader = leaders_->next_leader(filter);
+    // A down leader simply misses its slot — no block this round. (The
+    // leader draw stays on the same RNG stream either way, so runs without
+    // crashes are unchanged.)
+    if (!sim_.node_up(leader)) {
+      schedule_next_block();
+      return;
+    }
     const auto block =
         nodes_[leader]->create_block(chain_.height() + 1, chain_.tip_hash());
     chain_.append(block);
@@ -144,6 +155,107 @@ void LoNetwork::schedule_next_block() {
 
 void LoNetwork::run_for(double seconds) {
   sim_.run_until(sim_.now() + sim::from_seconds(seconds));
+}
+
+// --------------------------------------------------------- fault injection ----
+
+void LoNetwork::crash_node(std::size_t i, bool wipe_mempool) {
+  const auto id = static_cast<core::NodeId>(i);
+  if (!sim_.node_up(id)) return;
+  // Order matters: marking the node down first bumps its epoch, so nothing
+  // the dying node scheduled can fire; then the node wipes volatile state.
+  sim_.set_node_up(id, false);
+  nodes_.at(i)->crash(wipe_mempool);
+}
+
+void LoNetwork::restart_node(std::size_t i) {
+  const auto id = static_cast<core::NodeId>(i);
+  if (sim_.node_up(id)) return;
+  // Up first: restart() re-arms timers under the current (live) epoch.
+  sim_.set_node_up(id, true);
+  nodes_.at(i)->restart();
+}
+
+sim::FaultInjector& LoNetwork::faults() {
+  if (!faults_) {
+    faults_ = std::make_unique<sim::FaultInjector>(
+        sim_, config_.seed ^ 0x9e3779b97f4a7c15ULL,
+        [this](core::NodeId id, bool wipe) { crash_node(id, wipe); },
+        [this](core::NodeId id) { restart_node(id); });
+  }
+  return *faults_;
+}
+
+// ------------------------------------------------------ invariant checking ----
+
+std::vector<std::string> LoNetwork::check_invariants() const {
+  std::vector<std::string> out;
+  const std::size_t n = nodes_.size();
+  auto note = [&out](std::string msg) { out.push_back(std::move(msg)); };
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (malicious_[i]) continue;  // a faulty node's registry proves nothing
+    // Accuracy (Sec. 3.2): no correct node may ever be *exposed* — exposure
+    // requires cryptographic evidence no asynchrony or crash can fabricate.
+    for (core::NodeId accused : nodes_[i]->registry().exposed()) {
+      if (accused < n && !malicious_[accused]) {
+        note("node " + std::to_string(i) + " falsely exposed correct node " +
+             std::to_string(accused));
+      }
+    }
+    // No double-commit: the append-only log holds each id at most once.
+    const auto& order = nodes_[i]->log().order();
+    std::unordered_set<core::TxId, core::TxIdHash> uniq(order.begin(),
+                                                        order.end());
+    if (uniq.size() != order.size()) {
+      note("node " + std::to_string(i) + " double-committed " +
+           std::to_string(order.size() - uniq.size()) + " id(s)");
+    }
+    // Log/mempool consistency: everything a correct node holds it has also
+    // committed to (admission commits immediately; only malicious nodes
+    // stealth-store content off the record).
+    for (const auto& [id, tx] : nodes_[i]->mempool()) {
+      if (!nodes_[i]->log().contains(id)) {
+        note("node " + std::to_string(i) +
+             " holds a mempool tx missing from its commitment log");
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+void LoNetwork::start_invariant_checker(sim::Duration period, bool fail_fast) {
+  invariant_period_ = std::max<sim::Duration>(1, period);
+  invariant_fail_fast_ = fail_fast;
+  schedule_invariant_check();
+}
+
+void LoNetwork::schedule_invariant_check() {
+  sim_.schedule(invariant_period_, [this] {
+    auto violations = check_invariants();
+    if (!violations.empty()) {
+      std::string joined;
+      for (const auto& v : violations) {
+        if (!joined.empty()) joined += "; ";
+        joined += v;
+      }
+      invariant_violations_.insert(invariant_violations_.end(),
+                                   violations.begin(), violations.end());
+      if (invariant_fail_fast_) {
+        throw std::runtime_error("invariant violation at t=" +
+                                 std::to_string(sim::to_seconds(sim_.now())) +
+                                 "s: " + joined);
+      }
+    }
+    schedule_invariant_check();
+  });
+}
+
+core::NodeStats LoNetwork::total_stats() const {
+  core::NodeStats sum;
+  for (const auto& n : nodes_) sum += n->stats();
+  return sum;
 }
 
 double LoNetwork::coverage(const core::TxId& id) const {

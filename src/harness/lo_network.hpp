@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -15,6 +16,7 @@
 #include "core/config.hpp"
 #include "core/node.hpp"
 #include "overlay/topology.hpp"
+#include "sim/faults.hpp"
 #include "sim/metrics.hpp"
 #include "sim/simulator.hpp"
 #include "workload/txgen.hpp"
@@ -83,6 +85,41 @@ class LoNetwork {
                               bool correct_leaders_only = false);
   const consensus::Chain& chain() const noexcept { return chain_; }
 
+  // --- fault injection ---
+  // Crashes node i: marks it down in the simulator (suppressing its timers
+  // and dropping its traffic) and wipes its volatile state; the commitment
+  // log survives as "disk". No-op when already down.
+  void crash_node(std::size_t i, bool wipe_mempool = false);
+  // Restarts node i: marks it up, re-arms its periodic machinery and lets it
+  // rejoin through the ordinary sync path. No-op when already up.
+  void restart_node(std::size_t i);
+  bool node_down(std::size_t i) const { return !sim_.node_up(static_cast<core::NodeId>(i)); }
+  // Lazily constructed deterministic fault injector (seeded from the network
+  // seed) with its crash/restart handlers wired to the two methods above.
+  sim::FaultInjector& faults();
+  // Convenience: random crash/restart churn through the fault injector.
+  void start_churn(const sim::ChurnConfig& cfg) { faults().start_churn(cfg); }
+  void stop_churn() {
+    if (faults_) faults_->stop_churn();
+  }
+
+  // --- invariant checking ---
+  // One synchronous sweep over all correct nodes; returns human-readable
+  // violation descriptions (empty = healthy). Checks: no correct node is
+  // exposed anywhere, no log double-commits an id, every held mempool tx of
+  // a correct node is committed in its log.
+  std::vector<std::string> check_invariants() const;
+  // Runs check_invariants() every `period`; with fail_fast the first
+  // violation throws std::runtime_error out of run_for(), failing the
+  // enclosing test immediately. All violations are also recorded.
+  void start_invariant_checker(sim::Duration period, bool fail_fast = true);
+  const std::vector<std::string>& invariant_violations() const noexcept {
+    return invariant_violations_;
+  }
+
+  // Aggregate retry/timeout/blame mechanism counters over all nodes.
+  core::NodeStats total_stats() const;
+
   // --- running ---
   void run_for(double seconds);
 
@@ -114,6 +151,7 @@ class LoNetwork {
  private:
   void schedule_next_tx();
   void schedule_next_block();
+  void schedule_invariant_check();
 
   NetworkConfig config_;
   sim::Simulator sim_;
@@ -133,6 +171,11 @@ class LoNetwork {
   consensus::Chain chain_;
   std::unordered_map<core::TxId, std::int64_t, core::TxIdHash> tx_created_;
   std::unordered_set<core::TxId, core::TxIdHash> tx_settled_;
+
+  std::unique_ptr<sim::FaultInjector> faults_;
+  sim::Duration invariant_period_ = 0;
+  bool invariant_fail_fast_ = true;
+  std::vector<std::string> invariant_violations_;
 
   sim::Samples mempool_latency_;
   sim::Samples block_latency_;

@@ -11,23 +11,70 @@ Simulator::Simulator(std::uint64_t seed) : rng_(seed) {
 NodeId Simulator::add_node(INode* node) {
   if (node == nullptr) throw std::invalid_argument("null node");
   nodes_.push_back(node);
+  node_state_.emplace_back();
   bandwidth_.ensure_nodes(nodes_.size());
   return static_cast<NodeId>(nodes_.size() - 1);
 }
 
+void Simulator::set_node_up(NodeId id, bool up) {
+  if (id >= node_state_.size()) throw std::out_of_range("unknown node");
+  NodeState& st = node_state_[id];
+  if (st.up && !up) ++st.epoch;  // invalidate the crashed incarnation's timers
+  st.up = up;
+}
+
+std::size_t Simulator::down_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& st : node_state_) n += st.up ? 0 : 1;
+  return n;
+}
+
 void Simulator::send(NodeId from, NodeId to, PayloadPtr msg) {
   if (to >= nodes_.size()) throw std::out_of_range("unknown destination node");
+  if (!node_up(from)) {
+    // A down node's NIC is off: nothing leaves, nothing is charged.
+    ++fault_counters_.dropped_sender_down;
+    return;
+  }
   bandwidth_.record(from, msg->type_name(), msg->wire_size());
   if (drop_probability_ > 0.0 && rng_.next_bool(drop_probability_)) return;
   if (filter_ && !filter_(from, to)) return;
-  const Duration lat = latency_->latency_us(from, to, rng_);
+  if (fault_filter_ && !fault_filter_(from, to)) {
+    ++fault_counters_.dropped_by_fault_filter;
+    return;
+  }
+  Duration lat = latency_->latency_us(from, to, rng_);
+  if (latency_shaper_) lat = latency_shaper_(from, to, lat);
   INode* dest = nodes_[to];
-  schedule(lat, [dest, from, msg = std::move(msg)] { dest->on_message(from, msg); });
+  schedule(lat, [this, dest, to, from, msg = std::move(msg)] {
+    if (!node_up(to)) {
+      // The receiver went down while the message was in flight.
+      ++fault_counters_.dropped_receiver_down;
+      return;
+    }
+    dest->on_message(from, msg);
+  });
 }
 
 void Simulator::schedule(Duration delay, std::function<void()> fn) {
   if (delay < 0) delay = 0;
   queue_.push(Event{now_ + delay, next_seq_++, std::move(fn)});
+}
+
+void Simulator::schedule_for(NodeId owner, Duration delay,
+                             std::function<void()> fn) {
+  if (owner >= node_state_.size()) {
+    schedule(delay, std::move(fn));
+    return;
+  }
+  const std::uint64_t epoch = node_state_[owner].epoch;
+  schedule(delay, [this, owner, epoch, fn = std::move(fn)] {
+    if (!node_up(owner) || node_epoch(owner) != epoch) {
+      ++fault_counters_.suppressed_callbacks;
+      return;
+    }
+    fn();
+  });
 }
 
 void Simulator::start() {

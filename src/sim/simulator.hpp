@@ -7,6 +7,21 @@
 // the BandwidthAccountant, which is the ground truth for the Fig. 9
 // bandwidth-overhead comparison.
 //
+// Node lifecycle: every registered node is up by default. A down node neither
+// sends nor receives — sends from it are dropped at the NIC (no bandwidth
+// charged), and messages still in flight toward it are lost at delivery time,
+// like packets racing a host that just lost power. Each transition to down
+// bumps the node's *epoch* (incarnation number); callbacks scheduled through
+// schedule_for() are pinned to the epoch they were armed in and are silently
+// suppressed once the owner crashes, so a restarted node never executes
+// timers from a previous life.
+//
+// Delivery semantics: drop probability, the delivery filter and the fault
+// filter are all evaluated at SEND time. A message that passes them is
+// irrevocably in flight: healing a partition mid-flight does not resurrect
+// messages dropped earlier, and cutting a link does not destroy messages that
+// already left (test_sim.cpp pins this).
+//
 // Determinism: events fire in (time, insertion sequence) order and all
 // randomness flows from the seed passed to the constructor, so a run is
 // reproducible bit-for-bit.
@@ -79,9 +94,42 @@ class Simulator {
 
   // Arbitrary delivery filter for partitions/censorship at the network level;
   // return false to drop the message. Bandwidth is still charged to the
-  // sender (the bytes left the NIC).
+  // sender (the bytes left the NIC). Evaluated at send time — see the header
+  // comment for the in-flight semantics this implies.
   using DeliveryFilter = std::function<bool(NodeId from, NodeId to)>;
   void set_delivery_filter(DeliveryFilter f) { filter_ = std::move(f); }
+
+  // Second, independent filter slot reserved for the fault-injection
+  // subsystem (per-link flaky windows), so faults compose with whatever
+  // partition filter an experiment installed. Same semantics as above.
+  void set_fault_filter(DeliveryFilter f) { fault_filter_ = std::move(f); }
+
+  // Maps the model latency to the effective one (fault-injected latency
+  // degradation spikes). Evaluated at send time.
+  using LatencyShaper = std::function<Duration(NodeId from, NodeId to, Duration base)>;
+  void set_latency_shaper(LatencyShaper f) { latency_shaper_ = std::move(f); }
+
+  // --- node lifecycle ---
+  // Marking a node down bumps its epoch, which cancels all of its
+  // epoch-scoped callbacks (schedule_for). Marking it up does not re-arm
+  // anything; that is the owner's job on restart.
+  void set_node_up(NodeId id, bool up);
+  bool node_up(NodeId id) const noexcept {
+    return id >= node_state_.size() || node_state_[id].up;
+  }
+  std::uint64_t node_epoch(NodeId id) const noexcept {
+    return id < node_state_.size() ? node_state_[id].epoch : 0;
+  }
+  std::size_t down_count() const noexcept;
+
+  // Fault observability (tests assert on mechanism, not just outcomes).
+  struct FaultCounters {
+    std::uint64_t dropped_sender_down = 0;
+    std::uint64_t dropped_receiver_down = 0;
+    std::uint64_t suppressed_callbacks = 0;
+    std::uint64_t dropped_by_fault_filter = 0;
+  };
+  const FaultCounters& fault_counters() const noexcept { return fault_counters_; }
 
   // Sends a message; it arrives at `to` after the model latency.
   void send(NodeId from, NodeId to, PayloadPtr msg);
@@ -89,12 +137,19 @@ class Simulator {
   // Schedules fn at now() + delay (delay >= 0).
   void schedule(Duration delay, std::function<void()> fn);
 
+  // Schedules fn at now() + delay on behalf of `owner`: the callback is
+  // suppressed (not executed) if the owner is down when it fires or has
+  // crashed since it was armed (epoch mismatch). Unregistered owners behave
+  // like plain schedule().
+  void schedule_for(NodeId owner, Duration delay, std::function<void()> fn);
+
   // Calls on_start() on every node (in id order). Must be called once before
   // stepping/running; idempotent.
   void start();
 
   // Processes events until the queue is empty or the horizon is reached.
-  // Returns the number of events processed.
+  // Returns the number of events processed. now() ends at max(now, horizon)
+  // even when the queue drains early.
   std::size_t run_until(TimePoint horizon);
 
   // Processes a single event; returns false when the queue is empty.
@@ -114,16 +169,24 @@ class Simulator {
       return a.seq > b.seq;                  // FIFO among simultaneous events
     }
   };
+  struct NodeState {
+    bool up = true;
+    std::uint64_t epoch = 0;  // bumped on every up -> down transition
+  };
 
   TimePoint now_ = 0;
   std::uint64_t next_seq_ = 0;
   util::Rng rng_;
   std::vector<INode*> nodes_;
+  std::vector<NodeState> node_state_;
   std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
   std::shared_ptr<LatencyModel> latency_;
   BandwidthAccountant bandwidth_;
   double drop_probability_ = 0.0;
   DeliveryFilter filter_;
+  DeliveryFilter fault_filter_;
+  LatencyShaper latency_shaper_;
+  FaultCounters fault_counters_;
   bool started_ = false;
 };
 

@@ -7,12 +7,15 @@
 #include "baselines/flood.hpp"
 #include "baselines/narwhal.hpp"
 #include "baselines/peerreview.hpp"
+#include "test_net_util.hpp"
 
 namespace lo::baselines {
 namespace {
 
-constexpr auto kMode = crypto::SignatureMode::kSimFast;
+constexpr auto kMode = test::kFastSig;
 
+// Baselines use their own config type (BaselineNetConfig), so only the
+// workload helper is shared; constant latency keeps these tests fast.
 BaselineNetConfig net_cfg(std::size_t n, std::uint64_t seed) {
   BaselineNetConfig cfg;
   cfg.num_nodes = n;
@@ -21,13 +24,7 @@ BaselineNetConfig net_cfg(std::size_t n, std::uint64_t seed) {
   return cfg;
 }
 
-workload::WorkloadConfig load_cfg(double tps, std::uint64_t seed) {
-  workload::WorkloadConfig w;
-  w.tps = tps;
-  w.seed = seed;
-  w.sig_mode = kMode;
-  return w;
-}
+using test::load_cfg;
 
 core::PrevalidationPolicy preval() {
   core::PrevalidationPolicy p;

@@ -1,0 +1,251 @@
+// Chaos tests: crash/restart lifecycle, random churn, flaky links and
+// latency spikes driven by the deterministic FaultInjector. The protocol
+// must stay convergent and accurate (Sec. 3.2) under every schedule, and
+// the whole run must replay bit-for-bit from the seeds.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+#include <vector>
+
+#include "harness/lo_network.hpp"
+#include "test_net_util.hpp"
+
+namespace lo {
+namespace {
+
+using test::load_cfg;
+using test::net_cfg;
+
+double first_suspicion_of(const harness::LoNetwork& net, core::NodeId accused) {
+  double first = -1.0;
+  for (const auto& ev : net.suspicion_events()) {
+    if (ev.accused != accused) continue;
+    if (first < 0.0 || ev.when_s < first) first = ev.when_s;
+  }
+  return first;
+}
+
+TEST(Chaos, CrashedNodeIsSilentUntilRestart) {
+  harness::LoNetwork net(net_cfg(8, 3));
+  net.start_workload(load_cfg(5.0, 5));
+  net.run_for(5.0);
+  net.crash_node(2);
+  EXPECT_TRUE(net.node_down(2));
+  EXPECT_TRUE(net.node(2).crashed());
+  const auto log_at_crash = net.node(2).log().count();
+  const auto pool_at_crash = net.node(2).mempool_size();
+  net.run_for(8.0);
+  // A dead host neither commits nor receives anything.
+  EXPECT_EQ(net.node(2).log().count(), log_at_crash);
+  EXPECT_EQ(net.node(2).mempool_size(), pool_at_crash);
+  // Crashing twice is a no-op, not a second incarnation.
+  net.crash_node(2);
+  EXPECT_EQ(net.total_stats().crashes, 1u);
+  net.restart_node(2);
+  EXPECT_FALSE(net.node_down(2));
+  EXPECT_FALSE(net.node(2).crashed());
+  EXPECT_EQ(net.total_stats().restarts, 1u);
+}
+
+TEST(Chaos, CrashMidSyncRecoversFullBacklog) {
+  // A node loses its entire volatile state — including the mempool — while
+  // hundreds of transactions flow past it. On restart it must refetch the
+  // content for its surviving commitment log AND catch up on everything it
+  // missed through the ordinary sketch/bulk-sync path, without blaming
+  // anyone for the gap.
+  harness::LoNetwork net(net_cfg(12, 7));
+  net.start_invariant_checker(500 * sim::kMillisecond);
+  net.start_workload(load_cfg(12.0, 9));
+  net.run_for(6.0);  // sync traffic is in full swing
+  ASSERT_GT(net.node(5).mempool_size(), 20u);
+  net.crash_node(5, /*wipe_mempool=*/true);
+  EXPECT_EQ(net.node(5).mempool_size(), 0u);
+  EXPECT_GT(net.node(5).log().count(), 0u) << "commitment log is disk";
+  net.run_for(10.0);  // backlog builds while the node is down
+  net.stop_workload();
+  net.run_for(1.0);
+  const auto total = net.txs_injected();
+  ASSERT_GT(total, 100u);
+
+  net.restart_node(5);
+  net.run_for(120.0);  // recovery: content refetch + bulk sync
+  EXPECT_EQ(net.node(5).log().count(), total)
+      << "restarted node must commit the full backlog";
+  EXPECT_EQ(net.node(5).mempool_size(), total)
+      << "restarted node must recover all content, including wiped txs";
+  // Accuracy: the crash fabricated no evidence against anyone, and the
+  // other nodes' transient suspicions of the dead node were retracted.
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    EXPECT_TRUE(net.node(i).registry().exposed().empty()) << "node " << i;
+    EXPECT_FALSE(net.node(i).registry().is_suspected(5)) << "node " << i;
+  }
+  EXPECT_TRUE(net.invariant_violations().empty());
+}
+
+TEST(Chaos, SuspicionsOfCrashedNodeAreRetractedAfterRecovery) {
+  harness::LoNetwork net(net_cfg(10, 11));
+  net.start_invariant_checker(sim::kSecond);
+  net.start_workload(load_cfg(6.0, 13));
+  net.run_for(5.0);
+  net.crash_node(0);
+  net.run_for(25.0);  // timeout + exponential backoff retries, then suspicion
+  std::size_t suspecting = 0;
+  for (std::size_t i = 1; i < net.size(); ++i) {
+    if (net.node(i).registry().is_suspected(0)) ++suspecting;
+  }
+  EXPECT_GT(suspecting, 0u) << "a crashed node must draw suspicion";
+
+  net.restart_node(0);
+  net.run_for(40.0);
+  for (std::size_t i = 1; i < net.size(); ++i) {
+    EXPECT_FALSE(net.node(i).registry().is_suspected(0))
+        << "node " << i << " kept suspecting a recovered node";
+    EXPECT_FALSE(net.node(i).registry().is_exposed(0))
+        << "a correct node must never be exposed";
+  }
+  const auto stats = net.total_stats();
+  EXPECT_GT(stats.timeouts_fired, 0u);
+  EXPECT_GT(stats.retries_sent, 0u);
+  EXPECT_GT(stats.suspicions_raised, 0u);
+  EXPECT_EQ(stats.suspicions_raised, stats.suspicions_retracted)
+      << "every suspicion of the recovered node must be retracted";
+  EXPECT_TRUE(net.invariant_violations().empty());
+}
+
+TEST(Chaos, ChurnThreeOfSixteenConvergesAfterChurnStops) {
+  harness::LoNetwork net(net_cfg(16, 17));
+  net.start_invariant_checker(500 * sim::kMillisecond);
+  net.start_workload(load_cfg(8.0, 19));
+  sim::ChurnConfig churn;
+  churn.mean_gap = 2 * sim::kSecond;
+  churn.min_down = 2 * sim::kSecond;
+  churn.max_down = 5 * sim::kSecond;
+  churn.max_concurrent_down = 3;
+  net.start_churn(churn);
+  net.run_for(25.0);
+  EXPECT_GT(net.faults().crashes_injected(), 3u);
+  net.stop_churn();
+  net.stop_workload();
+  // Scheduled restarts drain within max_down; then recovery syncs run.
+  net.run_for(60.0);
+  EXPECT_EQ(net.faults().down_count(), 0u);
+  EXPECT_EQ(net.faults().crashes_injected(), net.faults().restarts_injected());
+
+  const auto total = net.txs_injected();
+  ASSERT_GT(total, 50u);
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    EXPECT_EQ(net.node(i).log().count(), total) << "node " << i;
+    EXPECT_EQ(net.node(i).mempool_size(), total) << "node " << i;
+    EXPECT_TRUE(net.node(i).registry().exposed().empty())
+        << "churn must never produce exposure evidence (node " << i << ")";
+  }
+  EXPECT_TRUE(net.invariant_violations().empty());
+}
+
+TEST(Chaos, FlakyLinksAndLatencySpikesStillConverge) {
+  harness::LoNetwork net(net_cfg(12, 23));
+  net.start_invariant_checker(sim::kSecond);
+  auto& faults = net.faults();
+  // Heavy loss on a few links plus a 4x latency spike mid-run.
+  faults.flaky_link(0, 1, 2 * sim::kSecond, 12 * sim::kSecond, 0.6);
+  faults.flaky_link(3, 7, 0, 15 * sim::kSecond, 0.5);
+  faults.latency_spike(4 * sim::kSecond, 9 * sim::kSecond, 4.0);
+  net.start_workload(load_cfg(8.0, 29));
+  net.run_for(15.0);
+  net.stop_workload();
+  net.run_for(30.0);
+  EXPECT_GT(faults.link_drops(), 0u);
+  const auto total = net.txs_injected();
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    EXPECT_EQ(net.node(i).mempool_size(), total) << "node " << i;
+    EXPECT_TRUE(net.node(i).registry().exposed().empty());
+  }
+  EXPECT_TRUE(net.invariant_violations().empty());
+}
+
+TEST(Chaos, ExponentialBackoffDefersSuspicion) {
+  // With exponential backoff (1+2+4+8 s before the retry budget runs out),
+  // an unreachable peer draws first suspicion much later than under the
+  // legacy fixed-interval schedule (1+1+1+1 s). Jitter is disabled so both
+  // timelines are exact.
+  auto run = [](double factor) {
+    auto cfg = net_cfg(6, 31);
+    cfg.node.backoff_factor = factor;
+    cfg.node.backoff_jitter = 0.0;
+    harness::LoNetwork net(cfg);
+    net.sim().set_delivery_filter(
+        [](core::NodeId, core::NodeId to) { return to != 0; });
+    net.run_for(30.0);
+    return first_suspicion_of(net, 0);
+  };
+  const double fixed = run(1.0);
+  const double backoff = run(2.0);
+  ASSERT_GE(fixed, 0.0);
+  ASSERT_GE(backoff, 0.0);
+  EXPECT_LT(fixed, 9.0);
+  EXPECT_GT(backoff, 11.0);
+  EXPECT_GT(backoff, fixed + 5.0);
+}
+
+TEST(Chaos, ScheduledCrashWindowFiresOnTime) {
+  harness::LoNetwork net(net_cfg(8, 37));
+  net.faults().crash_at(3 * sim::kSecond, 4, 2 * sim::kSecond);
+  net.run_for(2.9);
+  EXPECT_FALSE(net.node_down(4));
+  net.run_for(0.2);
+  EXPECT_TRUE(net.node_down(4));
+  EXPECT_TRUE(net.faults().is_down(4));
+  net.run_for(2.0);
+  EXPECT_FALSE(net.node_down(4));
+  EXPECT_EQ(net.faults().crashes_injected(), 1u);
+  EXPECT_EQ(net.faults().restarts_injected(), 1u);
+}
+
+TEST(Chaos, DeterministicReplay) {
+  // The full chaos machinery — churn, flaky links, latency spikes, crash
+  // recovery — must replay bit-for-bit from the (network, workload) seeds.
+  auto run = [] {
+    harness::LoNetwork net(net_cfg(12, 41));
+    net.start_invariant_checker(sim::kSecond);
+    auto& faults = net.faults();
+    faults.flaky_link(1, 2, sim::kSecond, 10 * sim::kSecond, 0.4);
+    faults.latency_spike(3 * sim::kSecond, 6 * sim::kSecond, 3.0);
+    sim::ChurnConfig churn;
+    churn.mean_gap = 3 * sim::kSecond;
+    churn.max_concurrent_down = 2;
+    churn.wipe_mempool = true;
+    net.start_churn(churn);
+    net.start_workload(load_cfg(8.0, 43));
+    net.run_for(20.0);
+    net.stop_churn();
+    net.stop_workload();
+    net.run_for(30.0);
+    std::vector<std::size_t> pools;
+    for (std::size_t i = 0; i < net.size(); ++i) {
+      pools.push_back(net.node(i).mempool_size());
+    }
+    const auto stats = net.total_stats();
+    return std::tuple{net.txs_injected(),
+                      net.sim().bandwidth().total_bytes(),
+                      pools,
+                      net.faults().crashes_injected(),
+                      net.faults().link_drops(),
+                      stats.retries_sent,
+                      stats.timeouts_fired,
+                      stats.suspicions_raised,
+                      net.suspicion_events().size()};
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(Chaos, InvariantSweepIsCleanOnHealthyNetwork) {
+  harness::LoNetwork net(net_cfg(8, 47));
+  net.start_workload(load_cfg(5.0, 53));
+  net.run_for(8.0);
+  EXPECT_TRUE(net.check_invariants().empty());
+  EXPECT_TRUE(net.invariant_violations().empty());
+}
+
+}  // namespace
+}  // namespace lo

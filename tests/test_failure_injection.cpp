@@ -5,29 +5,13 @@
 #include <gtest/gtest.h>
 
 #include "harness/lo_network.hpp"
+#include "test_net_util.hpp"
 
 namespace lo {
 namespace {
 
-constexpr auto kMode = crypto::SignatureMode::kSimFast;
-
-harness::NetworkConfig net_cfg(std::size_t n, std::uint64_t seed) {
-  harness::NetworkConfig cfg;
-  cfg.num_nodes = n;
-  cfg.seed = seed;
-  cfg.city_latency = true;
-  cfg.node.sig_mode = kMode;
-  cfg.node.prevalidation.sig_mode = kMode;
-  return cfg;
-}
-
-workload::WorkloadConfig load_cfg(double tps, std::uint64_t seed) {
-  workload::WorkloadConfig w;
-  w.tps = tps;
-  w.seed = seed;
-  w.sig_mode = kMode;
-  return w;
-}
+using test::load_cfg;
+using test::net_cfg;
 
 TEST(FailureInjection, ConvergesUnderTenPercentLoss) {
   auto cfg = net_cfg(16, 3);

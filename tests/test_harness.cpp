@@ -3,33 +3,22 @@
 #include <gtest/gtest.h>
 
 #include "harness/lo_network.hpp"
+#include "test_net_util.hpp"
 
 namespace lo::harness {
 namespace {
 
-constexpr auto kMode = crypto::SignatureMode::kSimFast;
+constexpr auto kMode = test::kFastSig;
 
-NetworkConfig cfg_of(std::size_t n, std::uint64_t seed, double bad = 0.0) {
-  NetworkConfig cfg;
-  cfg.num_nodes = n;
-  cfg.seed = seed;
-  cfg.node.sig_mode = kMode;
-  cfg.node.prevalidation.sig_mode = kMode;
-  cfg.malicious_fraction = bad;
-  return cfg;
-}
+using test::net_cfg;
 
 workload::WorkloadConfig load_of(double tps, std::uint64_t seed) {
-  workload::WorkloadConfig w;
-  w.tps = tps;
-  w.seed = seed;
-  w.sig_mode = kMode;
-  return w;
+  return test::load_cfg(tps, seed);
 }
 
 TEST(Harness, MaliciousCountMatchesFraction) {
   for (double f : {0.0, 0.1, 0.25, 0.5}) {
-    LoNetwork net(cfg_of(20, 3, f));
+    LoNetwork net(net_cfg(20, 3, f));
     std::size_t count = 0;
     for (bool b : net.malicious_mask()) count += b ? 1 : 0;
     EXPECT_EQ(count, net.malicious_count());
@@ -39,7 +28,7 @@ TEST(Harness, MaliciousCountMatchesFraction) {
 }
 
 TEST(Harness, HonestSubgraphIsConnected) {
-  auto cfg = cfg_of(30, 5, 0.4);
+  auto cfg = net_cfg(30, 5, 0.4);
   cfg.malicious.censor_txs = true;
   LoNetwork net(cfg);
   std::vector<bool> honest(net.size());
@@ -51,7 +40,7 @@ TEST(Harness, HonestSubgraphIsConnected) {
 }
 
 TEST(Harness, NeighborsMatchTopology) {
-  LoNetwork net(cfg_of(12, 7));
+  LoNetwork net(net_cfg(12, 7));
   for (std::size_t i = 0; i < net.size(); ++i) {
     EXPECT_EQ(net.node(i).neighbors(),
               net.topology().neighbors(static_cast<core::NodeId>(i)));
@@ -59,7 +48,7 @@ TEST(Harness, NeighborsMatchTopology) {
 }
 
 TEST(Harness, WorkloadInjectsAtConfiguredRate) {
-  LoNetwork net(cfg_of(10, 9));
+  LoNetwork net(net_cfg(10, 9));
   net.start_workload(load_of(20.0, 11));
   net.run_for(20.0);
   // Poisson(400): 5-sigma band.
@@ -67,7 +56,7 @@ TEST(Harness, WorkloadInjectsAtConfiguredRate) {
 }
 
 TEST(Harness, StopWorkloadStopsInjection) {
-  LoNetwork net(cfg_of(10, 13));
+  LoNetwork net(net_cfg(10, 13));
   net.start_workload(load_of(20.0, 15));
   net.run_for(5.0);
   net.stop_workload();
@@ -77,7 +66,7 @@ TEST(Harness, StopWorkloadStopsInjection) {
 }
 
 TEST(Harness, WorkloadAvoidsMaliciousEntryNodes) {
-  auto cfg = cfg_of(10, 17, 0.3);
+  auto cfg = net_cfg(10, 17, 0.3);
   cfg.malicious.censor_txs = true;
   cfg.malicious.ignore_requests = true;
   LoNetwork net(cfg);
@@ -92,7 +81,7 @@ TEST(Harness, WorkloadAvoidsMaliciousEntryNodes) {
 }
 
 TEST(Harness, CoverageReportsFraction) {
-  LoNetwork net(cfg_of(8, 21));
+  LoNetwork net(net_cfg(8, 21));
   crypto::Signer client(crypto::derive_keypair(50, kMode), kMode);
   const auto tx = core::make_transaction(client, 1, 9, 0);
   EXPECT_EQ(net.coverage(tx.id), 0.0);
@@ -103,7 +92,7 @@ TEST(Harness, CoverageReportsFraction) {
 }
 
 TEST(Harness, DetectionTimesEmptyWithoutMalicious) {
-  LoNetwork net(cfg_of(8, 23));
+  LoNetwork net(net_cfg(8, 23));
   net.start_workload(load_of(5.0, 25));
   net.run_for(5.0);
   const auto t = net.detection_times();
@@ -113,7 +102,7 @@ TEST(Harness, DetectionTimesEmptyWithoutMalicious) {
 }
 
 TEST(Harness, DetectionTimesOrdering) {
-  auto cfg = cfg_of(16, 27, 0.15);
+  auto cfg = net_cfg(16, 27, 0.15);
   cfg.malicious.equivocate = true;
   LoNetwork net(cfg);
   net.start_workload(load_of(8.0, 29));
@@ -126,7 +115,7 @@ TEST(Harness, DetectionTimesOrdering) {
 }
 
 TEST(Harness, BlockProductionRespectsCorrectLeaderFilter) {
-  auto cfg = cfg_of(12, 31, 0.25);
+  auto cfg = net_cfg(12, 31, 0.25);
   cfg.malicious.reorder_block = true;
   LoNetwork net(cfg);
   net.start_workload(load_of(8.0, 33));
@@ -147,7 +136,7 @@ TEST(Harness, BlockProductionRespectsCorrectLeaderFilter) {
 }
 
 TEST(Harness, BlockLatencyTracksOnlyFirstInclusion) {
-  LoNetwork net(cfg_of(10, 35));
+  LoNetwork net(net_cfg(10, 35));
   net.start_workload(load_of(10.0, 37));
   consensus::LeaderConfig lc;
   lc.mean_block_interval = 4 * sim::kSecond;
@@ -162,7 +151,7 @@ TEST(Harness, BlockLatencyTracksOnlyFirstInclusion) {
 
 TEST(Harness, SeedsChangeOutcomes) {
   auto run = [](std::uint64_t seed) {
-    LoNetwork net(cfg_of(10, seed));
+    LoNetwork net(net_cfg(10, seed));
     net.start_workload(load_of(10.0, seed + 1));
     net.run_for(5.0);
     return net.sim().bandwidth().total_bytes();

@@ -3,32 +3,18 @@
 #include <gtest/gtest.h>
 
 #include "harness/lo_network.hpp"
+#include "test_net_util.hpp"
 
 namespace lo {
 namespace {
 
-harness::NetworkConfig small_net(std::size_t n, std::uint64_t seed) {
-  harness::NetworkConfig cfg;
-  cfg.num_nodes = n;
-  cfg.seed = seed;
-  cfg.city_latency = true;
-  // Fast signatures keep the test suite quick; wire sizes are unchanged.
-  cfg.node.sig_mode = crypto::SignatureMode::kSimFast;
-  cfg.node.prevalidation.sig_mode = crypto::SignatureMode::kSimFast;
-  return cfg;
-}
-
-workload::WorkloadConfig light_load(double tps, std::uint64_t seed) {
-  workload::WorkloadConfig w;
-  w.tps = tps;
-  w.seed = seed;
-  w.sig_mode = crypto::SignatureMode::kSimFast;
-  return w;
-}
+// Fast signatures keep the test suite quick; wire sizes are unchanged.
+using test::load_cfg;
+using test::net_cfg;
 
 TEST(Integration, HonestNetworkConvergesAndStaysClean) {
-  harness::LoNetwork net(small_net(16, 11));
-  net.start_workload(light_load(5.0, 21));
+  harness::LoNetwork net(net_cfg(16, 11));
+  net.start_workload(load_cfg(5.0, 21));
   net.run_for(10.0);
   // Stop injecting; drain.
   net.stop_workload();
@@ -53,8 +39,8 @@ TEST(Integration, HonestNetworkConvergesAndStaysClean) {
 }
 
 TEST(Integration, MempoolLatencyIsRealistic) {
-  harness::LoNetwork net(small_net(32, 5));
-  net.start_workload(light_load(10.0, 7));
+  harness::LoNetwork net(net_cfg(32, 5));
+  net.start_workload(load_cfg(10.0, 7));
   net.run_for(20.0);
   auto& lat = net.mempool_latency();
   ASSERT_GT(lat.count(), 100u);
@@ -65,13 +51,13 @@ TEST(Integration, MempoolLatencyIsRealistic) {
 }
 
 TEST(Integration, SilentNodesGetSuspectedEverywhere) {
-  auto cfg = small_net(20, 31);
+  auto cfg = net_cfg(20, 31);
   cfg.malicious_fraction = 0.15;  // 3 nodes
   cfg.malicious.ignore_requests = true;
   cfg.malicious.censor_txs = true;
   cfg.malicious.drop_gossip = true;
   harness::LoNetwork net(cfg);
-  net.start_workload(light_load(5.0, 33));
+  net.start_workload(load_cfg(5.0, 33));
   net.run_for(30.0);
 
   const auto times = net.detection_times();
@@ -83,11 +69,11 @@ TEST(Integration, SilentNodesGetSuspectedEverywhere) {
 }
 
 TEST(Integration, EquivocatorsAreExposedEverywhere) {
-  auto cfg = small_net(20, 41);
+  auto cfg = net_cfg(20, 41);
   cfg.malicious_fraction = 0.10;  // 2 nodes
   cfg.malicious.equivocate = true;
   harness::LoNetwork net(cfg);
-  net.start_workload(light_load(8.0, 43));
+  net.start_workload(load_cfg(8.0, 43));
   net.run_for(40.0);
 
   const auto times = net.detection_times();
@@ -98,11 +84,11 @@ TEST(Integration, EquivocatorsAreExposedEverywhere) {
 }
 
 TEST(Integration, ReorderingBlockCreatorIsExposed) {
-  auto cfg = small_net(12, 51);
+  auto cfg = net_cfg(12, 51);
   cfg.malicious_fraction = 0.1;  // 1 node
   cfg.malicious.reorder_block = true;
   harness::LoNetwork net(cfg);
-  net.start_workload(light_load(8.0, 53));
+  net.start_workload(load_cfg(8.0, 53));
   net.run_for(15.0);  // let mempools fill
 
   // Elect the malicious node as leader explicitly.
@@ -127,8 +113,8 @@ TEST(Integration, ReorderingBlockCreatorIsExposed) {
 }
 
 TEST(Integration, HonestBlockCreatorIsNotBlamed) {
-  harness::LoNetwork net(small_net(12, 61));
-  net.start_workload(light_load(8.0, 63));
+  harness::LoNetwork net(net_cfg(12, 61));
+  net.start_workload(load_cfg(8.0, 63));
   net.run_for(15.0);
   net.node(3).create_block(1, crypto::Digest256{});
   net.run_for(20.0);
@@ -139,11 +125,11 @@ TEST(Integration, HonestBlockCreatorIsNotBlamed) {
 }
 
 TEST(Integration, InjectingBlockCreatorIsExposed) {
-  auto cfg = small_net(12, 71);
+  auto cfg = net_cfg(12, 71);
   cfg.malicious_fraction = 0.1;
   cfg.malicious.inject_uncommitted = true;
   harness::LoNetwork net(cfg);
-  net.start_workload(light_load(8.0, 73));
+  net.start_workload(load_cfg(8.0, 73));
   net.run_for(15.0);
 
   std::size_t bad = net.size();
@@ -169,11 +155,11 @@ TEST(Integration, OffChannelCollusionIsExposed) {
   // evade commitments, then the block creator includes it out of order. The
   // block then contains a transaction with no commitment trail — the creator
   // "faces blame for introducing a transaction without node A's commitment".
-  auto cfg = small_net(14, 91);
+  auto cfg = net_cfg(14, 91);
   cfg.malicious_fraction = 0.07;  // one colluding block creator
   cfg.malicious.inject_uncommitted = true;
   harness::LoNetwork net(cfg);
-  net.start_workload(light_load(8.0, 93));
+  net.start_workload(load_cfg(8.0, 93));
   net.run_for(12.0);
 
   std::size_t colluder = net.size();
@@ -212,8 +198,8 @@ TEST(Integration, OffChannelCollusionIsExposed) {
 }
 
 TEST(Integration, BlockProductionSettlesTransactions) {
-  harness::LoNetwork net(small_net(16, 81));
-  net.start_workload(light_load(10.0, 83));
+  harness::LoNetwork net(net_cfg(16, 81));
+  net.start_workload(load_cfg(10.0, 83));
   consensus::LeaderConfig lc;
   lc.mean_block_interval = 6 * sim::kSecond;
   lc.exponential_intervals = false;  // fixed cadence keeps the test stable
@@ -227,8 +213,8 @@ TEST(Integration, BlockProductionSettlesTransactions) {
 
 TEST(Integration, DeterministicGivenSeed) {
   auto run = [] {
-    harness::LoNetwork net(small_net(12, 99));
-    net.start_workload(light_load(6.0, 17));
+    harness::LoNetwork net(net_cfg(12, 99));
+    net.start_workload(load_cfg(6.0, 17));
     net.run_for(8.0);
     return std::tuple{net.txs_injected(), net.node(3).mempool_size(),
                       net.sim().bandwidth().total_bytes()};

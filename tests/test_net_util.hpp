@@ -1,0 +1,34 @@
+// Shared network/workload configuration helpers for the harness-level test
+// suites (integration, failure injection, chaos, harness, baselines). All of
+// them run with fast simulated signatures — wire sizes are unchanged, only
+// the crypto cost disappears — and the paper's 32-city latency model.
+#pragma once
+
+#include "harness/lo_network.hpp"
+#include "workload/txgen.hpp"
+
+namespace lo::test {
+
+constexpr auto kFastSig = crypto::SignatureMode::kSimFast;
+
+inline harness::NetworkConfig net_cfg(std::size_t n, std::uint64_t seed,
+                                      double malicious_fraction = 0.0) {
+  harness::NetworkConfig cfg;
+  cfg.num_nodes = n;
+  cfg.seed = seed;
+  cfg.city_latency = true;
+  cfg.node.sig_mode = kFastSig;
+  cfg.node.prevalidation.sig_mode = kFastSig;
+  cfg.malicious_fraction = malicious_fraction;
+  return cfg;
+}
+
+inline workload::WorkloadConfig load_cfg(double tps, std::uint64_t seed) {
+  workload::WorkloadConfig w;
+  w.tps = tps;
+  w.seed = seed;
+  w.sig_mode = kFastSig;
+  return w;
+}
+
+}  // namespace lo::test

@@ -102,11 +102,12 @@ TEST(NodeProtocol, SilentPeerSuspectedAfterTimeoutAndRetries) {
   std::size_t bad = net.malicious_mask()[0] ? 0u : 1u;
   std::size_t good = 1 - bad;
   net.node(good).submit_transaction(make_tx(1));
-  // Timeout 1 s x (1 + 3 retries) = 4 s, plus the first sync round offset.
+  // Exponential backoff: timeouts at ~1+2+4+8 s (+/- 20% jitter) before the
+  // suspicion fires, plus the first sync round offset.
   net.run_for(2.0);
   EXPECT_FALSE(net.node(good).registry().is_suspected(
       static_cast<core::NodeId>(bad)));
-  net.run_for(6.0);
+  net.run_for(20.0);
   EXPECT_TRUE(net.node(good).registry().is_suspected(
       static_cast<core::NodeId>(bad)));
 }
@@ -122,7 +123,7 @@ TEST(NodeProtocol, RecoveredPeerIsUnsuspected) {
       [&partitioned](core::NodeId, core::NodeId to) {
         return !(partitioned && to == 1);  // node 1 unreachable
       });
-  net.run_for(10.0);
+  net.run_for(22.0);  // backed-off retries need ~15 s (+ jitter) to exhaust
   EXPECT_TRUE(net.node(0).registry().is_suspected(1));
   partitioned = false;  // heal; node 0 keeps new syncs going
   net.node(0).submit_transaction(make_tx(2));

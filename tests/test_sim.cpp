@@ -157,6 +157,190 @@ TEST(Simulator, DeterministicEventCount) {
   EXPECT_EQ(run(), run());
 }
 
+// --------------------------------------------- delivery-edge semantics ----
+
+TEST(Simulator, DeliveryFilterEvaluatedAtSendTimeNotDeliveryTime) {
+  // The filter decides a message's fate when it is SENT. Healing a partition
+  // while a dropped message would still have been in flight must not
+  // resurrect it, and cutting the link under an in-flight message must not
+  // destroy it.
+  Simulator sim(1);
+  sim.set_latency_model(std::make_shared<ConstantLatency>(1000));
+  RecordingNode a, b;
+  const NodeId ida = sim.add_node(&a);
+  const NodeId idb = sim.add_node(&b);
+  bool blocked = true;
+  sim.set_delivery_filter([&blocked](NodeId, NodeId) { return !blocked; });
+  sim.start();
+
+  sim.send(ida, idb, std::make_shared<TestPayload>(64, 1));  // dropped at send
+  sim.run_until(500);
+  blocked = false;  // heal mid-flight: too late for tag 1
+  sim.send(ida, idb, std::make_shared<TestPayload>(64, 2));  // passes at send
+  sim.run_until(1200);
+  blocked = true;  // cut mid-flight: tag 2 is already committed to deliver
+  sim.run_until(3000);
+  ASSERT_EQ(b.tags.size(), 1u);
+  EXPECT_EQ(b.tags[0], 2);
+}
+
+TEST(Simulator, RunUntilAdvancesClockOnEmptyQueue) {
+  Simulator sim(1);
+  EXPECT_EQ(sim.run_until(5000), 0u);  // no events at all
+  EXPECT_EQ(sim.now(), 5000);
+  // A later horizon keeps advancing; time never runs backwards.
+  sim.run_until(6000);
+  EXPECT_EQ(sim.now(), 6000);
+  sim.run_until(100);
+  EXPECT_EQ(sim.now(), 6000);
+}
+
+TEST(Simulator, SimultaneousSendAndTimerInterleaveFifo) {
+  // Events with equal timestamps fire in insertion order regardless of kind
+  // (timer vs delivery) — the tie-break is the global sequence number.
+  Simulator sim(1);
+  sim.set_latency_model(std::make_shared<ConstantLatency>(100));
+  std::vector<int> order;
+  struct Sink final : INode {
+    explicit Sink(std::vector<int>& o) : order(&o) {}
+    void on_message(NodeId, const PayloadPtr& msg) override {
+      order->push_back(dynamic_cast<const TestPayload&>(*msg).tag_);
+    }
+    std::vector<int>* order;
+  };
+  Sink sink(order);
+  const NodeId src = sim.add_node(&sink);
+  const NodeId dst = sim.add_node(&sink);
+  sim.start();
+  sim.send(src, dst, std::make_shared<TestPayload>(8, 10));  // arrives t=100
+  sim.schedule(100, [&order] { order.push_back(20); });
+  sim.send(src, dst, std::make_shared<TestPayload>(8, 30));  // arrives t=100
+  sim.run_until(200);
+  EXPECT_EQ(order, (std::vector<int>{10, 20, 30}));
+}
+
+TEST(Simulator, DownSenderDropsWithoutBandwidthCharge) {
+  Simulator sim(1);
+  sim.set_latency_model(std::make_shared<ConstantLatency>(10));
+  RecordingNode a, b;
+  const NodeId ida = sim.add_node(&a);
+  const NodeId idb = sim.add_node(&b);
+  sim.start();
+  sim.set_node_up(ida, false);
+  sim.send(ida, idb, std::make_shared<TestPayload>());
+  sim.run_until(kSecond);
+  EXPECT_TRUE(b.senders.empty());
+  EXPECT_EQ(sim.bandwidth().total_messages(), 0u)
+      << "a dead host emits no bytes";
+  EXPECT_EQ(sim.fault_counters().dropped_sender_down, 1u);
+}
+
+TEST(Simulator, InFlightMessageToCrashedReceiverIsLost) {
+  // Receiver liveness is checked at DELIVERY time: packets racing toward a
+  // host that dies mid-flight land on a dead machine.
+  Simulator sim(1);
+  sim.set_latency_model(std::make_shared<ConstantLatency>(1000));
+  RecordingNode a, b;
+  const NodeId ida = sim.add_node(&a);
+  const NodeId idb = sim.add_node(&b);
+  sim.start();
+  sim.send(ida, idb, std::make_shared<TestPayload>(64, 1));
+  sim.run_until(500);
+  sim.set_node_up(idb, false);  // dies with the packet halfway
+  sim.run_until(2000);
+  EXPECT_TRUE(b.tags.empty());
+  EXPECT_EQ(sim.fault_counters().dropped_receiver_down, 1u);
+  // Bandwidth was charged: the bytes did leave the sender.
+  EXPECT_EQ(sim.bandwidth().total_messages(), 1u);
+
+  // A receiver that restarts before delivery DOES get the message.
+  sim.send(ida, idb, std::make_shared<TestPayload>(64, 2));
+  sim.set_node_up(idb, true);
+  sim.run_until(4000);
+  ASSERT_EQ(b.tags.size(), 1u);
+  EXPECT_EQ(b.tags[0], 2);
+}
+
+TEST(Simulator, ScheduleForSuppressedAcrossEpochs) {
+  Simulator sim(1);
+  RecordingNode a;
+  const NodeId ida = sim.add_node(&a);
+  sim.start();
+  int fired = 0;
+  sim.schedule_for(ida, 100, [&fired] { ++fired; });   // epoch 0, fires
+  sim.run_until(200);
+  EXPECT_EQ(fired, 1);
+
+  sim.schedule_for(ida, 100, [&fired] { ++fired; });   // armed in epoch 0
+  sim.set_node_up(ida, false);                         // epoch -> 1
+  sim.run_until(400);
+  EXPECT_EQ(fired, 1) << "timer owned by a down node must not fire";
+
+  sim.set_node_up(ida, true);                          // still epoch 1
+  sim.schedule_for(ida, 100, [&fired] { ++fired; });   // armed in epoch 1
+  sim.run_until(600);
+  EXPECT_EQ(fired, 2) << "only the new incarnation's timers fire";
+  EXPECT_EQ(sim.fault_counters().suppressed_callbacks, 1u);
+}
+
+TEST(Simulator, FaultFilterComposesWithDeliveryFilter) {
+  // The fault filter (used by FaultInjector) is a second, independent veto:
+  // a message passes only if BOTH filters allow it, and drops are counted.
+  Simulator sim(1);
+  sim.set_latency_model(std::make_shared<ConstantLatency>(10));
+  RecordingNode a, b, c;
+  const NodeId ida = sim.add_node(&a);
+  const NodeId idb = sim.add_node(&b);
+  const NodeId idc = sim.add_node(&c);
+  sim.set_delivery_filter([idb](NodeId, NodeId to) { return to != idb; });
+  sim.set_fault_filter([idc](NodeId, NodeId to) { return to != idc; });
+  sim.start();
+  sim.send(ida, idb, std::make_shared<TestPayload>());
+  sim.send(ida, idc, std::make_shared<TestPayload>());
+  sim.send(idb, ida, std::make_shared<TestPayload>());
+  sim.run_until(kSecond);
+  EXPECT_TRUE(b.senders.empty());
+  EXPECT_TRUE(c.senders.empty());
+  EXPECT_EQ(a.senders.size(), 1u);
+  EXPECT_EQ(sim.fault_counters().dropped_by_fault_filter, 1u);
+}
+
+TEST(Simulator, LatencyShaperStretchesDelivery) {
+  Simulator sim(1);
+  sim.set_latency_model(std::make_shared<ConstantLatency>(100));
+  RecordingNode a, b;
+  const NodeId ida = sim.add_node(&a);
+  const NodeId idb = sim.add_node(&b);
+  sim.set_latency_shaper(
+      [](NodeId, NodeId, Duration base) { return base * 5; });
+  sim.start();
+  sim.send(ida, idb, std::make_shared<TestPayload>(64, 9));
+  sim.run_until(499);
+  EXPECT_TRUE(b.tags.empty());
+  sim.run_until(500);
+  ASSERT_EQ(b.tags.size(), 1u);
+}
+
+TEST(Simulator, NodeUpQueriesAndDownCount) {
+  Simulator sim(1);
+  RecordingNode a, b;
+  const NodeId ida = sim.add_node(&a);
+  sim.add_node(&b);
+  EXPECT_TRUE(sim.node_up(ida));
+  EXPECT_TRUE(sim.node_up(999)) << "unregistered ids default to up";
+  EXPECT_EQ(sim.down_count(), 0u);
+  sim.set_node_up(ida, false);
+  EXPECT_FALSE(sim.node_up(ida));
+  EXPECT_EQ(sim.down_count(), 1u);
+  EXPECT_EQ(sim.node_epoch(ida), 1u);
+  sim.set_node_up(ida, false);  // idempotent: no extra epoch bump
+  EXPECT_EQ(sim.node_epoch(ida), 1u);
+  sim.set_node_up(ida, true);
+  EXPECT_EQ(sim.down_count(), 0u);
+  EXPECT_EQ(sim.node_epoch(ida), 1u) << "epoch bumps on up->down only";
+  EXPECT_THROW(sim.set_node_up(999, false), std::out_of_range);
+}
+
 // ------------------------------------------------------------- latency ----
 
 TEST(CityLatency, SymmetricAndPositive) {
