@@ -30,9 +30,10 @@ int main(int argc, char** argv) {
       decodes += net.node(i).sketch_decodes();
     }
     const double minutes = args.seconds / 60.0;
+    const auto nodes = static_cast<double>(net.size());
     std::printf("%-14.0f %-26.1f %-26.1f\n", tps,
-                static_cast<double>(recons) / net.size() / minutes,
-                static_cast<double>(decodes) / net.size() / minutes);
+                static_cast<double>(recons) / nodes / minutes,
+                static_cast<double>(decodes) / nodes / minutes);
   }
   std::printf(
       "\nexpected shape: reconciliation rate grows with the workload and\n"

@@ -40,8 +40,10 @@ ProtocolRow run_lo(std::size_t n, double seconds, double tps,
   harness::LoNetwork net(cfg);
   net.start_workload(bench::base_workload(tps, seed * 3), 1);
   net.run_for(seconds);
-  const auto overhead = net.sim().bandwidth().bytes_excluding({"lo.txs"});
-  return {"LO", overhead / 1024.0 / n, overhead / seconds / n,
+  const auto overhead =
+      static_cast<double>(net.sim().bandwidth().bytes_excluding({"lo.txs"}));
+  const auto nodes = static_cast<double>(n);
+  return {"LO", overhead / 1024.0 / nodes, overhead / seconds / nodes,
           net.mempool_latency().mean()};
 }
 
@@ -58,8 +60,10 @@ ProtocolRow run_baseline(const char* name, typename NodeT::Config node_cfg,
   }
   net.start_workload(lo::bench::base_workload(tps, seed * 3), 1);
   net.run_for(seconds);
-  const auto overhead = net.sim().bandwidth().bytes_excluding({tx_class});
-  return {name, overhead / 1024.0 / n, overhead / seconds / n,
+  const auto overhead =
+      static_cast<double>(net.sim().bandwidth().bytes_excluding({tx_class}));
+  const auto nodes = static_cast<double>(n);
+  return {name, overhead / 1024.0 / nodes, overhead / seconds / nodes,
           net.mempool_latency().mean()};
 }
 

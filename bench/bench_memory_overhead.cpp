@@ -25,7 +25,7 @@ int main(int argc, char** argv) {
               "size[KiB]");
   lo::core::CommitmentParams params;
   lo::core::CommitmentHeader header(params);
-  const double header_kib = header.wire_size() / 1024.0;
+  const double header_kib = static_cast<double>(header.wire_size()) / 1024.0;
   for (double tpm : {120.0, 600.0, 2400.0, 24000.0}) {
     const double per_round = tpm / 60.0;  // ids accumulated per second
     const double size_kib =
@@ -46,17 +46,19 @@ int main(int argc, char** argv) {
     total_mem += net.node(i).accountability_memory_bytes();
     total_commitments += net.node(i).registry().commitments_stored();
   }
-  const double per_node_kib = static_cast<double>(total_mem) / net.size() / 1024.0;
+  const double per_node_kib =
+      static_cast<double>(total_mem) / static_cast<double>(net.size()) / 1024.0;
   std::printf(
       "[b] live network: nodes=%zu tps=20 horizon=%.0fs\n"
       "    accountability memory/node = %.1f KiB "
       "(stored commitments/node = %.1f)\n\n",
       args.num_nodes, args.seconds, per_node_kib,
-      static_cast<double>(total_commitments) / net.size());
+      static_cast<double>(total_commitments) / static_cast<double>(net.size()));
 
   // (c) extrapolation to the paper's scale: a miner holding the latest
   // commitment of every one of 10,000 nodes.
-  const double full_scale_mb = header.wire_size() * 10000.0 / 1024.0 / 1024.0;
+  const double full_scale_mb =
+      static_cast<double>(header.wire_size()) * 10000.0 / 1024.0 / 1024.0;
   std::printf(
       "[c] extrapolation: latest commitment of all 10,000 nodes =\n"
       "    %zu B x 10,000 = %.1f MiB   (paper: ~87 MB upper bound)\n",

@@ -66,11 +66,13 @@ int main() {
   const auto fl_overhead =
       fl_net.sim().bandwidth().bytes_excluding({"flood.tx"});
 
+  const auto lo_bytes = static_cast<double>(lo_overhead);
+  const auto fl_bytes = static_cast<double>(fl_overhead);
   std::printf("\noverhead (tx bodies excluded):\n");
   std::printf("  LO    : %.1f KiB total, %.1f B/s/node\n",
-              lo_overhead / 1024.0, lo_overhead / kSeconds / kNodes);
+              lo_bytes / 1024.0, lo_bytes / kSeconds / kNodes);
   std::printf("  Flood : %.1f KiB total, %.1f B/s/node\n",
-              fl_overhead / 1024.0, fl_overhead / kSeconds / kNodes);
+              fl_bytes / 1024.0, fl_bytes / kSeconds / kNodes);
   std::printf("  ratio : Flood / LO = %.2fx  (paper: >= 4x)\n",
               static_cast<double>(fl_overhead) /
                   static_cast<double>(lo_overhead));

@@ -54,7 +54,7 @@ int main() {
     net.run_for(10.0);
     std::printf(
         "t=%5.1fs  injected=%llu  down_now=%zu  crashes=%llu  link_drops=%llu\n",
-        net.sim().now() / 1e6,
+        static_cast<double>(net.sim().now()) / 1e6,
         static_cast<unsigned long long>(net.txs_injected()),
         net.faults().down_count(),
         static_cast<unsigned long long>(net.faults().crashes_injected()),

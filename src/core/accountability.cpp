@@ -48,6 +48,7 @@ const CommitmentHeader* AccountabilityRegistry::latest(NodeId node) const {
 
 std::size_t AccountabilityRegistry::memory_bytes() const noexcept {
   std::size_t sum = 0;
+  // lolint:allow(unordered-iter) reason=commutative byte-count fold; the sum is order-independent and feeds only local memory metrics
   for (const auto& [id, h] : latest_) {
     sum += sizeof(id) + h.wire_size();
   }

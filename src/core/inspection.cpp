@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "util/ordered.hpp"
+
 namespace lo::core {
 
 const char* to_string(BlockVerdict v) noexcept {
@@ -89,7 +91,13 @@ InspectionResult inspect_block(
   if (known_includeable) {
     std::unordered_set<std::uint64_t> in_block;
     for (const auto& seg : block.segments) in_block.insert(seg.seqno);
-    for (const auto& [seqno, bundle] : creator_bundles) {
+    // Sorted walk: the loop returns on the first provable omission, and the
+    // offending (seqno, tx) pair ends up in transferable evidence — every
+    // correct inspector must converge on the same canonical witness (the
+    // lowest censored seqno), not on a hash-order accident.
+    for (const auto* kv : util::sorted_items(creator_bundles)) {
+      const auto seqno = kv->first;
+      const auto& bundle = kv->second;
       if (seqno > block.commit_seqno || in_block.count(seqno) != 0) continue;
       for (const auto& id : bundle) {
         if (known_includeable(id)) {

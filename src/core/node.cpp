@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/ordered.hpp"
+
 namespace lo::core {
 
 namespace {
@@ -41,14 +43,17 @@ BundleMap LoNode::mirror_of(NodeId creator) const {
   BundleMap out;
   auto it = mirrors_.find(creator);
   if (it == mirrors_.end()) return out;
+  // lolint:allow(unordered-iter) reason=copies map-to-map; the result's content is order-independent and callers never observe insertion order
   for (const auto& [seqno, sb] : it->second) out[seqno] = sb.txids;
   return out;
 }
 
 std::size_t LoNode::accountability_memory_bytes() const noexcept {
   std::size_t sum = registry_.memory_bytes();
+  // lolint:allow(unordered-iter) reason=commutative byte-count fold; the sum is order-independent and never leaves local metrics
   for (const auto& [node, bundles] : mirrors_) {
     sum += sizeof(node);
+    // lolint:allow(unordered-iter) reason=commutative byte-count fold over the inner map; order cannot escape a sum
     for (const auto& [seqno, sb] : bundles) sum += 8 + sb.wire_size();
   }
   // Commitment-log bookkeeping beyond the plain mempool contents.
@@ -140,6 +145,7 @@ void LoNode::crash(bool wipe_mempool) {
   // of the unordered map cannot affect the result).
   content_clock_ = bloom::BloomClock(config_.commitment.clock_cells,
                                      config_.commitment.clock_hashes);
+  // lolint:allow(unordered-iter) reason=BloomClock::add is a commutative counter increment; the rebuilt clock is identical for any visit order
   for (const auto& [id, tx] : store_) content_clock_.add(txid_short(id));
 }
 
@@ -539,10 +545,12 @@ void LoNode::handle_tx_bundle(NodeId from, const TxBundleMsg& msg) {
   // A bundle (even an empty liveness ack) marks progress on content waits,
   // but a pending is only dismissed once every wanted item is accounted for —
   // the sender may legitimately still be fetching the content itself.
+  // lolint:allow(unordered-iter) reason=independent per-entry flag update; no cross-entry state and nothing is emitted
   for (auto& [rid, p] : pending_) {
     if (p.peer == from && p.kind == RequestKind::kContent) p.got_partial = true;
   }
   std::vector<std::uint64_t> done;
+  // lolint:allow(unordered-iter) reason=collects ids only to erase them below; erasure is order-independent and resolve_suspicion fires once regardless
   for (auto& [rid, p] : pending_) {
     if (p.peer != from || p.kind != RequestKind::kContent) continue;
     auto* txreq = dynamic_cast<const TxRequest*>(p.payload.get());
@@ -880,9 +888,9 @@ void LoNode::handle_block(NodeId from, const BlockMsg& msg) {
 }
 
 void LoNode::inspect_known_block(const Block& block) {
-  const BundleMap bundles = mirror_of(block.creator);
+  const BundleMap mirrored = mirror_of(block.creator);
   auto includeable = [this](const TxId& id) { return tx_includeable(id); };
-  const InspectionResult res = inspect_block(block, bundles, includeable);
+  const InspectionResult res = inspect_block(block, mirrored, includeable);
 
   if (res.verdict == BlockVerdict::kNeedBundles) {
     auto req = std::make_shared<BundleRequest>();
@@ -980,7 +988,9 @@ void LoNode::handle_bundle_response(NodeId from, const BundleResponse& resp) {
     mirrors_[sb.owner][sb.seqno] = sb;
     touched.insert(sb.owner);
   }
-  for (NodeId owner : touched) {
+  // Sorted walk: inspect_known_block can emit suspicion/exposure messages,
+  // so the per-owner processing order is protocol-visible.
+  for (NodeId owner : util::sorted_keys(touched)) {
     auto it = blocks_awaiting_bundles_.find(owner);
     if (it == blocks_awaiting_bundles_.end()) continue;
     auto hashes = std::move(it->second);
@@ -1096,8 +1106,14 @@ std::vector<CommitmentHeader> LoNode::pick_gossip_headers() {
   if (!sim_.rng().next_bool(config_.gossip_probability)) return out;
   const auto& all = registry_.latest_all();
   if (all.empty()) return out;
-  // Reservoir-sample a few stored third-party headers.
+  // Reservoir-sample a few stored third-party headers. The selection is
+  // already randomized by the seeded RNG; the map's iteration order only
+  // permutes which random subset a given draw sequence picks, and for a
+  // fixed binary and seed that order is stable, so seed-replay determinism
+  // holds. The draw count (one per visited entry past the reservoir) is
+  // independent of visit order, so the RNG stream position is too.
   std::size_t i = 0;
+  // lolint:allow(unordered-iter) reason=reservoir sampling consumes one RNG draw per entry regardless of order; selection is RNG-randomized and replay-stable for a fixed binary+seed
   for (const auto& [node, header] : all) {
     if (node == id_) continue;
     if (out.size() < config_.gossip_headers) {

@@ -18,12 +18,14 @@ const ValidatorAccount* StakeLedger::account(core::NodeId validator) const {
 
 std::uint64_t StakeLedger::total_stake() const noexcept {
   std::uint64_t sum = 0;
+  // lolint:allow(unordered-iter) reason=commutative stake sum; order-independent result
   for (const auto& [id, acc] : accounts_) sum += acc.stake;
   return sum;
 }
 
 std::size_t StakeLedger::active_validators() const noexcept {
   std::size_t n = 0;
+  // lolint:allow(unordered-iter) reason=commutative count of non-ejected validators; order-independent result
   for (const auto& [id, acc] : accounts_) {
     if (!acc.ejected) ++n;
   }

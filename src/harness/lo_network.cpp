@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <unordered_set>
 
+#include "util/ordered.hpp"
+
 namespace lo::harness {
 
 LoNetwork::LoNetwork(const NetworkConfig& config)
@@ -197,7 +199,9 @@ std::vector<std::string> LoNetwork::check_invariants() const {
     if (malicious_[i]) continue;  // a faulty node's registry proves nothing
     // Accuracy (Sec. 3.2): no correct node may ever be *exposed* — exposure
     // requires cryptographic evidence no asynchrony or crash can fabricate.
-    for (core::NodeId accused : nodes_[i]->registry().exposed()) {
+    // Sorted so violation reports (and the determinism trace digest built
+    // over them) do not depend on hash-set iteration order.
+    for (core::NodeId accused : util::sorted_keys(nodes_[i]->registry().exposed())) {
       if (accused < n && !malicious_[accused]) {
         note("node " + std::to_string(i) + " falsely exposed correct node " +
              std::to_string(accused));

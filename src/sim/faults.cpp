@@ -115,7 +115,9 @@ Duration FaultInjector::shape_latency(NodeId, NodeId, Duration base) const {
   for (const auto& w : spikes_) {
     if (now >= w.from && now < w.until) factor = std::max(factor, w.factor);
   }
-  return factor == 1.0 ? base : static_cast<Duration>(base * factor);
+  return factor == 1.0
+             ? base
+             : static_cast<Duration>(static_cast<double>(base) * factor);
 }
 
 }  // namespace lo::sim

@@ -1,0 +1,55 @@
+// Deterministic extraction from unordered associative containers.
+//
+// unordered_{map,set} iteration order depends on the hash seed, the bucket
+// count growth policy and the standard-library implementation — it is NOT
+// part of the replayable state. Whenever iteration order can reach a message,
+// a digest, peer selection or any other protocol-visible artifact, extract a
+// sorted view first. lolint's `unordered-iter` rule points here.
+//
+// All helpers are O(n log n) and allocate one vector; for the hot paths in
+// this codebase (dozens to a few thousand entries) this is noise next to the
+// signature checks the results feed into.
+#pragma once
+
+#include <algorithm>
+#include <type_traits>
+#include <vector>
+
+namespace lo::util {
+
+// Keys of an unordered_map / elements of an unordered_set, ascending.
+template <typename Container>
+std::vector<typename Container::key_type> sorted_keys(const Container& c) {
+  std::vector<typename Container::key_type> keys;
+  keys.reserve(c.size());
+  for (const auto& v : c) {
+    if constexpr (std::is_same_v<typename Container::key_type,
+                                 typename Container::value_type>) {
+      keys.push_back(v);  // set: the element is the key
+    } else {
+      keys.push_back(v.first);  // map: take the key of the pair
+    }
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+// Pointers to an unordered_map's entries, sorted by key ascending. Pointers
+// (not copies) so large mapped types — commitment headers, signed bundles —
+// are not duplicated just to fix the order:
+//
+//   for (const auto* kv : sorted_items(latest_)) use(kv->first, kv->second);
+//
+// The pointers are invalidated by any mutation of the map, exactly like
+// iterators; consume the view before touching the container.
+template <typename Map>
+std::vector<const typename Map::value_type*> sorted_items(const Map& m) {
+  std::vector<const typename Map::value_type*> items;
+  items.reserve(m.size());
+  for (const auto& kv : m) items.push_back(&kv);
+  std::sort(items.begin(), items.end(),
+            [](const auto* a, const auto* b) { return a->first < b->first; });
+  return items;
+}
+
+}  // namespace lo::util

@@ -110,11 +110,13 @@ class Reader {
   template <typename T>
   T read_le() {
     auto s = take(sizeof(T));
-    T v = 0;
+    // Accumulate in 64 bits: |= on a narrow T would promote to int and then
+    // implicitly narrow on assignment.
+    std::uint64_t v = 0;
     for (std::size_t i = 0; i < sizeof(T); ++i) {
-      v |= static_cast<T>(s[i]) << (8 * i);
+      v |= static_cast<std::uint64_t>(s[i]) << (8 * i);
     }
-    return v;
+    return static_cast<T>(v);
   }
 
   std::span<const std::uint8_t> data_;

@@ -245,9 +245,9 @@ TEST(Ed25519Internals, DoubleMatchesAdd) {
 
 TEST(Ed25519Internals, PointCompressionRoundTrip) {
   using namespace detail;
-  for (std::uint8_t s : {1, 2, 3, 77, 200}) {
+  for (int s : {1, 2, 3, 77, 200}) {
     std::array<std::uint8_t, 32> k{};
-    k[0] = s;
+    k[0] = static_cast<std::uint8_t>(s);
     const Ge p = ge_scalarmult_base(k);
     const auto enc = ge_to_bytes(p);
     const auto back = ge_from_bytes(enc);

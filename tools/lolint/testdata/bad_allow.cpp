@@ -1,0 +1,6 @@
+// lolint corpus: malformed annotations fire [bad-allow] — unknown rule id,
+// and a known id with no reason.
+// lolint:allow(no-such-rule) reason=the rule id does not exist
+int first();
+// lolint:allow(unordered-iter)
+int second();

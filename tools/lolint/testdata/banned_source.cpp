@@ -1,0 +1,26 @@
+// lolint corpus: every banned nondeterminism source fires [banned-source].
+// Not compiled — consumed as text by tests/test_lolint.cpp under a pseudo
+// protocol path.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+int bad_rand() { return std::rand(); }
+
+unsigned bad_device() {
+  std::random_device rd;
+  return rd();
+}
+
+long bad_wall_clock() {
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}
+
+long bad_steady_clock() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+const char* bad_env() { return std::getenv("LOLINT_SECRET"); }
+
+long bad_time() { return time(nullptr); }

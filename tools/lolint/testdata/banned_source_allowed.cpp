@@ -1,0 +1,34 @@
+// lolint corpus: the same banned sources, each justified by an allow
+// annotation — must produce zero findings.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+int ok_rand() {
+  return std::rand();  // lolint:allow(banned-source) reason=corpus fixture exercising same-line suppression
+}
+
+unsigned ok_device() {
+  // lolint:allow(banned-source) reason=corpus fixture exercising next-line suppression
+  std::random_device rd;
+  return rd();
+}
+
+long ok_wall_clock() {
+  // lolint:allow(banned-source) reason=wall-clock stopwatch never feeds protocol state
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}
+
+long ok_steady_clock() {
+  // lolint:allow(banned-source) reason=wall-clock stopwatch never feeds protocol state
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+const char* ok_env() {
+  return std::getenv("HOME");  // lolint:allow(banned-source) reason=corpus fixture
+}
+
+long ok_time() {
+  return time(nullptr);  // lolint:allow(banned-source) reason=corpus fixture
+}

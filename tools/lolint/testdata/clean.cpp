@@ -1,0 +1,19 @@
+// lolint corpus: a well-behaved protocol file — zero findings even under a
+// protocol pseudo-path.
+#include <cstdint>
+#include <map>
+#include <vector>
+
+struct Entry {
+  std::uint64_t id = 0;
+  std::uint64_t fee_microunits = 0;  // fixed point, never float
+
+  void serialize(std::vector<std::uint8_t>& out) const;
+  static Entry deserialize(const std::uint8_t* p, std::size_t n);
+};
+
+std::uint64_t total_fees(const std::map<std::uint64_t, Entry>& ordered) {
+  std::uint64_t sum = 0;
+  for (const auto& [id, e] : ordered) sum += e.fee_microunits;
+  return sum;
+}

@@ -1,0 +1,17 @@
+// lolint corpus: floating point in protocol state / on the wire fires
+// [float-in-protocol].
+#include <cstdint>
+#include <vector>
+
+struct Writer;
+
+struct ScoredEntry {
+  std::uint64_t id = 0;
+  double score = 0.0;
+  float weight = 0.0f;
+
+  void serialize(std::vector<std::uint8_t>& out) const;
+  static ScoredEntry deserialize(const std::uint8_t* p, std::size_t n);
+};
+
+void write_score(Writer& w, double s);

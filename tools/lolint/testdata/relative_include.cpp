@@ -1,0 +1,7 @@
+// lolint corpus: includes escaping the -Isrc include root fire
+// [relative-include].
+#include "../util/serde.hpp"
+#include "./sibling_helper.hpp"
+#include "core/messages.hpp"
+
+int uses_nothing() { return 0; }

@@ -1,0 +1,17 @@
+// lolint corpus: a struct that serializes but never deserializes fires
+// [serde-symmetry].
+#include <cstdint>
+#include <vector>
+
+struct OneWay {
+  std::uint32_t a = 0;
+
+  void serialize(std::vector<std::uint8_t>& out) const;
+};
+
+struct RoundTrip {
+  std::uint32_t a = 0;
+
+  void serialize(std::vector<std::uint8_t>& out) const;
+  static RoundTrip deserialize(const std::uint8_t* p, std::size_t n);
+};

@@ -1,0 +1,28 @@
+// lolint corpus: iteration over unordered containers in a protocol path —
+// three distinct shapes, each fires [unordered-iter].
+#include <unordered_map>
+#include <unordered_set>
+
+struct Tracker {
+  std::unordered_map<int, int> peers_;
+  std::unordered_set<int> seen_;
+
+  int member_range_for() const {
+    int total = 0;
+    for (const auto& [k, v] : peers_) total += v;
+    return total;
+  }
+
+  int member_iterator_loop() const {
+    int total = 0;
+    for (auto it = seen_.begin(); it != seen_.end(); ++it) total += *it;
+    return total;
+  }
+};
+
+int local_range_for() {
+  std::unordered_map<int, int> m;
+  int total = 0;
+  for (const auto& kv : m) total += kv.second;
+  return total;
+}

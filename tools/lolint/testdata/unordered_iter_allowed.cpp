@@ -1,0 +1,36 @@
+// lolint corpus: the same unordered iterations, each annotated — zero
+// findings expected. One loop demonstrates the sorted_keys() exemption.
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace util {
+template <typename C>
+std::vector<typename C::key_type> sorted_keys(const C&);
+}
+
+struct Tracker {
+  std::unordered_map<int, int> peers_;
+  std::unordered_set<int> seen_;
+
+  int member_range_for() const {
+    int total = 0;
+    // lolint:allow(unordered-iter) reason=commutative fold for the corpus
+    for (const auto& [k, v] : peers_) total += v;
+    return total;
+  }
+
+  int member_sorted_walk() const {
+    int total = 0;
+    for (int k : util::sorted_keys(seen_)) total += k;
+    return total;
+  }
+};
+
+int local_range_for() {
+  std::unordered_map<int, int> m;
+  int total = 0;
+  // lolint:allow(unordered-iter) reason=commutative fold for the corpus
+  for (const auto& kv : m) total += kv.second;
+  return total;
+}

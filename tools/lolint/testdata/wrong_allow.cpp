@@ -1,0 +1,11 @@
+// lolint corpus: an allow annotation suppresses EXACTLY the rule it names —
+// naming a different rule leaves the real finding standing.
+#include <unordered_map>
+
+int walk() {
+  std::unordered_map<int, int> m;
+  int total = 0;
+  // lolint:allow(banned-source) reason=deliberately names the wrong rule
+  for (const auto& kv : m) total += kv.second;
+  return total;
+}
