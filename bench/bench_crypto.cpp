@@ -1,12 +1,30 @@
 // Crypto micro-benchmarks: SHA-256/512 throughput and Ed25519 operations.
 // Supporting measurements — the paper's protocol signs every commitment and
 // block, so these bound the non-simulated CPU cost per protocol message.
+//
+// The Ed25519 verify path is benchmarked in four tiers (see DESIGN.md
+// "verify fast path"):
+//   BM_Ed25519VerifyReference — the pre-optimization generic double-and-add
+//     verifier, kept in the tree as a differential oracle ("before");
+//   BM_Ed25519Verify          — window-table + Straus verify ("after");
+//   BM_Ed25519VerifyPrepared  — same, with the public key decompressed once;
+//   BM_VerifyCache*           — the node-level LRU/memo layers on top.
+//
+// Besides the console table, this binary always writes machine-readable
+// results to BENCH_crypto.json in the working directory (google-benchmark
+// JSON schema; items_per_second is the ops/s figure). CI uploads the file as
+// an artifact so verify-throughput regressions show up in the history.
 #include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
 
 #include "crypto/ed25519.hpp"
 #include "crypto/keys.hpp"
 #include "crypto/sha256.hpp"
 #include "crypto/sha512.hpp"
+#include "crypto/verify_cache.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -48,6 +66,7 @@ void BM_Ed25519KeyGen(benchmark::State& state) {
     auto kp = derive_keypair(++i, SignatureMode::kEd25519);
     benchmark::DoNotOptimize(kp);
   }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_Ed25519KeyGen)->Unit(benchmark::kMicrosecond);
 
@@ -58,9 +77,27 @@ void BM_Ed25519Sign(benchmark::State& state) {
     auto sig = ed25519_sign(kp.seed, msg);
     benchmark::DoNotOptimize(sig);
   }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_Ed25519Sign)->Unit(benchmark::kMicrosecond);
 
+// "Before": generic double-and-add for both scalar multiplications, no
+// precomputed tables. This is the seed repo's verifier, preserved as
+// ed25519_verify_reference for differential testing and this baseline.
+void BM_Ed25519VerifyReference(benchmark::State& state) {
+  const auto kp = derive_keypair(7, SignatureMode::kEd25519);
+  const auto msg = random_bytes(250, 3);
+  const auto sig = ed25519_sign(kp.seed, msg);
+  for (auto _ : state) {
+    bool ok = ed25519_verify_reference(kp.pub, msg, sig);
+    benchmark::DoNotOptimize(ok);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_Ed25519VerifyReference)->Unit(benchmark::kMicrosecond);
+
+// "After": fixed-base window table + Straus interleaving, including the
+// per-call public key decompression.
 void BM_Ed25519Verify(benchmark::State& state) {
   const auto kp = derive_keypair(7, SignatureMode::kEd25519);
   const auto msg = random_bytes(250, 3);
@@ -69,8 +106,66 @@ void BM_Ed25519Verify(benchmark::State& state) {
     bool ok = ed25519_verify(kp.pub, msg, sig);
     benchmark::DoNotOptimize(ok);
   }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_Ed25519Verify)->Unit(benchmark::kMicrosecond);
+
+// Key decompressed once up front — the steady state for a peer whose key sits
+// in the node's key cache.
+void BM_Ed25519VerifyPrepared(benchmark::State& state) {
+  const auto kp = derive_keypair(7, SignatureMode::kEd25519);
+  const auto msg = random_bytes(250, 3);
+  const auto sig = ed25519_sign(kp.seed, msg);
+  const auto prepared = ed25519_prepare(kp.pub);
+  for (auto _ : state) {
+    bool ok = ed25519_verify_prepared(*prepared, msg, sig);
+    benchmark::DoNotOptimize(ok);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_Ed25519VerifyPrepared)->Unit(benchmark::kMicrosecond);
+
+// Full VerifyCache path on fresh messages from one key: every call is a memo
+// miss (capacity 1) but a key-cache hit — curve math plus cache overhead.
+void BM_VerifyCacheKeyHitFreshMessage(benchmark::State& state) {
+  const auto kp = derive_keypair(7, SignatureMode::kEd25519);
+  Signer s(kp, SignatureMode::kEd25519);
+  constexpr std::size_t kBatch = 64;
+  std::vector<std::vector<std::uint8_t>> msgs;
+  std::vector<Signature> sigs;
+  for (std::size_t i = 0; i < kBatch; ++i) {
+    msgs.push_back(random_bytes(250, 100 + i));
+    sigs.push_back(s.sign(msgs.back()));
+  }
+  VerifyCache cache(/*key_capacity=*/8, /*memo_capacity=*/1);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    bool ok = cache.verify(SignatureMode::kEd25519, kp.pub, msgs[i % kBatch],
+                           sigs[i % kBatch]);
+    benchmark::DoNotOptimize(ok);
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_VerifyCacheKeyHitFreshMessage)->Unit(benchmark::kMicrosecond);
+
+// Duplicate delivery of one already-verified message: pure memo hit, the
+// cost a node pays when the same signed commitment arrives via two peers.
+void BM_VerifyCacheMemoHit(benchmark::State& state) {
+  const auto kp = derive_keypair(7, SignatureMode::kEd25519);
+  Signer s(kp, SignatureMode::kEd25519);
+  const auto msg = random_bytes(250, 5);
+  const auto sig = s.sign(msg);
+  VerifyCache cache;
+  bool warm = cache.verify(SignatureMode::kEd25519, kp.pub, msg, sig);
+  benchmark::DoNotOptimize(warm);
+  for (auto _ : state) {
+    bool ok = cache.verify(SignatureMode::kEd25519, kp.pub, msg, sig);
+    benchmark::DoNotOptimize(ok);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_VerifyCacheMemoHit);
 
 void BM_SimFastSign(benchmark::State& state) {
   const Signer s(derive_keypair(9, SignatureMode::kSimFast),
@@ -80,9 +175,35 @@ void BM_SimFastSign(benchmark::State& state) {
     auto sig = s.sign(msg);
     benchmark::DoNotOptimize(sig);
   }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_SimFastSign);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main: default --benchmark_out to BENCH_crypto.json (working
+// directory) so CI and scripts get machine-readable numbers without having
+// to remember the flag; an explicit --benchmark_out still wins. Console
+// output is unchanged.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag = "--benchmark_out=BENCH_crypto.json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark_out=", 0) == 0) has_out = true;
+  }
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::AddCustomContext("bench_suite", "lo-crypto");
+  benchmark::AddCustomContext("verify_before", "BM_Ed25519VerifyReference");
+  benchmark::AddCustomContext("verify_after", "BM_Ed25519Verify");
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

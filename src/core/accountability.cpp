@@ -5,7 +5,7 @@ namespace lo::core {
 std::optional<EquivocationEvidence> AccountabilityRegistry::observe_commitment(
     const CommitmentHeader& header, bool* used_decode) {
   if (used_decode != nullptr) *used_decode = false;
-  if (verify_signatures_ && !header.verify(mode_)) return std::nullopt;
+  if (verify_signatures_ && !header.verify(mode_, verify_cache_)) return std::nullopt;
 
   auto it = latest_.find(header.node);
   if (it == latest_.end()) {

@@ -29,6 +29,12 @@ class AccountabilityRegistry {
         verify_signatures_(verify_signatures),
         two_stage_checks_(two_stage_checks) {}
 
+  // Optional verification cache (owned by the node); results are identical
+  // with or without it. Must outlive the registry when set.
+  void set_verify_cache(crypto::VerifyCache* cache) noexcept {
+    verify_cache_ = cache;
+  }
+
   // Records a commitment observation. If it conflicts with a previously
   // stored commitment of the same node, returns the equivocation evidence
   // (and marks the node exposed). Invalid signatures are ignored.
@@ -75,6 +81,7 @@ class AccountabilityRegistry {
   crypto::SignatureMode mode_;
   bool verify_signatures_;
   bool two_stage_checks_;
+  crypto::VerifyCache* verify_cache_ = nullptr;
   std::unordered_map<NodeId, CommitmentHeader> latest_;
   std::unordered_set<NodeId> suspected_;
   std::unordered_set<NodeId> exposed_;

@@ -1,5 +1,8 @@
 #include "core/block.hpp"
 
+#include <algorithm>
+
+#include "crypto/verify_cache.hpp"
 #include "util/rng.hpp"
 #include "util/serde.hpp"
 
@@ -21,10 +24,11 @@ std::vector<std::uint8_t> Block::signing_bytes() const {
   return w.take_u8();
 }
 
-bool Block::verify(crypto::SignatureMode mode) const {
+bool Block::verify(crypto::SignatureMode mode, crypto::VerifyCache* cache) const {
   auto msg = signing_bytes();
-  return crypto::Signer::verify(
-      mode, key, std::span<const std::uint8_t>(msg.data(), msg.size()), sig);
+  const std::span<const std::uint8_t> m(msg.data(), msg.size());
+  if (cache) return cache->verify(mode, key, m, sig);
+  return crypto::Signer::verify(mode, key, m, sig);
 }
 
 crypto::Digest256 Block::hash() const {
@@ -85,12 +89,16 @@ std::optional<Block> Block::read(util::Reader& r) {
     b.prev_hash = r.fixed<32>();
     b.commit_seqno = r.u64();
     const std::uint32_t nseg = r.u32();
-    b.segments.reserve(nseg);
+    // Counts are attacker-controlled: clamp every reserve() by the bytes
+    // actually left in the buffer (a segment needs >= 12 bytes, a txid 32),
+    // otherwise a hostile 0xFFFFFFFF prefix forces a multi-GB allocation
+    // before the underrun is ever noticed.
+    b.segments.reserve(std::min<std::size_t>(nseg, r.remaining() / 12));
     for (std::uint32_t i = 0; i < nseg; ++i) {
       Segment seg;
       seg.seqno = r.u64();
       const std::uint32_t ntx = r.u32();
-      seg.txids.reserve(ntx);
+      seg.txids.reserve(std::min<std::size_t>(ntx, r.remaining() / 32));
       for (std::uint32_t j = 0; j < ntx; ++j) seg.txids.push_back(r.fixed<32>());
       b.segments.push_back(std::move(seg));
     }

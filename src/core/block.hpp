@@ -19,6 +19,10 @@
 #include "crypto/keys.hpp"
 #include "util/serde.hpp"
 
+namespace lo::crypto {
+class VerifyCache;
+}
+
 namespace lo::core {
 
 struct Block {
@@ -37,7 +41,8 @@ struct Block {
   crypto::Signature sig{};
 
   std::vector<std::uint8_t> signing_bytes() const;
-  bool verify(crypto::SignatureMode mode) const;
+  bool verify(crypto::SignatureMode mode,
+              crypto::VerifyCache* cache = nullptr) const;
   crypto::Digest256 hash() const;
 
   std::size_t tx_count() const noexcept;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "crypto/verify_cache.hpp"
 #include "util/serde.hpp"
 
 namespace lo::core {
@@ -20,10 +21,12 @@ std::vector<std::uint8_t> CommitmentHeader::signing_bytes() const {
   return w.take_u8();
 }
 
-bool CommitmentHeader::verify(crypto::SignatureMode mode) const {
+bool CommitmentHeader::verify(crypto::SignatureMode mode,
+                              crypto::VerifyCache* cache) const {
   auto msg = signing_bytes();
-  return crypto::Signer::verify(
-      mode, key, std::span<const std::uint8_t>(msg.data(), msg.size()), sig);
+  const std::span<const std::uint8_t> m(msg.data(), msg.size());
+  if (cache) return cache->verify(mode, key, m, sig);
+  return crypto::Signer::verify(mode, key, m, sig);
 }
 
 std::size_t CommitmentHeader::wire_size() const noexcept {

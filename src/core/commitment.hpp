@@ -26,6 +26,10 @@
 #include "minisketch/sketch.hpp"
 #include "util/serde.hpp"
 
+namespace lo::crypto {
+class VerifyCache;
+}
+
 namespace lo::core {
 
 struct CommitmentParams {
@@ -58,7 +62,10 @@ struct CommitmentHeader {
 
   // Everything covered by the miner signature.
   std::vector<std::uint8_t> signing_bytes() const;
-  bool verify(crypto::SignatureMode mode) const;
+  // `cache` (optional) memoizes key decompression and duplicate
+  // verifications; the result is identical with or without it.
+  bool verify(crypto::SignatureMode mode,
+              crypto::VerifyCache* cache = nullptr) const;
 
   std::size_t wire_size() const noexcept;
   std::vector<std::uint8_t> serialize() const;

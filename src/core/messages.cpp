@@ -1,6 +1,7 @@
 #include "core/messages.hpp"
 
 #include "core/inspection.hpp"
+#include "crypto/verify_cache.hpp"
 #include "util/serde.hpp"
 
 namespace lo::core {
@@ -15,21 +16,24 @@ std::vector<std::uint8_t> SignedBundle::signing_bytes() const {
   return w.take_u8();
 }
 
-bool SignedBundle::verify(crypto::SignatureMode mode) const {
+bool SignedBundle::verify(crypto::SignatureMode mode,
+                          crypto::VerifyCache* cache) const {
   auto msg = signing_bytes();
-  return crypto::Signer::verify(
-      mode, key, std::span<const std::uint8_t>(msg.data(), msg.size()), sig);
+  const std::span<const std::uint8_t> m(msg.data(), msg.size());
+  if (cache) return cache->verify(mode, key, m, sig);
+  return crypto::Signer::verify(mode, key, m, sig);
 }
 
 bool BlockEvidence::verify(crypto::SignatureMode mode,
-                           std::uint8_t claimed_verdict) const {
+                           std::uint8_t claimed_verdict,
+                           crypto::VerifyCache* cache) const {
   if (block.creator != accused) return false;
-  if (!block.verify(mode)) return false;
+  if (!block.verify(mode, cache)) return false;
   BundleMap map;
   for (const auto& b : bundles) {
     if (b.owner != accused) return false;
     if (!(b.key == block.key)) return false;
-    if (!b.verify(mode)) return false;
+    if (!b.verify(mode, cache)) return false;
     map[b.seqno] = b.txids;
   }
   // Censorship claims depend on tx content the verifier may not share, so the
@@ -42,13 +46,14 @@ bool BlockEvidence::verify(crypto::SignatureMode mode,
           res.verdict == BlockVerdict::kBadStructure);
 }
 
-bool ExposureMsg::verify(crypto::SignatureMode mode) const {
+bool ExposureMsg::verify(crypto::SignatureMode mode,
+                         crypto::VerifyCache* cache) const {
   if (equivocation) {
-    return equivocation->accused == accused && equivocation->verify(mode);
+    return equivocation->accused == accused && equivocation->verify(mode, cache);
   }
   if (block_evidence) {
     return block_evidence->accused == accused &&
-           block_evidence->verify(mode, verdict);
+           block_evidence->verify(mode, verdict, cache);
   }
   return false;
 }

@@ -131,10 +131,11 @@ struct EquivocationEvidence {
   CommitmentHeader first;
   CommitmentHeader second;
 
-  bool verify(crypto::SignatureMode mode) const {
+  bool verify(crypto::SignatureMode mode,
+              crypto::VerifyCache* cache = nullptr) const {
     if (first.node != accused || second.node != accused) return false;
     if (!(first.key == second.key)) return false;
-    if (!first.verify(mode) || !second.verify(mode)) return false;
+    if (!first.verify(mode, cache) || !second.verify(mode, cache)) return false;
     return check_consistency(first, second) == Consistency::kEquivocation;
   }
   std::size_t wire_size() const noexcept {
@@ -152,7 +153,8 @@ struct SignedBundle {
   crypto::Signature sig{};
 
   std::vector<std::uint8_t> signing_bytes() const;
-  bool verify(crypto::SignatureMode mode) const;
+  bool verify(crypto::SignatureMode mode,
+              crypto::VerifyCache* cache = nullptr) const;
   std::size_t wire_size() const noexcept {
     return 4 + 8 + 4 + kTxIdWire * txids.size() + 32 + 64;
   }
@@ -168,7 +170,8 @@ struct BlockEvidence {
   std::vector<SignedBundle> bundles;
 
   // Re-runs inspection against the signed bundles; `claim` must reproduce.
-  bool verify(crypto::SignatureMode mode, std::uint8_t claimed_verdict) const;
+  bool verify(crypto::SignatureMode mode, std::uint8_t claimed_verdict,
+              crypto::VerifyCache* cache = nullptr) const;
   std::size_t wire_size() const noexcept {
     std::size_t sz = 4 + 2 + block.wire_size();
     for (const auto& b : bundles) sz += b.wire_size();
@@ -190,7 +193,8 @@ struct ExposureMsg final : sim::Payload {
            (equivocation ? equivocation->wire_size() : 0) +
            (block_evidence ? block_evidence->wire_size() : 0);
   }
-  bool verify(crypto::SignatureMode mode) const;
+  bool verify(crypto::SignatureMode mode,
+              crypto::VerifyCache* cache = nullptr) const;
   std::vector<std::uint8_t> serialize() const;
   static std::optional<ExposureMsg> deserialize(
       std::span<const std::uint8_t> data, const CommitmentParams& params);

@@ -24,7 +24,9 @@ LoNode::LoNode(sim::Simulator& sim, NodeId id, const LoConfig& config,
       log_(id, config.commitment),
       content_clock_(config.commitment.clock_cells, config.commitment.clock_hashes),
       registry_(config.sig_mode, config.verify_signatures,
-                config.two_stage_checks) {}
+                config.two_stage_checks) {
+  registry_.set_verify_cache(&verify_cache_);
+}
 
 void LoNode::set_neighbors(std::vector<NodeId> neighbors) {
   neighbors_ = std::move(neighbors);
@@ -81,7 +83,7 @@ void LoNode::stealth_store(const Transaction& tx) {
 void LoNode::admit_transaction(const Transaction& tx, NodeId source) {
   if (store_.count(tx.id) != 0) return;
   if (invalid_.count(tx.id) != 0) return;
-  if (!prevalidate(tx, config_.prevalidation)) {
+  if (!prevalidate(tx, config_.prevalidation, &verify_cache_)) {
     invalid_.insert(tx.id);
     return;
   }
@@ -136,6 +138,10 @@ void LoNode::crash(bool wipe_mempool) {
   invalid_.clear();
   registry_ = AccountabilityRegistry(config_.sig_mode, config_.verify_signatures,
                                      config_.two_stage_checks);
+  // The verify cache deliberately survives the crash: it memoizes pure
+  // functions of message bytes, so replaying it cannot leak pre-crash state
+  // into any decision a fresh node would make differently.
+  registry_.set_verify_cache(&verify_cache_);
   if (wipe_mempool) {
     store_.clear();
     valid_.clear();
@@ -517,7 +523,7 @@ void LoNode::handle_tx_bundle(NodeId from, const TxBundleMsg& msg) {
   for (const auto& tx : msg.txs) {
     if (invalid_.count(tx.id) != 0) continue;
     if (store_.count(tx.id) != 0) continue;
-    if (!prevalidate(tx, config_.prevalidation)) {
+    if (!prevalidate(tx, config_.prevalidation, &verify_cache_)) {
       invalid_.insert(tx.id);
       continue;
     }
@@ -775,7 +781,7 @@ void LoNode::handle_exposure(NodeId from, const ExposureMsg& msg) {
   if (seen_exposures_.count(msg.accused) != 0) {
     return;
   }
-  if (config_.verify_signatures && !msg.verify(config_.sig_mode)) return;
+  if (config_.verify_signatures && !msg.verify(config_.sig_mode, &verify_cache_)) return;
   if (!config_.verify_signatures) {
     // Structural check only (large-scale benches).
     if (!msg.equivocation && !msg.block_evidence) return;
@@ -881,7 +887,7 @@ Block LoNode::create_block(std::uint64_t height,
 void LoNode::handle_block(NodeId from, const BlockMsg& msg) {
   const auto h = msg.block.hash();
   if (!seen_blocks_.emplace(h, msg.block).second) return;
-  if (config_.verify_signatures && !msg.block.verify(config_.sig_mode)) return;
+  if (config_.verify_signatures && !msg.block.verify(config_.sig_mode, &verify_cache_)) return;
   if (!behavior_.drop_gossip) flood(std::make_shared<BlockMsg>(msg), from);
   if (msg.block.creator == id_) return;
   inspect_known_block(msg.block);
@@ -980,7 +986,7 @@ void LoNode::handle_bundle_response(NodeId from, const BundleResponse& resp) {
   resolve_suspicion(from);
   std::unordered_set<NodeId> touched;
   for (const auto& sb : resp.bundles) {
-    if (config_.verify_signatures && !sb.verify(config_.sig_mode)) continue;
+    if (config_.verify_signatures && !sb.verify(config_.sig_mode, &verify_cache_)) continue;
     // The bundle key must match the owner's known commitment key, if any.
     if (const auto* h = registry_.latest(sb.owner)) {
       if (!(h->key == sb.key)) continue;

@@ -38,6 +38,7 @@
 #include "core/transaction.hpp"
 #include "core/types.hpp"
 #include "crypto/keys.hpp"
+#include "crypto/verify_cache.hpp"
 #include "overlay/sampler.hpp"
 #include "sim/simulator.hpp"
 
@@ -156,6 +157,10 @@ class LoNode final : public sim::INode {
   const crypto::PublicKey& public_key() const noexcept {
     return signer_.public_key();
   }
+  // Hit/miss counters of the per-node verification cache (perf diagnostics).
+  const crypto::VerifyCacheStats& verify_cache_stats() const noexcept {
+    return verify_cache_.stats();
+  }
 
  private:
   enum class RequestKind : std::uint8_t { kSync, kContent, kBundles };
@@ -247,6 +252,12 @@ class LoNode final : public sim::INode {
   CommitmentLog log_;
   // Equivocators maintain a censored fork shown to half of their peers.
   std::unique_ptr<CommitmentLog> fork_log_;
+
+  // Per-node verification fast path: decompressed peer keys + memoized
+  // verdicts. Pure memoization of deterministic functions, so it survives
+  // crash() (a restarted node re-deriving a verdict gets the same answer);
+  // it never consumes randomness or alters message flow.
+  crypto::VerifyCache verify_cache_;
 
   std::unordered_map<TxId, Transaction, TxIdHash> store_;
   // Clock over the transactions whose content we hold and can serve; this is

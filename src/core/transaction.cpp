@@ -1,5 +1,6 @@
 #include "core/transaction.hpp"
 
+#include "crypto/verify_cache.hpp"
 #include "util/serde.hpp"
 
 namespace lo::core {
@@ -84,16 +85,17 @@ Transaction make_transaction(const crypto::Signer& client, std::uint64_t nonce,
   return tx;
 }
 
-bool prevalidate(const Transaction& tx, const PrevalidationPolicy& policy) {
+bool prevalidate(const Transaction& tx, const PrevalidationPolicy& policy,
+                 crypto::VerifyCache* cache) {
   if (tx.fee < policy.min_fee) return false;
   if (tx.compute_id() != tx.id) return false;
   if (policy.check_signatures) {
     auto msg = tx.signing_bytes();
-    if (!crypto::Signer::verify(policy.sig_mode, tx.creator,
-                                std::span<const std::uint8_t>(msg.data(), msg.size()),
-                                tx.sig)) {
-      return false;
-    }
+    const std::span<const std::uint8_t> m(msg.data(), msg.size());
+    const bool ok = cache ? cache->verify(policy.sig_mode, tx.creator, m, tx.sig)
+                          : crypto::Signer::verify(policy.sig_mode, tx.creator,
+                                                   m, tx.sig);
+    if (!ok) return false;
   }
   return true;
 }

@@ -13,6 +13,10 @@
 #include "crypto/keys.hpp"
 #include "util/serde.hpp"
 
+namespace lo::crypto {
+class VerifyCache;
+}
+
 namespace lo::core {
 
 // Serialized size target from the paper's evaluation setup (Sec. 6.1).
@@ -51,6 +55,9 @@ struct PrevalidationPolicy {
   bool check_signatures = true;
 };
 
-bool prevalidate(const Transaction& tx, const PrevalidationPolicy& policy);
+// `cache` (optional) memoizes signature checks so duplicate deliveries of the
+// same transaction skip the curve arithmetic; results are identical.
+bool prevalidate(const Transaction& tx, const PrevalidationPolicy& policy,
+                 crypto::VerifyCache* cache = nullptr);
 
 }  // namespace lo::core

@@ -26,6 +26,20 @@ constexpr u64 kL[4] = {0x5812631a5cf5d3edULL, 0x14def9dea2f79cd6ULL, 0ULL,
 }  // namespace
 
 // ---------------------------------------------------------------- field ----
+//
+// Limb-bound discipline (the fast paths depend on it):
+//   * "carried" means every limb < 2^51 + 2^15 (the output of fe_carry,
+//     fe_mul_raw, fe_sq_raw and fe_sub).
+//   * fe_mul_raw / fe_sq_raw accept limbs < 2^54 and produce carried output.
+//     A carried value, a sum of up to four carried values, or fe_sub output
+//     all satisfy the input bound.
+//   * fe_sub adds 4p before subtracting, so its second operand may be as
+//     large as 2^53 - 77 per limb; every sum of two carried values
+//     qualifies. (Using 2p here would leave no headroom over the doubled
+//     products that ge_dbl/ge_add feed in.)
+// The public fe_mul/fe_sq wrappers carry their inputs first, preserving the
+// documented "values may be unnormalized" contract for callers outside this
+// file; the group law below uses the raw versions.
 
 Fe fe_zero() noexcept { return Fe{}; }
 
@@ -63,21 +77,27 @@ Fe fe_carry(const Fe& a) noexcept {
 }  // namespace
 
 Fe fe_sub(const Fe& a, const Fe& b) noexcept {
-  // a + 2p - b keeps limbs non-negative for any carried inputs.
+  // a + 4p - b keeps limbs non-negative for any b with limbs < 2^53 - 77,
+  // which covers carried values and sums of two of them.
   Fe r;
-  r.v[0] = a.v[0] + 0xFFFFFFFFFFFDAULL - b.v[0];
-  r.v[1] = a.v[1] + 0xFFFFFFFFFFFFEULL - b.v[1];
-  r.v[2] = a.v[2] + 0xFFFFFFFFFFFFEULL - b.v[2];
-  r.v[3] = a.v[3] + 0xFFFFFFFFFFFFEULL - b.v[3];
-  r.v[4] = a.v[4] + 0xFFFFFFFFFFFFEULL - b.v[4];
+  r.v[0] = a.v[0] + 0x1FFFFFFFFFFFB4ULL - b.v[0];
+  r.v[1] = a.v[1] + 0x1FFFFFFFFFFFFCULL - b.v[1];
+  r.v[2] = a.v[2] + 0x1FFFFFFFFFFFFCULL - b.v[2];
+  r.v[3] = a.v[3] + 0x1FFFFFFFFFFFFCULL - b.v[3];
+  r.v[4] = a.v[4] + 0x1FFFFFFFFFFFFCULL - b.v[4];
   return fe_carry(r);
 }
 
 Fe fe_neg(const Fe& a) noexcept { return fe_sub(fe_zero(), a); }
 
-Fe fe_mul(const Fe& f, const Fe& g) noexcept {
-  const Fe a = fe_carry(f);
-  const Fe b = fe_carry(g);
+namespace {
+
+// 5x51-bit schoolbook multiply with 19-folding. Inputs must have limbs
+// < 2^54 (see the bound discipline above); no input carries are performed.
+// Worst case per column: 5 products of (2^54)*(19*2^54) < 2^115, safely
+// inside u128; the final top carry is folded in 128-bit arithmetic because
+// 19*(r4 >> 51) can exceed 64 bits.
+Fe fe_mul_raw(const Fe& a, const Fe& b) noexcept {
   const u64 a0 = a.v[0], a1 = a.v[1], a2 = a.v[2], a3 = a.v[3], a4 = a.v[4];
   const u64 b0 = b.v[0], b1 = b.v[1], b2 = b.v[2], b3 = b.v[3], b4 = b.v[4];
   const u64 b1_19 = 19 * b1, b2_19 = 19 * b2, b3_19 = 19 * b3, b4_19 = 19 * b4;
@@ -94,47 +114,108 @@ Fe fe_mul(const Fe& f, const Fe& g) noexcept {
             (u128)a4 * b0;
 
   Fe out;
-  u128 c;
-  c = r0 >> 51; out.v[0] = (u64)r0 & kMask51; r1 += c;
-  c = r1 >> 51; out.v[1] = (u64)r1 & kMask51; r2 += c;
-  c = r2 >> 51; out.v[2] = (u64)r2 & kMask51; r3 += c;
-  c = r3 >> 51; out.v[3] = (u64)r3 & kMask51; r4 += c;
-  c = r4 >> 51; out.v[4] = (u64)r4 & kMask51;
-  out.v[0] += 19 * (u64)c;
-  const u64 c2 = out.v[0] >> 51;
-  out.v[0] &= kMask51;
-  out.v[1] += c2;
+  r1 += r0 >> 51;
+  out.v[0] = (u64)r0 & kMask51;
+  r2 += r1 >> 51;
+  out.v[1] = (u64)r1 & kMask51;
+  r3 += r2 >> 51;
+  out.v[2] = (u64)r2 & kMask51;
+  r4 += r3 >> 51;
+  out.v[3] = (u64)r3 & kMask51;
+  const u128 top = (r4 >> 51) * 19 + out.v[0];
+  out.v[4] = (u64)r4 & kMask51;
+  out.v[0] = (u64)top & kMask51;
+  out.v[1] += (u64)(top >> 51);
   return out;
 }
 
-Fe fe_sq(const Fe& a) noexcept { return fe_mul(a, a); }
+// Dedicated squaring: 15 products instead of 25. Same input/output bounds
+// as fe_mul_raw.
+Fe fe_sq_raw(const Fe& a) noexcept {
+  const u64 a0 = a.v[0], a1 = a.v[1], a2 = a.v[2], a3 = a.v[3], a4 = a.v[4];
+  const u64 a0_2 = a0 * 2, a1_2 = a1 * 2, a2_2 = a2 * 2, a3_2 = a3 * 2;
+  const u64 a3_19 = 19 * a3, a4_19 = 19 * a4;
+
+  u128 r0 = (u128)a0 * a0 + (u128)a1_2 * a4_19 + (u128)a2_2 * a3_19;
+  u128 r1 = (u128)a0_2 * a1 + (u128)a2_2 * a4_19 + (u128)a3 * a3_19;
+  u128 r2 = (u128)a0_2 * a2 + (u128)a1 * a1 + (u128)a3_2 * a4_19;
+  u128 r3 = (u128)a0_2 * a3 + (u128)a1_2 * a2 + (u128)a4 * a4_19;
+  u128 r4 = (u128)a0_2 * a4 + (u128)a1_2 * a3 + (u128)a2 * a2;
+
+  Fe out;
+  r1 += r0 >> 51;
+  out.v[0] = (u64)r0 & kMask51;
+  r2 += r1 >> 51;
+  out.v[1] = (u64)r1 & kMask51;
+  r3 += r2 >> 51;
+  out.v[2] = (u64)r2 & kMask51;
+  r4 += r3 >> 51;
+  out.v[3] = (u64)r3 & kMask51;
+  const u128 top = (r4 >> 51) * 19 + out.v[0];
+  out.v[4] = (u64)r4 & kMask51;
+  out.v[0] = (u64)top & kMask51;
+  out.v[1] += (u64)(top >> 51);
+  return out;
+}
+
+Fe fe_sqn_raw(Fe a, int n) noexcept {
+  for (int i = 0; i < n; ++i) a = fe_sq_raw(a);
+  return a;
+}
+
+}  // namespace
+
+Fe fe_mul(const Fe& f, const Fe& g) noexcept {
+  return fe_mul_raw(fe_carry(f), fe_carry(g));
+}
+
+Fe fe_sq(const Fe& a) noexcept { return fe_sq_raw(fe_carry(a)); }
 
 Fe fe_pow(const Fe& a, const std::array<std::uint8_t, 32>& e_le) noexcept {
+  const Fe base = fe_carry(a);
   Fe result = fe_one();
   // Left-to-right square-and-multiply over 256 exponent bits.
   for (int i = 255; i >= 0; --i) {
-    result = fe_sq(result);
-    if ((e_le[i / 8] >> (i % 8)) & 1) result = fe_mul(result, a);
+    result = fe_sq_raw(result);
+    if ((e_le[i / 8] >> (i % 8)) & 1) result = fe_mul_raw(result, base);
   }
   return result;
 }
 
+namespace {
+// Shared prefix of the p-2 and (p-5)/8 addition chains: z^(2^250 - 1).
+// 249 squarings + 11 multiplies, versus ~250 multiplies for the generic
+// square-and-multiply over the same exponents.
+Fe fe_pow_2_250_1(const Fe& z) noexcept {
+  const Fe z2 = fe_sq_raw(z);                                  // 2
+  const Fe z9 = fe_mul_raw(fe_sqn_raw(z2, 2), z);              // 9
+  const Fe z11 = fe_mul_raw(z9, z2);                           // 11
+  const Fe z_5_0 = fe_mul_raw(fe_sq_raw(z11), z9);             // 2^5 - 1
+  const Fe z_10_0 = fe_mul_raw(fe_sqn_raw(z_5_0, 5), z_5_0);   // 2^10 - 1
+  const Fe z_20_0 = fe_mul_raw(fe_sqn_raw(z_10_0, 10), z_10_0);
+  const Fe z_40_0 = fe_mul_raw(fe_sqn_raw(z_20_0, 20), z_20_0);
+  const Fe z_50_0 = fe_mul_raw(fe_sqn_raw(z_40_0, 10), z_10_0);
+  const Fe z_100_0 = fe_mul_raw(fe_sqn_raw(z_50_0, 50), z_50_0);
+  const Fe z_200_0 = fe_mul_raw(fe_sqn_raw(z_100_0, 100), z_100_0);
+  return fe_mul_raw(fe_sqn_raw(z_200_0, 50), z_50_0);          // 2^250 - 1
+}
+
+Fe fe_pow11_raw(const Fe& z) noexcept {
+  const Fe z2 = fe_sq_raw(z);
+  return fe_mul_raw(fe_mul_raw(fe_sqn_raw(z2, 2), z), z2);     // z^11
+}
+}  // namespace
+
 Fe fe_invert(const Fe& a) noexcept {
-  // p - 2 = 2^255 - 21.
-  std::array<std::uint8_t, 32> e;
-  e.fill(0xff);
-  e[0] = 0xeb;
-  e[31] = 0x7f;
-  return fe_pow(a, e);
+  // p - 2 = 2^255 - 21 = (2^250 - 1) * 2^5 + 11.
+  const Fe z = fe_carry(a);
+  return fe_mul_raw(fe_sqn_raw(fe_pow_2_250_1(z), 5), fe_pow11_raw(z));
 }
 
 Fe fe_pow2523(const Fe& a) noexcept {
-  // (p - 5) / 8 = 2^252 - 3.
-  std::array<std::uint8_t, 32> e;
-  e.fill(0xff);
-  e[0] = 0xfd;
-  e[31] = 0x0f;
-  return fe_pow(a, e);
+  // (p - 5) / 8 = 2^252 - 3 = (2^250 - 1) * 2^2 + 1.
+  const Fe z = fe_carry(a);
+  return fe_mul_raw(fe_sqn_raw(fe_pow_2_250_1(z), 2), z);
 }
 
 Fe fe_from_bytes(const std::array<std::uint8_t, 32>& b) noexcept {
@@ -278,6 +359,159 @@ const CurveConstants& constants() {
   return c;
 }
 
+// A point in "cached" form for repeated mixed additions: precomputes the
+// values the add-2008-hwcd-3 formula actually consumes (Y+X, Y-X, 2d*T).
+// Saves one fe_mul per addition and is the natural shape for the static
+// window tables below.
+struct GeCached {
+  Fe ypx, ymx, z, t2d;
+};
+
+GeCached ge_to_cached(const Ge& p) noexcept {
+  GeCached c;
+  c.ypx = fe_add(p.Y, p.X);
+  c.ymx = fe_sub(p.Y, p.X);
+  c.z = p.Z;
+  c.t2d = fe_mul_raw(fe_carry(p.T), constants().d2);
+  return c;
+}
+
+// add-2008-hwcd-3 for a = -1 with k = 2d; 8 field multiplies.
+Ge ge_add_cached(const Ge& p, const GeCached& q) noexcept {
+  const Fe a = fe_mul_raw(fe_sub(p.Y, p.X), q.ymx);
+  const Fe b = fe_mul_raw(fe_add(p.Y, p.X), q.ypx);
+  const Fe c = fe_mul_raw(p.T, q.t2d);
+  Fe d = fe_mul_raw(p.Z, q.z);
+  d = fe_add(d, d);
+  const Fe e = fe_sub(b, a);
+  const Fe f = fe_sub(d, c);
+  const Fe g = fe_add(d, c);
+  const Fe h = fe_add(b, a);
+  Ge r;
+  r.X = fe_mul_raw(e, f);
+  r.Y = fe_mul_raw(g, h);
+  r.T = fe_mul_raw(e, h);
+  r.Z = fe_mul_raw(f, g);
+  return r;
+}
+
+// p - q: same formula against the negated cached point (ypx/ymx swap roles
+// and 2d*T flips sign, which swaps f and g).
+Ge ge_sub_cached(const Ge& p, const GeCached& q) noexcept {
+  const Fe a = fe_mul_raw(fe_sub(p.Y, p.X), q.ypx);
+  const Fe b = fe_mul_raw(fe_add(p.Y, p.X), q.ymx);
+  const Fe c = fe_mul_raw(p.T, q.t2d);
+  Fe d = fe_mul_raw(p.Z, q.z);
+  d = fe_add(d, d);
+  const Fe e = fe_sub(b, a);
+  const Fe f = fe_add(d, c);
+  const Fe g = fe_sub(d, c);
+  const Fe h = fe_add(b, a);
+  Ge r;
+  r.X = fe_mul_raw(e, f);
+  r.Y = fe_mul_raw(g, h);
+  r.T = fe_mul_raw(e, h);
+  r.Z = fe_mul_raw(f, g);
+  return r;
+}
+
+// dbl-2008-hwcd for a = -1. Inputs must be carried (all producers in this
+// file guarantee that).
+Ge ge_dbl(const Ge& p) noexcept {
+  const Fe a = fe_sq_raw(p.X);
+  const Fe b = fe_sq_raw(p.Y);
+  const Fe zz = fe_sq_raw(p.Z);
+  const Fe c = fe_add(zz, zz);
+  const Fe d = fe_neg(a);
+  const Fe e = fe_sub(fe_sub(fe_sq_raw(fe_add(p.X, p.Y)), a), b);
+  const Fe g = fe_add(d, b);
+  const Fe f = fe_sub(g, c);
+  const Fe h = fe_sub(d, b);
+  Ge r;
+  r.X = fe_mul_raw(e, f);
+  r.Y = fe_mul_raw(g, h);
+  r.T = fe_mul_raw(e, h);
+  r.Z = fe_mul_raw(f, g);
+  return r;
+}
+
+Ge ge_normalize(const Ge& p) noexcept {
+  Ge r;
+  r.X = fe_carry(p.X);
+  r.Y = fe_carry(p.Y);
+  r.Z = fe_carry(p.Z);
+  r.T = fe_carry(p.T);
+  return r;
+}
+
+// Precomputed multiples of the base point:
+//   win[i][j] = (j+1) * 16^i * B   (fixed-base 4-bit windows; 64x15 entries)
+//   naf[j]    = (2j+1) * B         (width-7 NAF digits 1,3,...,63; 32 entries)
+// ~195 KiB total, built once on first use from the generic group law.
+struct BaseTables {
+  GeCached win[64][15];
+  GeCached naf[32];
+};
+
+const BaseTables& base_tables() {
+  static const BaseTables t = [] {
+    BaseTables bt;
+    const Ge& B = constants().base;
+    Ge p = B;  // 16^i * B
+    for (int i = 0; i < 64; ++i) {
+      const GeCached pc = ge_to_cached(p);
+      bt.win[i][0] = pc;
+      Ge q = p;
+      for (int j = 1; j < 15; ++j) {
+        q = ge_add_cached(q, pc);
+        bt.win[i][j] = ge_to_cached(q);
+      }
+      if (i < 63) p = ge_add_cached(q, pc);  // 15*16^i*B + 16^i*B
+    }
+    const GeCached b2 = ge_to_cached(ge_dbl(ge_normalize(B)));
+    Ge q = B;
+    bt.naf[0] = ge_to_cached(B);
+    for (int j = 1; j < 32; ++j) {
+      q = ge_add_cached(q, b2);
+      bt.naf[j] = ge_to_cached(q);
+    }
+    return bt;
+  }();
+  return t;
+}
+
+// Signed sliding-window recoding: rewrites the scalar's bits into odd
+// digits r[i] in [-bound, bound] (bound = 2^(w-1) - 1) such that
+// sum r[i]*2^i == scalar, leaving runs of zeros between nonzero digits.
+void slide(std::int8_t r[256], const std::array<std::uint8_t, 32>& a,
+           int bound) noexcept {
+  for (int i = 0; i < 256; ++i) {
+    r[i] = static_cast<std::int8_t>(1 & (a[static_cast<std::size_t>(i) >> 3] >>
+                                         (i & 7)));
+  }
+  for (int i = 0; i < 256; ++i) {
+    if (!r[i]) continue;
+    for (int b = 1; b <= 6 && i + b < 256; ++b) {
+      if (!r[i + b]) continue;
+      if (r[i] + (r[i + b] << b) <= bound) {
+        r[i] = static_cast<std::int8_t>(r[i] + (r[i + b] << b));
+        r[i + b] = 0;
+      } else if (r[i] - (r[i + b] << b) >= -bound) {
+        r[i] = static_cast<std::int8_t>(r[i] - (r[i + b] << b));
+        for (int k = i + b; k < 256; ++k) {
+          if (!r[k]) {
+            r[k] = 1;
+            break;
+          }
+          r[k] = 0;
+        }
+      } else {
+        break;
+      }
+    }
+  }
+}
+
 }  // namespace
 
 Ge ge_identity() noexcept {
@@ -290,41 +524,13 @@ Ge ge_identity() noexcept {
 }
 
 Ge ge_add(const Ge& p, const Ge& q) noexcept {
-  // add-2008-hwcd-3 for a = -1 with k = 2d.
-  const Fe a = fe_mul(fe_sub(p.Y, p.X), fe_sub(q.Y, q.X));
-  const Fe b = fe_mul(fe_add(p.Y, p.X), fe_add(q.Y, q.X));
-  const Fe c = fe_mul(fe_mul(p.T, constants().d2), q.T);
-  const Fe d = fe_add(fe_mul(p.Z, q.Z), fe_mul(p.Z, q.Z));
-  const Fe e = fe_sub(b, a);
-  const Fe f = fe_sub(d, c);
-  const Fe g = fe_add(d, c);
-  const Fe h = fe_add(b, a);
-  Ge r;
-  r.X = fe_mul(e, f);
-  r.Y = fe_mul(g, h);
-  r.T = fe_mul(e, h);
-  r.Z = fe_mul(f, g);
-  return r;
+  // Public entry point: tolerate unnormalized coordinates, then use the
+  // cached-point formula (identical group law, one fewer duplicate multiply
+  // than spelling add-2008-hwcd-3 directly).
+  return ge_add_cached(ge_normalize(p), ge_to_cached(ge_normalize(q)));
 }
 
-Ge ge_double(const Ge& p) noexcept {
-  // dbl-2008-hwcd for a = -1.
-  const Fe a = fe_sq(p.X);
-  const Fe b = fe_sq(p.Y);
-  const Fe zz = fe_sq(p.Z);
-  const Fe c = fe_add(zz, zz);
-  const Fe d = fe_neg(a);
-  const Fe e = fe_sub(fe_sub(fe_sq(fe_add(p.X, p.Y)), a), b);
-  const Fe g = fe_add(d, b);
-  const Fe f = fe_sub(g, c);
-  const Fe h = fe_sub(d, b);
-  Ge r;
-  r.X = fe_mul(e, f);
-  r.Y = fe_mul(g, h);
-  r.T = fe_mul(e, h);
-  r.Z = fe_mul(f, g);
-  return r;
-}
+Ge ge_double(const Ge& p) noexcept { return ge_dbl(ge_normalize(p)); }
 
 Ge ge_neg(const Ge& p) noexcept {
   Ge r = p;
@@ -343,7 +549,54 @@ Ge ge_scalarmult(const Ge& p, const std::array<std::uint8_t, 32>& scalar) noexce
 }
 
 Ge ge_scalarmult_base(const std::array<std::uint8_t, 32>& scalar) noexcept {
-  return ge_scalarmult(constants().base, scalar);
+  // One table lookup + cached add per nonzero 4-bit window; no doublings.
+  const BaseTables& t = base_tables();
+  Ge h = ge_identity();
+  for (int i = 0; i < 64; ++i) {
+    const int d = (scalar[static_cast<std::size_t>(i) >> 1] >> (4 * (i & 1))) & 0xF;
+    if (d) h = ge_add_cached(h, t.win[i][d - 1]);
+  }
+  return h;
+}
+
+Ge ge_double_scalarmult_base_vartime(const std::array<std::uint8_t, 32>& a,
+                                     const Ge& A,
+                                     const std::array<std::uint8_t, 32>& b) noexcept {
+  // Straus/Shamir: a single doubling chain consumes both scalars' NAF digits.
+  std::int8_t aslide[256];
+  std::int8_t bslide[256];
+  slide(aslide, a, 15);  // width-5 digits for the runtime point A
+  slide(bslide, b, 63);  // width-7 digits for the precomputed base table
+
+  // Odd multiples of A: ai[j] = (2j+1) * A.
+  GeCached ai[8];
+  const Ge an = ge_normalize(A);
+  ai[0] = ge_to_cached(an);
+  const GeCached a2 = ge_to_cached(ge_dbl(an));
+  Ge cur = an;
+  for (int j = 1; j < 8; ++j) {
+    cur = ge_add_cached(cur, a2);
+    ai[j] = ge_to_cached(cur);
+  }
+
+  const BaseTables& t = base_tables();
+  int i = 255;
+  while (i >= 0 && !aslide[i] && !bslide[i]) --i;
+  Ge r = ge_identity();
+  for (; i >= 0; --i) {
+    r = ge_dbl(r);
+    if (aslide[i] > 0) {
+      r = ge_add_cached(r, ai[aslide[i] / 2]);
+    } else if (aslide[i] < 0) {
+      r = ge_sub_cached(r, ai[(-aslide[i]) / 2]);
+    }
+    if (bslide[i] > 0) {
+      r = ge_add_cached(r, t.naf[bslide[i] / 2]);
+    } else if (bslide[i] < 0) {
+      r = ge_sub_cached(r, t.naf[(-bslide[i]) / 2]);
+    }
+  }
+  return r;
 }
 
 std::array<std::uint8_t, 32> ge_to_bytes(const Ge& p) noexcept {
@@ -409,7 +662,7 @@ Sc sc_reduce(std::span<const std::uint8_t> bytes_le) noexcept {
       r.v[j] = nv;
     }
     // += bit
-    if ((bytes_le[i / 8] >> (i % 8)) & 1) {
+    if ((bytes_le[static_cast<std::size_t>(i) / 8] >> (i % 8)) & 1) {
       int j = 0;
       while (j < 4 && ++r.v[j] == 0) ++j;
     }
@@ -455,6 +708,15 @@ Sc sc_mul(const Sc& a, const Sc& b) noexcept {
   return sc_reduce(std::span<const std::uint8_t>(bytes, 64));
 }
 
+Sc sc_neg(const Sc& a) noexcept {
+  if ((a.v[0] | a.v[1] | a.v[2] | a.v[3]) == 0) return sc_zero();
+  Sc r;
+  u64 limbs[4] = {kL[0], kL[1], kL[2], kL[3]};
+  sc_sub_inplace(limbs, a.v);
+  for (int i = 0; i < 4; ++i) r.v[i] = limbs[i];
+  return r;
+}
+
 std::array<std::uint8_t, 32> sc_to_bytes(const Sc& a) noexcept {
   std::array<std::uint8_t, 32> out;
   for (int i = 0; i < 4; ++i) {
@@ -498,6 +760,31 @@ ExpandedKey expand(const SecretSeed& seed) {
   return k;
 }
 
+// Core of verification with a pre-decompressed A. Checks S*B == R + k*A by
+// computing R' = S*B + k*(-A) with one interleaved double-scalar multiply and
+// comparing encodings: R' encodes canonically, so byte equality with sig[0..32)
+// holds exactly when the old decompress-R-and-ge_eq check accepted (a
+// non-canonical or non-point R can never match a canonical encoding). The
+// point -A (rather than the scalar L-k) keeps the check correct for public
+// keys with a torsion component, where L*A != identity.
+bool verify_with_point(const Ge& a_point, const PublicKey& pub_enc,
+                       std::span<const std::uint8_t> msg, const Signature& sig) {
+  std::array<std::uint8_t, 32> r_enc, s_enc;
+  std::memcpy(r_enc.data(), sig.data(), 32);
+  std::memcpy(s_enc.data(), sig.data() + 32, 32);
+  if (!sc_is_canonical(s_enc)) return false;
+
+  Sha512 h;
+  h.update(std::span<const std::uint8_t>(r_enc.data(), 32));
+  h.update(std::span<const std::uint8_t>(pub_enc.data(), 32));
+  h.update(msg);
+  const Sc kchal = sc_reduce(h.finalize());
+
+  const Ge rcheck = ge_double_scalarmult_base_vartime(
+      sc_to_bytes(kchal), ge_neg(a_point), s_enc);
+  return ge_to_bytes(rcheck) == r_enc;
+}
+
 }  // namespace
 
 PublicKey ed25519_public_key(const SecretSeed& seed) {
@@ -535,6 +822,31 @@ Signature ed25519_sign(const SecretSeed& seed, std::span<const std::uint8_t> msg
 
 bool ed25519_verify(const PublicKey& pub, std::span<const std::uint8_t> msg,
                     const Signature& sig) {
+  const auto a_point = ge_from_bytes(pub);
+  if (!a_point) return false;
+  return verify_with_point(*a_point, pub, msg, sig);
+}
+
+std::optional<PreparedPublicKey> ed25519_prepare(const PublicKey& pub) {
+  const auto a_point = ge_from_bytes(pub);
+  if (!a_point) return std::nullopt;
+  PreparedPublicKey k;
+  k.encoded = pub;
+  k.point = *a_point;
+  return k;
+}
+
+bool ed25519_verify_prepared(const PreparedPublicKey& key,
+                             std::span<const std::uint8_t> msg,
+                             const Signature& sig) {
+  return verify_with_point(key.point, key.encoded, msg, sig);
+}
+
+bool ed25519_verify_reference(const PublicKey& pub,
+                              std::span<const std::uint8_t> msg,
+                              const Signature& sig) {
+  // The seed implementation, verbatim: decompress both A and R, two generic
+  // double-and-add scalar multiplies, projective comparison.
   std::array<std::uint8_t, 32> r_enc, s_enc;
   std::memcpy(r_enc.data(), sig.data(), 32);
   std::memcpy(s_enc.data(), sig.data() + 32, 32);
@@ -551,8 +863,13 @@ bool ed25519_verify(const PublicKey& pub, std::span<const std::uint8_t> msg,
   h.update(msg);
   const Sc kchal = sc_reduce(h.finalize());
 
-  // Check S*B == R + k*A.
-  const Ge lhs = ge_scalarmult_base(s_enc);
+  // Check S*B == R + k*A, with the generic double-and-add for both scalar
+  // multiplies so this path keeps the seed's cost profile as a benchmark
+  // baseline (ge_scalarmult_base now uses the window table).
+  std::array<std::uint8_t, 32> one{};
+  one[0] = 1;
+  const Ge base = ge_scalarmult_base(one);
+  const Ge lhs = ge_scalarmult(base, s_enc);
   const Ge rhs = ge_add(*r_point, ge_scalarmult(*a_point, sc_to_bytes(kchal)));
   return ge_eq(lhs, rhs);
 }

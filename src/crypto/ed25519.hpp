@@ -2,9 +2,12 @@
 // with 51-bit limbs, twisted-Edwards point arithmetic in extended coordinates,
 // and scalar arithmetic modulo the group order L.
 //
-// This implementation favors clarity over speed and is NOT constant-time; it
-// exists to make commitments and blocks third-party verifiable in the
-// reproduction, not to protect live keys.
+// This implementation is NOT constant-time; it exists to make commitments and
+// blocks third-party verifiable in the reproduction, not to protect live keys.
+// Verification is the hot path at simulation scale, so it uses precomputed
+// window tables for the base point and Straus/Shamir w-NAF interleaving for
+// the double-scalar check (see DESIGN.md "verify fast path"); the generic
+// algorithms are retained as differential-testing references.
 #pragma once
 
 #include <array>
@@ -28,6 +31,14 @@ Signature ed25519_sign(const SecretSeed& seed, std::span<const std::uint8_t> msg
 // scalars (S >= L) and, of course, wrong signatures.
 bool ed25519_verify(const PublicKey& pub, std::span<const std::uint8_t> msg,
                     const Signature& sig);
+
+// Pre-optimization verification algorithm (generic double-and-add plus R
+// decompression). Retained as a differential-testing oracle and so
+// bench_crypto can report the before/after verify throughput in one binary.
+// Must accept/reject exactly the same inputs as ed25519_verify.
+bool ed25519_verify_reference(const PublicKey& pub,
+                              std::span<const std::uint8_t> msg,
+                              const Signature& sig);
 
 namespace detail {
 
@@ -65,8 +76,17 @@ Ge ge_add(const Ge& p, const Ge& q) noexcept;
 Ge ge_double(const Ge& p) noexcept;
 Ge ge_neg(const Ge& p) noexcept;
 // Scalar is 32 little-endian bytes (up to 256 bits, no clamping applied here).
+// Generic double-and-add; kept as the reference algorithm for the fast paths.
 Ge ge_scalarmult(const Ge& p, const std::array<std::uint8_t, 32>& scalar) noexcept;
+// Fixed-base multiply via a precomputed 4-bit window table (64 windows x 15
+// odd/even multiples of 16^i * B); no doublings in the main loop.
 Ge ge_scalarmult_base(const std::array<std::uint8_t, 32>& scalar) noexcept;
+// a*A + b*B via Straus/Shamir interleaving: one shared doubling chain, w-NAF
+// digits for both scalars (width 5 for A, width 7 for the static B table).
+// Variable-time, like everything else here.
+Ge ge_double_scalarmult_base_vartime(const std::array<std::uint8_t, 32>& a,
+                                     const Ge& A,
+                                     const std::array<std::uint8_t, 32>& b) noexcept;
 std::array<std::uint8_t, 32> ge_to_bytes(const Ge& p) noexcept;
 std::optional<Ge> ge_from_bytes(const std::array<std::uint8_t, 32>& b) noexcept;
 bool ge_eq(const Ge& p, const Ge& q) noexcept;
@@ -81,10 +101,30 @@ Sc sc_zero() noexcept;
 Sc sc_reduce(std::span<const std::uint8_t> bytes_le) noexcept;
 Sc sc_add(const Sc& a, const Sc& b) noexcept;
 Sc sc_mul(const Sc& a, const Sc& b) noexcept;
+Sc sc_neg(const Sc& a) noexcept;  // L - a (0 maps to 0)
 std::array<std::uint8_t, 32> sc_to_bytes(const Sc& a) noexcept;
 // True iff the 32 little-endian bytes encode a value < L (canonical S check).
 bool sc_is_canonical(const std::array<std::uint8_t, 32>& b) noexcept;
 
 }  // namespace detail
+
+// A public key decompressed once and reused across verifications. The
+// expensive half of a cold verify is reconstructing A from its 32-byte
+// encoding (a field exponentiation for the square root); peers sign many
+// messages with the same key, so crypto::VerifyCache keeps these in an LRU.
+struct PreparedPublicKey {
+  PublicKey encoded;  // original wire encoding; feeds the challenge hash
+  detail::Ge point;   // decompressed A
+};
+
+// Decompresses `pub`; nullopt on a malformed or non-canonical encoding
+// (exactly the inputs ed25519_verify rejects before hashing anything).
+std::optional<PreparedPublicKey> ed25519_prepare(const PublicKey& pub);
+
+// Same accept/reject behavior as ed25519_verify(key.encoded, msg, sig) but
+// skips the per-call decompression.
+bool ed25519_verify_prepared(const PreparedPublicKey& key,
+                             std::span<const std::uint8_t> msg,
+                             const Signature& sig);
 
 }  // namespace lo::crypto

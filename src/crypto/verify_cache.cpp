@@ -1,0 +1,63 @@
+#include "crypto/verify_cache.hpp"
+
+namespace lo::crypto {
+
+const PreparedPublicKey* VerifyCache::prepared_key(const PublicKey& pub) {
+  const auto it = key_index_.find(pub);
+  if (it != key_index_.end()) {
+    ++stats_.key_hits;
+    key_lru_.splice(key_lru_.begin(), key_lru_, it->second);
+    return &key_lru_.front().prepared;
+  }
+  ++stats_.key_misses;
+  auto prepared = ed25519_prepare(pub);
+  if (!prepared) return nullptr;
+  if (key_index_.size() >= key_capacity_) {
+    key_index_.erase(key_lru_.back().key);
+    key_lru_.pop_back();
+  }
+  key_lru_.push_front(KeyEntry{pub, *prepared});
+  key_index_.emplace(pub, key_lru_.begin());
+  return &key_lru_.front().prepared;
+}
+
+bool VerifyCache::verify(SignatureMode mode, const PublicKey& pub,
+                         std::span<const std::uint8_t> msg,
+                         const Signature& sig) {
+  if (mode != SignatureMode::kEd25519) return Signer::verify(mode, pub, msg, sig);
+
+  Sha256 h;
+  h.update("lo-vmemo");
+  h.update(std::span<const std::uint8_t>(pub.data(), pub.size()));
+  h.update(std::span<const std::uint8_t>(sig.data(), sig.size()));
+  h.update(msg);
+  const Digest256 memo_key = h.finalize();
+
+  const auto it = memo_index_.find(memo_key);
+  if (it != memo_index_.end()) {
+    ++stats_.memo_hits;
+    memo_lru_.splice(memo_lru_.begin(), memo_lru_, it->second);
+    return memo_lru_.front().ok;
+  }
+  ++stats_.memo_misses;
+
+  const PreparedPublicKey* key = prepared_key(pub);
+  const bool ok = key != nullptr && ed25519_verify_prepared(*key, msg, sig);
+
+  if (memo_index_.size() >= memo_capacity_) {
+    memo_index_.erase(memo_lru_.back().key);
+    memo_lru_.pop_back();
+  }
+  memo_lru_.push_front(MemoEntry{memo_key, ok});
+  memo_index_.emplace(memo_key, memo_lru_.begin());
+  return ok;
+}
+
+void VerifyCache::clear() {
+  key_index_.clear();
+  key_lru_.clear();
+  memo_index_.clear();
+  memo_lru_.clear();
+}
+
+}  // namespace lo::crypto

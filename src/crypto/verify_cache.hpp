@@ -1,0 +1,115 @@
+// Verification fast path caches (see DESIGN.md "verify fast path").
+//
+// Two memoization layers in front of Ed25519 verification, both caching a
+// pure function of the exact bytes involved, so neither can change any
+// observable accept/reject decision:
+//
+//  * key cache — encoded public key -> decompressed curve point
+//    (PreparedPublicKey). Peers sign every commitment with the same key, so
+//    the field square root inside point decompression is paid once per peer
+//    instead of once per message.
+//
+//  * verify memo — SHA-256("lo-vmemo" || pub || sig || msg) -> bool.
+//    Duplicate deliveries of the same signed transaction/commitment through
+//    different peers skip the curve arithmetic entirely. Both accepts and
+//    rejects are memoized: a *mutated* duplicate (any flipped bit in key,
+//    signature or message) hashes to a different memo key and takes the cold
+//    path, so a forgery can never ride a cached accept.
+//
+// Both layers are LRU-bounded. Iteration order of the backing unordered
+// indices is never observed (lookups and an intrusive recency list only), so
+// the cache is deterministic: same call sequence, same hits, same evictions.
+//
+// kSimFast signatures are a single keyed hash — as cheap as the memo lookup
+// itself — so that mode bypasses the cache entirely.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <span>
+#include <unordered_map>
+
+#include "crypto/ed25519.hpp"
+#include "crypto/keys.hpp"
+#include "crypto/sha256.hpp"
+
+namespace lo::crypto {
+
+struct VerifyCacheStats {
+  std::uint64_t key_hits = 0;
+  std::uint64_t key_misses = 0;
+  std::uint64_t memo_hits = 0;
+  std::uint64_t memo_misses = 0;
+
+  VerifyCacheStats& operator+=(const VerifyCacheStats& o) noexcept {
+    key_hits += o.key_hits;
+    key_misses += o.key_misses;
+    memo_hits += o.memo_hits;
+    memo_misses += o.memo_misses;
+    return *this;
+  }
+};
+
+class VerifyCache {
+ public:
+  explicit VerifyCache(std::size_t key_capacity = kDefaultKeyCapacity,
+                       std::size_t memo_capacity = kDefaultMemoCapacity)
+      : key_capacity_(key_capacity ? key_capacity : 1),
+        memo_capacity_(memo_capacity ? memo_capacity : 1) {}
+
+  // Drop-in replacement for Signer::verify: returns the same boolean on
+  // every input, amortizing decompression and duplicate verifications.
+  bool verify(SignatureMode mode, const PublicKey& pub,
+              std::span<const std::uint8_t> msg, const Signature& sig);
+
+  const VerifyCacheStats& stats() const noexcept { return stats_; }
+  std::size_t key_cache_size() const noexcept { return key_index_.size(); }
+  std::size_t memo_size() const noexcept { return memo_index_.size(); }
+
+  // Drops all entries; counters are preserved. Correctness never requires
+  // calling this (entries are pure-function results), it only frees memory.
+  void clear();
+
+  static constexpr std::size_t kDefaultKeyCapacity = 256;
+  static constexpr std::size_t kDefaultMemoCapacity = 4096;
+
+ private:
+  // Keys are point encodings / SHA-256 outputs, already uniformly
+  // distributed; the first 8 bytes make a fine hash.
+  struct ArrayHash {
+    std::size_t operator()(const std::array<std::uint8_t, 32>& a) const noexcept {
+      std::uint64_t h = 0;
+      for (int i = 7; i >= 0; --i) h = (h << 8) | a[static_cast<std::size_t>(i)];
+      return static_cast<std::size_t>(h);
+    }
+  };
+
+  struct KeyEntry {
+    PublicKey key{};
+    PreparedPublicKey prepared{};
+  };
+  struct MemoEntry {
+    Digest256 key{};
+    bool ok = false;
+  };
+
+  using KeyList = std::list<KeyEntry>;
+  using MemoList = std::list<MemoEntry>;
+
+  // Returns the prepared point for `pub`, decompressing and caching on miss;
+  // nullptr for malformed keys (never cached — they always re-reject cold).
+  const PreparedPublicKey* prepared_key(const PublicKey& pub);
+
+  std::size_t key_capacity_;
+  std::size_t memo_capacity_;
+  // front() = most recently used; the unordered indices are lookup-only
+  // (never iterated), keeping behavior independent of hash-table layout.
+  KeyList key_lru_;
+  MemoList memo_lru_;
+  std::unordered_map<PublicKey, KeyList::iterator, ArrayHash> key_index_;
+  std::unordered_map<Digest256, MemoList::iterator, ArrayHash> memo_index_;
+  VerifyCacheStats stats_;
+};
+
+}  // namespace lo::crypto

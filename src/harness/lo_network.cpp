@@ -262,6 +262,12 @@ core::NodeStats LoNetwork::total_stats() const {
   return sum;
 }
 
+crypto::VerifyCacheStats LoNetwork::total_verify_cache_stats() const {
+  crypto::VerifyCacheStats sum;
+  for (const auto& n : nodes_) sum += n->verify_cache_stats();
+  return sum;
+}
+
 double LoNetwork::coverage(const core::TxId& id) const {
   std::size_t holders = 0;
   std::size_t correct = 0;

@@ -120,6 +120,10 @@ class LoNetwork {
   // Aggregate retry/timeout/blame mechanism counters over all nodes.
   core::NodeStats total_stats() const;
 
+  // Aggregate verification-cache hit/miss counters over all nodes (perf
+  // diagnostics for the verify fast path; see DESIGN.md).
+  crypto::VerifyCacheStats total_verify_cache_stats() const;
+
   // --- running ---
   void run_for(double seconds);
 

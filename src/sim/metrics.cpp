@@ -56,7 +56,10 @@ std::vector<Samples::HistogramBin> Samples::histogram(std::size_t bins,
   }
   std::size_t total = 0;
   for (double v : values_) {
-    if (v < lo || v >= hi) continue;
+    // The top bin is inclusive of hi (the idx clamp below lands v == hi in
+    // the last bin); dropping the boundary sample would skew the top bucket
+    // of the latency plots.
+    if (v < lo || v > hi) continue;
     const std::size_t idx = static_cast<std::size_t>((v - lo) / width);
     ++out[idx < bins ? idx : bins - 1].count;
     ++total;

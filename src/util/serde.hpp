@@ -42,13 +42,15 @@ class Writer {
     bytes(std::span<const std::uint8_t>(data.data(), N));
   }
 
-  // Length-prefixed (u32) variable byte string.
+  // Length-prefixed (u32) variable byte string. Lengths that do not fit the
+  // prefix would silently truncate and desync every later field for the
+  // reader, so oversize input is a hard error.
   void var_bytes(std::span<const std::uint8_t> data) {
-    u32(static_cast<std::uint32_t>(data.size()));
+    u32(checked_len(data.size()));
     bytes(data);
   }
   void str(std::string_view s) {
-    u32(static_cast<std::uint32_t>(s.size()));
+    u32(checked_len(s.size()));
     for (char c : s) buf_.push_back(static_cast<std::byte>(c));
   }
 
@@ -57,6 +59,11 @@ class Writer {
   std::vector<std::uint8_t> take_u8();
 
  private:
+  static std::uint32_t checked_len(std::size_t n) {
+    if (n > 0xFFFFFFFFu) throw SerdeError("length exceeds u32 prefix");
+    return static_cast<std::uint32_t>(n);
+  }
+
   template <typename T>
   void write_le(T v) {
     for (std::size_t i = 0; i < sizeof(T); ++i) {

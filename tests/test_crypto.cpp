@@ -2,13 +2,16 @@
 // vectors and algebraic properties for the from-scratch Ed25519.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
 
 #include "crypto/ed25519.hpp"
 #include "crypto/keys.hpp"
 #include "crypto/sha256.hpp"
 #include "crypto/sha512.hpp"
+#include "crypto/verify_cache.hpp"
 #include "util/hex.hpp"
+#include "util/rng.hpp"
 
 namespace lo::crypto {
 namespace {
@@ -324,6 +327,268 @@ TEST(Keys, SimFastRejectsWrongKey) {
   Signer b(derive_keypair(2, SignatureMode::kSimFast), SignatureMode::kSimFast);
   const auto sig = a.sign(msg);
   EXPECT_FALSE(Signer::verify(SignatureMode::kSimFast, b.public_key(), msg, sig));
+}
+
+// ------------------------------------------------- negative vectors ---------
+// Every rejection below is asserted three ways: the fast verify, the
+// pre-optimization reference verify (differential oracle), and twice through
+// a VerifyCache (cold, then memoized) — a cache must never turn a reject
+// into an accept.
+
+void expect_rejected_everywhere(const PublicKey& pub,
+                                std::span<const std::uint8_t> msg,
+                                const Signature& sig, const char* what) {
+  EXPECT_FALSE(ed25519_verify(pub, msg, sig)) << what << " (fast)";
+  EXPECT_FALSE(ed25519_verify_reference(pub, msg, sig)) << what << " (ref)";
+  VerifyCache cache;
+  EXPECT_FALSE(cache.verify(SignatureMode::kEd25519, pub, msg, sig))
+      << what << " (cache cold)";
+  EXPECT_FALSE(cache.verify(SignatureMode::kEd25519, pub, msg, sig))
+      << what << " (cache memoized)";
+  EXPECT_EQ(cache.stats().memo_hits, 1u) << what;
+}
+
+// y = p + 2 little-endian: reduces to 2 but is a non-canonical encoding.
+std::array<std::uint8_t, 32> non_canonical_encoding(bool sign_bit) {
+  std::array<std::uint8_t, 32> enc;
+  enc.fill(0xff);
+  enc[0] = 0xef;  // (2^255 - 19) + 2
+  enc[31] = sign_bit ? 0xff : 0x7f;
+  return enc;
+}
+
+TEST(Ed25519Negative, NonCanonicalPointEncodingRejected) {
+  using namespace detail;
+  EXPECT_FALSE(ge_from_bytes(non_canonical_encoding(false)).has_value());
+  EXPECT_FALSE(ge_from_bytes(non_canonical_encoding(true)).has_value());
+}
+
+TEST(Ed25519Negative, NonCanonicalPublicKeyRejected) {
+  const auto seed = from_hex_fixed<32>(kVectors[0].seed);
+  const auto sig = ed25519_sign(seed, {});
+  for (bool sign_bit : {false, true}) {
+    const PublicKey bad_pub = non_canonical_encoding(sign_bit);
+    expect_rejected_everywhere(bad_pub, {}, sig, "non-canonical pub");
+    EXPECT_FALSE(ed25519_prepare(bad_pub).has_value());
+  }
+}
+
+TEST(Ed25519Negative, NonCanonicalRRejected) {
+  const auto seed = from_hex_fixed<32>(kVectors[1].seed);
+  const auto pub = ed25519_public_key(seed);
+  const auto msg = util::from_hex(kVectors[1].msg_hex);
+  auto sig = ed25519_sign(seed, msg);
+  const auto bad_r = non_canonical_encoding(false);
+  std::copy(bad_r.begin(), bad_r.end(), sig.begin());
+  expect_rejected_everywhere(pub, msg, sig, "non-canonical R");
+}
+
+TEST(Ed25519Negative, NonCanonicalScalarThroughCache) {
+  // Same S >= L construction as NonCanonicalScalarRejected, plus the cache
+  // and reference paths.
+  const auto seed = from_hex_fixed<32>(kVectors[0].seed);
+  const auto pub = ed25519_public_key(seed);
+  auto sig = ed25519_sign(seed, {});
+  const auto l_bytes = util::from_hex(
+      "edd3f55c1a631258d69cf7a2def9de14000000000000000000000000000000"
+      "10");
+  unsigned carry = 0;
+  for (int i = 0; i < 32; ++i) {
+    const unsigned sum =
+        sig[32 + static_cast<std::size_t>(i)] + l_bytes[static_cast<std::size_t>(i)] + carry;
+    sig[32 + static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(sum);
+    carry = sum >> 8;
+  }
+  expect_rejected_everywhere(pub, {}, sig, "S >= L");
+}
+
+TEST(Ed25519Negative, BitFlippedRfcVectorsRejected) {
+  // Flip one bit in every byte of signature, message and public key of each
+  // RFC 8032 vector; all must fail cold and through the caches.
+  for (const auto& v : kVectors) {
+    const auto pub = from_hex_fixed<32>(v.pub);
+    const auto msg = util::from_hex(v.msg_hex);
+    const auto sig = from_hex_fixed<64>(v.sig);
+    ASSERT_TRUE(ed25519_verify(pub, msg, sig));
+
+    VerifyCache cache;
+    for (std::size_t i = 0; i < 64; ++i) {
+      auto bad = sig;
+      bad[i] ^= static_cast<std::uint8_t>(1u << (i % 8));
+      EXPECT_FALSE(ed25519_verify(pub, msg, bad)) << "sig flip " << i;
+      EXPECT_FALSE(cache.verify(SignatureMode::kEd25519, pub, msg, bad))
+          << "sig flip " << i << " via cache";
+    }
+    for (std::size_t i = 0; i < msg.size(); ++i) {
+      auto bad = msg;
+      bad[i] ^= static_cast<std::uint8_t>(1u << (i % 8));
+      EXPECT_FALSE(ed25519_verify(pub, bad, sig)) << "msg flip " << i;
+      EXPECT_FALSE(cache.verify(SignatureMode::kEd25519, pub, bad, sig))
+          << "msg flip " << i << " via cache";
+    }
+    for (std::size_t i = 0; i < 32; ++i) {
+      auto bad = pub;
+      bad[i] ^= static_cast<std::uint8_t>(1u << (i % 8));
+      EXPECT_FALSE(ed25519_verify(bad, msg, sig)) << "pub flip " << i;
+      EXPECT_FALSE(cache.verify(SignatureMode::kEd25519, bad, msg, sig))
+          << "pub flip " << i << " via cache";
+    }
+    // The genuine vector still verifies through the same, now well-used,
+    // cache — the negative entries did not poison it.
+    EXPECT_TRUE(cache.verify(SignatureMode::kEd25519, pub, msg, sig));
+  }
+}
+
+TEST(Ed25519Negative, ReferenceAndFastVerifyAgree) {
+  // Differential check across a batch of valid and corrupted inputs.
+  util::Rng rng(515151);
+  for (int iter = 0; iter < 20; ++iter) {
+    std::array<std::uint8_t, 32> seed;
+    for (auto& b : seed) b = static_cast<std::uint8_t>(rng.next());
+    const auto pub = ed25519_public_key(seed);
+    std::vector<std::uint8_t> msg(1 + iter * 3);
+    for (auto& b : msg) b = static_cast<std::uint8_t>(rng.next());
+    auto sig = ed25519_sign(seed, msg);
+    EXPECT_EQ(ed25519_verify(pub, msg, sig),
+              ed25519_verify_reference(pub, msg, sig));
+    EXPECT_TRUE(ed25519_verify(pub, msg, sig));
+    // Corrupt one random byte of the signature.
+    sig[rng.next() % 64] ^= static_cast<std::uint8_t>(1 + rng.next() % 255);
+    EXPECT_EQ(ed25519_verify(pub, msg, sig),
+              ed25519_verify_reference(pub, msg, sig));
+  }
+}
+
+// ----------------------------------------------------- verify cache ---------
+
+TEST(VerifyCacheTest, MemoizesAcceptsAndRejects) {
+  const auto kp = derive_keypair(3, SignatureMode::kEd25519);
+  Signer s(kp, SignatureMode::kEd25519);
+  const std::vector<std::uint8_t> msg{1, 2, 3};
+  const auto sig = s.sign(msg);
+
+  VerifyCache cache;
+  EXPECT_TRUE(cache.verify(SignatureMode::kEd25519, kp.pub, msg, sig));
+  EXPECT_EQ(cache.stats().memo_misses, 1u);
+  EXPECT_TRUE(cache.verify(SignatureMode::kEd25519, kp.pub, msg, sig));
+  EXPECT_EQ(cache.stats().memo_hits, 1u);
+
+  auto bad = sig;
+  bad[5] ^= 0x10;
+  EXPECT_FALSE(cache.verify(SignatureMode::kEd25519, kp.pub, msg, bad));
+  EXPECT_FALSE(cache.verify(SignatureMode::kEd25519, kp.pub, msg, bad));
+  EXPECT_EQ(cache.stats().memo_hits, 2u);
+  EXPECT_EQ(cache.memo_size(), 2u);
+  // One key decompression served all four calls.
+  EXPECT_EQ(cache.stats().key_misses, 1u);
+  EXPECT_EQ(cache.key_cache_size(), 1u);
+}
+
+TEST(VerifyCacheTest, MutatedDuplicateTakesColdPathAndRejects) {
+  const auto kp = derive_keypair(4, SignatureMode::kEd25519);
+  Signer s(kp, SignatureMode::kEd25519);
+  const std::vector<std::uint8_t> msg{7, 7, 7, 7};
+  const auto sig = s.sign(msg);
+
+  VerifyCache cache;
+  // Warm the memo with the genuine accept.
+  ASSERT_TRUE(cache.verify(SignatureMode::kEd25519, kp.pub, msg, sig));
+  const auto warm = cache.stats();
+
+  // A mutated duplicate must not ride the cached accept: every single-bit
+  // mutation of msg/sig/pub hashes to a fresh memo key (memo_misses grows)
+  // and is rejected.
+  auto msg2 = msg;
+  msg2[0] ^= 0x01;
+  EXPECT_FALSE(cache.verify(SignatureMode::kEd25519, kp.pub, msg2, sig));
+  auto sig2 = sig;
+  sig2[63] ^= 0x80;
+  EXPECT_FALSE(cache.verify(SignatureMode::kEd25519, kp.pub, msg, sig2));
+  auto pub2 = kp.pub;
+  pub2[31] ^= 0x02;
+  EXPECT_FALSE(cache.verify(SignatureMode::kEd25519, pub2, msg, sig2));
+  EXPECT_EQ(cache.stats().memo_misses, warm.memo_misses + 3);
+  EXPECT_EQ(cache.stats().memo_hits, warm.memo_hits);
+
+  // And the genuine one still verifies.
+  EXPECT_TRUE(cache.verify(SignatureMode::kEd25519, kp.pub, msg, sig));
+}
+
+TEST(VerifyCacheTest, KeyCacheEvictsLeastRecentlyUsed) {
+  VerifyCache cache(/*key_capacity=*/2, /*memo_capacity=*/4);
+  const std::vector<std::uint8_t> msg{5};
+  std::array<KeyPair, 3> kps = {derive_keypair(10, SignatureMode::kEd25519),
+                                derive_keypair(11, SignatureMode::kEd25519),
+                                derive_keypair(12, SignatureMode::kEd25519)};
+  for (const auto& kp : kps) {
+    Signer s(kp, SignatureMode::kEd25519);
+    const auto sig = s.sign(msg);
+    EXPECT_TRUE(cache.verify(SignatureMode::kEd25519, kp.pub, msg, sig));
+  }
+  EXPECT_EQ(cache.key_cache_size(), 2u);
+  EXPECT_EQ(cache.stats().key_misses, 3u);
+
+  // Key 10 was evicted (LRU); re-verifying costs a fresh decompression but
+  // still succeeds. 12 is resident and hits.
+  Signer s10(kps[0], SignatureMode::kEd25519);
+  const std::vector<std::uint8_t> other{6};
+  const auto sig10b = s10.sign(other);
+  EXPECT_TRUE(cache.verify(SignatureMode::kEd25519, kps[0].pub, other, sig10b));
+  EXPECT_EQ(cache.stats().key_misses, 4u);
+}
+
+TEST(VerifyCacheTest, MemoEvictionForcesReverify) {
+  VerifyCache cache(/*key_capacity=*/4, /*memo_capacity=*/2);
+  const auto kp = derive_keypair(20, SignatureMode::kEd25519);
+  Signer s(kp, SignatureMode::kEd25519);
+  for (std::uint8_t i = 0; i < 3; ++i) {
+    const std::vector<std::uint8_t> msg{i};
+    EXPECT_TRUE(cache.verify(SignatureMode::kEd25519, kp.pub, msg, s.sign(msg)));
+  }
+  EXPECT_EQ(cache.memo_size(), 2u);
+  // msg{0} was evicted; verifying again is a miss but still correct.
+  const std::vector<std::uint8_t> msg0{0};
+  EXPECT_TRUE(cache.verify(SignatureMode::kEd25519, kp.pub, msg0, s.sign(msg0)));
+  EXPECT_EQ(cache.stats().memo_hits, 0u);
+}
+
+TEST(VerifyCacheTest, MalformedKeyNeverCached) {
+  VerifyCache cache;
+  const auto bad_pub = non_canonical_encoding(false);
+  const Signature sig{};
+  const std::vector<std::uint8_t> msg{1};
+  EXPECT_FALSE(cache.verify(SignatureMode::kEd25519, bad_pub, msg, sig));
+  EXPECT_EQ(cache.key_cache_size(), 0u);
+  EXPECT_EQ(cache.stats().key_misses, 1u);
+}
+
+TEST(VerifyCacheTest, SimFastBypassesCache) {
+  VerifyCache cache;
+  const auto kp = derive_keypair(30, SignatureMode::kSimFast);
+  Signer s(kp, SignatureMode::kSimFast);
+  const std::vector<std::uint8_t> msg{1, 2};
+  const auto sig = s.sign(msg);
+  EXPECT_TRUE(cache.verify(SignatureMode::kSimFast, kp.pub, msg, sig));
+  EXPECT_TRUE(cache.verify(SignatureMode::kSimFast, kp.pub, msg, sig));
+  EXPECT_EQ(cache.memo_size(), 0u);
+  EXPECT_EQ(cache.key_cache_size(), 0u);
+  EXPECT_EQ(cache.stats().memo_misses, 0u);
+}
+
+TEST(VerifyCacheTest, ClearKeepsCountersDropsEntries) {
+  VerifyCache cache;
+  const auto kp = derive_keypair(40, SignatureMode::kEd25519);
+  Signer s(kp, SignatureMode::kEd25519);
+  const std::vector<std::uint8_t> msg{9};
+  const auto sig = s.sign(msg);
+  EXPECT_TRUE(cache.verify(SignatureMode::kEd25519, kp.pub, msg, sig));
+  cache.clear();
+  EXPECT_EQ(cache.memo_size(), 0u);
+  EXPECT_EQ(cache.key_cache_size(), 0u);
+  EXPECT_EQ(cache.stats().memo_misses, 1u);
+  // Still correct after clear.
+  EXPECT_TRUE(cache.verify(SignatureMode::kEd25519, kp.pub, msg, sig));
+  EXPECT_EQ(cache.stats().memo_misses, 2u);
 }
 
 }  // namespace

@@ -171,5 +171,60 @@ TEST(FailureInjection, DuplicatedResponsesAreHarmless) {
   }
 }
 
+TEST(FailureInjection, MutatedDuplicateRejectedAcrossCrash) {
+  // The per-node verify memo caches accept/reject decisions keyed by the
+  // exact (key, sig, msg) bytes. Prove the cache can never launder a forgery:
+  // a mutated duplicate of an accepted transaction takes the cold path and is
+  // rejected — before a crash, and again after crash/restart re-wires the
+  // cache into the recovered accountability state.
+  auto cfg = net_cfg(4, 41);
+  cfg.node.sig_mode = crypto::SignatureMode::kEd25519;  // engage the cache
+  cfg.node.prevalidation.sig_mode = crypto::SignatureMode::kEd25519;
+  harness::LoNetwork net(cfg);
+
+  crypto::Signer client(
+      crypto::derive_keypair(1234, crypto::SignatureMode::kEd25519),
+      crypto::SignatureMode::kEd25519);
+  const auto tx = core::make_transaction(client, 1, 500, 0);
+
+  auto bundle = std::make_shared<core::TxBundleMsg>();
+  bundle->txs.push_back(tx);
+  auto& victim = net.node(0);
+  victim.on_message(1, bundle);
+  ASSERT_TRUE(victim.has_tx(tx.id));
+  const auto warm = victim.verify_cache_stats();
+  EXPECT_EQ(warm.memo_misses, 1u);
+
+  // Same bytes again: served from the memo, still exactly one copy.
+  victim.on_message(2, bundle);
+  EXPECT_EQ(victim.mempool_size(), 1u);
+
+  // Mutated duplicate: flip a body byte and recompute the id so the content
+  // check passes and the decision rests on the signature alone. The memo key
+  // hashes the message bytes, so this cannot hit the cached accept.
+  auto forged = tx;
+  forged.body[0] ^= 0x01;
+  forged.id = forged.compute_id();
+  auto forged_bundle = std::make_shared<core::TxBundleMsg>();
+  forged_bundle->txs.push_back(forged);
+  victim.on_message(1, forged_bundle);
+  EXPECT_FALSE(victim.has_tx(forged.id)) << "forgery rode a cached accept";
+  EXPECT_EQ(victim.verify_cache_stats().memo_misses, warm.memo_misses + 1)
+      << "mutated duplicate must take the cold path";
+
+  // Crash wipes volatile state (including the rejected-id set) and restart
+  // re-wires the registry to the surviving cache; the forgery must still be
+  // rejected and the genuine tx still accepted.
+  net.sim().set_node_up(0, false);
+  victim.crash();
+  net.sim().set_node_up(0, true);
+  victim.restart();
+  victim.on_message(2, forged_bundle);
+  EXPECT_FALSE(victim.has_tx(forged.id))
+      << "crash recovery must not forget how to reject";
+  victim.on_message(2, bundle);
+  EXPECT_TRUE(victim.has_tx(tx.id));
+}
+
 }  // namespace
 }  // namespace lo

@@ -421,6 +421,29 @@ TEST(Samples, HistogramIgnoresOutOfRange) {
   EXPECT_EQ(h[0].count + h[1].count, 1u);
 }
 
+TEST(Samples, HistogramTopBinIncludesHi) {
+  // Regression: samples exactly equal to hi were skipped by a `v >= hi`
+  // guard even though the idx clamp was written to land them in the last
+  // bin. Both range endpoints must be counted.
+  Samples s;
+  s.add(0.0);   // lo -> first bin
+  s.add(1.0);   // hi -> last bin, not dropped
+  s.add(0.25);  // interior control
+  const auto h = s.histogram(4, 0.0, 1.0);
+  EXPECT_EQ(h[0].count, 1u);
+  EXPECT_EQ(h[1].count, 1u);
+  EXPECT_EQ(h[3].count, 1u);
+  std::size_t total = 0;
+  for (const auto& b : h) total += b.count;
+  EXPECT_EQ(total, 3u);
+  // Slightly above hi still falls outside.
+  s.add(1.0 + 1e-9);
+  const auto h2 = s.histogram(4, 0.0, 1.0);
+  std::size_t total2 = 0;
+  for (const auto& b : h2) total2 += b.count;
+  EXPECT_EQ(total2, 3u);
+}
+
 TEST(Samples, BadHistogramSpecThrows) {
   Samples s;
   EXPECT_THROW(s.histogram(0, 0.0, 1.0), std::invalid_argument);

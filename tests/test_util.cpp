@@ -146,6 +146,22 @@ TEST(Serde, VarBytesUnderrunThrows) {
   EXPECT_THROW(r.var_bytes(), SerdeError);
 }
 
+TEST(Serde, WriterOversizeVarBytesThrows) {
+  // Regression: lengths >= 2^32 used to be silently truncated by the u32
+  // prefix cast, desyncing the reader. A span with a fabricated huge size is
+  // safe here because the length check throws before any element is touched.
+  std::uint8_t byte = 0;
+  const std::span<const std::uint8_t> huge(&byte, std::size_t{1} << 32);
+  Writer w;
+  EXPECT_THROW(w.var_bytes(huge), SerdeError);
+  EXPECT_EQ(w.size(), 0u);  // nothing written before the throw
+
+  const std::string_view huge_str(reinterpret_cast<const char*>(&byte),
+                                  (std::size_t{1} << 32) + 7);
+  EXPECT_THROW(w.str(huge_str), SerdeError);
+  EXPECT_EQ(w.size(), 0u);
+}
+
 TEST(Serde, LittleEndianLayout) {
   Writer w;
   w.u32(0x01020304);
