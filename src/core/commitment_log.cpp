@@ -18,9 +18,9 @@ std::vector<TxId> CommitmentLog::append(std::span<const TxId> txids,
     positions_.emplace(id, order_.size() - 1);
     const std::uint64_t raw = txid_short(id);
     short_index_.emplace(raw, id);
-    elem_index_.emplace(sketch_.field().map_nonzero(raw), id);
     clock_.add(raw);
-    sketch_.add(raw);
+    // add() returns the mapped field element: one map_nonzero per append.
+    elem_index_.emplace(sketch_.add(raw), id);
     // Chain hash binds position: h_n = SHA-256(h_{n-1} || txid).
     crypto::Sha256 h;
     h.update(std::span<const std::uint8_t>(chain_hash_.data(), chain_hash_.size()));

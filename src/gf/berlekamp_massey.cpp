@@ -1,44 +1,59 @@
 #include "gf/berlekamp_massey.hpp"
 
+#include <algorithm>
+
 namespace lo::gf {
 
-Poly berlekamp_massey(const Field& f, const std::vector<std::uint64_t>& s) {
-  Poly c{1};  // current connection polynomial
-  Poly b{1};  // previous connection polynomial at last length change
+const Poly& berlekamp_massey(const Field& f, const std::vector<std::uint64_t>& s,
+                             BmWorkspace& ws) {
+  Poly& c = ws.c;  // current connection polynomial
+  Poly& b = ws.b;  // previous connection polynomial at last length change
+  Poly& t = ws.t;  // update scratch: next connection polynomial
+  c.assign(1, 1);
+  b.assign(1, 1);
   int l = 0;          // current LFSR length
   int x = 1;          // steps since last length change
   std::uint64_t b_disc = 1;  // discrepancy at last length change
 
   for (std::size_t n = 0; n < s.size(); ++n) {
-    // Discrepancy d = s_n + sum_{i=1..l} c_i * s_{n-i}.
+    // Discrepancy d = s_n + sum_{i=1..l} c_i * s_{n-i}, folded as one
+    // reversed dot product so the multiplies pipeline.
+    const std::size_t len =
+        static_cast<std::size_t>(std::min(l, poly_deg(c)));
     std::uint64_t d = s[n];
-    for (int i = 1; i <= l && i <= poly_deg(c); ++i) {
-      d ^= f.mul(c[static_cast<std::size_t>(i)], s[n - static_cast<std::size_t>(i)]);
-    }
+    if (len > 0) d ^= f.dot_rev(c.data() + 1, &s[n - 1], len);
     if (d == 0) {
       ++x;
       continue;
     }
-    const Poly c_prev = c;
-    // c -= (d / b_disc) * x^x * b
+    // t = c + (d / b_disc) * x^x * b, built directly in the scratch buffer
+    // (the seed implementation copied c and materialized the shifted addend).
     const std::uint64_t coef = f.mul(d, f.inv(b_disc));
-    Poly shifted(static_cast<std::size_t>(x), 0);
-    shifted.reserve(b.size() + static_cast<std::size_t>(x));
-    for (auto v : b) shifted.push_back(f.mul(coef, v));
-    c = poly_add(c, shifted);
+    const std::size_t ux = static_cast<std::size_t>(x);
+    t.assign(std::max(c.size(), b.size() + ux), 0);
+    std::copy(c.begin(), c.end(), t.begin());
+    f.fma_row(coef, b.data(), t.data() + ux, b.size());
+    poly_trim(t);
     if (2 * l <= static_cast<int>(n)) {
       l = static_cast<int>(n) + 1 - l;
-      b = c_prev;
+      std::swap(b, c);  // b <- previous c
+      std::swap(c, t);  // c <- updated polynomial
       b_disc = d;
       x = 1;
     } else {
+      std::swap(c, t);
       ++x;
     }
   }
-  // Degree can be below l if trailing coefficients cancelled; pad so callers
-  // can rely on poly_deg(c) <= l while the connection property holds.
+  // Degree can be below l if trailing coefficients cancelled; poly_trim keeps
+  // the invariant poly_deg(c) <= l while the connection property holds.
   poly_trim(c);
   return c;
+}
+
+Poly berlekamp_massey(const Field& f, const std::vector<std::uint64_t>& s) {
+  BmWorkspace ws;
+  return berlekamp_massey(f, s, ws);
 }
 
 }  // namespace lo::gf

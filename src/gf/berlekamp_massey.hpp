@@ -16,8 +16,22 @@
 
 namespace lo::gf {
 
+// Reusable scratch for the workspace overload: the three connection-poly
+// buffers keep their capacity between calls, so a decoder that owns a
+// BmWorkspace runs Berlekamp–Massey allocation-free in steady state.
+struct BmWorkspace {
+  Poly c;  // current connection polynomial (also the result)
+  Poly b;  // previous connection polynomial at last length change
+  Poly t;  // update scratch
+};
+
 // Returns the connection polynomial (ascending coefficients, C[0] == 1).
-// The LFSR length is poly_deg(result).
+// The LFSR length is poly_deg(result). The returned reference aliases ws.c
+// and stays valid until the next call with the same workspace.
+const Poly& berlekamp_massey(const Field& f, const std::vector<std::uint64_t>& s,
+                             BmWorkspace& ws);
+
+// Convenience overload that owns its scratch and copies out the result.
 Poly berlekamp_massey(const Field& f, const std::vector<std::uint64_t>& s);
 
 }  // namespace lo::gf

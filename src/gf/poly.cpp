@@ -16,61 +16,109 @@ Poly poly_add(const Poly& a, const Poly& b) {
   return r;
 }
 
+void poly_add_inplace(Poly& a, const Poly& b) {
+  if (b.size() > a.size()) a.resize(b.size(), 0);
+  for (std::size_t i = 0; i < b.size(); ++i) a[i] ^= b[i];
+  poly_trim(a);
+}
+
 Poly poly_mul(const Field& f, const Poly& a, const Poly& b) {
-  if (a.empty() || b.empty()) return {};
-  Poly r(a.size() + b.size() - 1, 0);
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    if (a[i] == 0) continue;
-    for (std::size_t j = 0; j < b.size(); ++j) {
-      if (b[j] == 0) continue;
-      r[i + j] ^= f.mul(a[i], b[j]);
-    }
-  }
-  poly_trim(r);
+  Poly r;
+  poly_mul_into(f, a, b, r);
   return r;
 }
 
-Poly poly_mod(const Field& f, Poly a, const Poly& b) {
-  const int db = poly_deg(b);
-  const std::uint64_t lead_inv = f.inv(b[db]);
-  while (poly_deg(a) >= db) {
-    const int da = poly_deg(a);
-    const std::uint64_t factor = f.mul(a[da], lead_inv);
-    const int shift = da - db;
-    for (int i = 0; i <= db; ++i) {
-      a[shift + i] ^= f.mul(factor, b[i]);
-    }
-    poly_trim(a);
+void poly_mul_into(const Field& f, const Poly& a, const Poly& b, Poly& out) {
+  if (a.empty() || b.empty()) {
+    out.clear();
+    return;
   }
+  out.assign(a.size() + b.size() - 1, 0);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    f.fma_row(a[i], b.data(), out.data() + i, b.size());
+  }
+  poly_trim(out);
+}
+
+void poly_sqr_into(const Field& f, const Poly& p, Poly& out) {
+  if (p.empty()) {
+    out.clear();
+    return;
+  }
+  out.assign(2 * p.size() - 1, 0);
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    out[2 * i] = f.sqr(p[i]);
+  }
+  poly_trim(out);
+}
+
+void poly_mod_inplace(const Field& f, Poly& a, const Poly& b) {
+  const int db = poly_deg(b);
+  int da = poly_deg(a);
+  if (da < db) return;
+  const std::uint64_t lead_inv = f.inv(b[static_cast<std::size_t>(db)]);
+  while (da >= db) {
+    const auto ida = static_cast<std::size_t>(da);
+    if (a[ida] != 0) {
+      const std::uint64_t factor = f.mul(a[ida], lead_inv);
+      const std::size_t shift = static_cast<std::size_t>(da - db);
+      f.fma_row(factor, b.data(), a.data() + shift,
+                static_cast<std::size_t>(db));
+      a[ida] = 0;
+    }
+    --da;
+  }
+  a.resize(static_cast<std::size_t>(db > 0 ? db : 0));
+  poly_trim(a);
+}
+
+void poly_divmod_inplace(const Field& f, Poly& a, const Poly& b, Poly& q) {
+  const int db = poly_deg(b);
+  int da = poly_deg(a);
+  if (da < db) {
+    q.clear();
+    return;
+  }
+  q.assign(static_cast<std::size_t>(da - db) + 1, 0);
+  const std::uint64_t lead_inv = f.inv(b[static_cast<std::size_t>(db)]);
+  while (da >= db) {
+    const auto ida = static_cast<std::size_t>(da);
+    if (a[ida] != 0) {
+      const std::uint64_t factor = f.mul(a[ida], lead_inv);
+      const std::size_t shift = static_cast<std::size_t>(da - db);
+      q[shift] = factor;
+      f.fma_row(factor, b.data(), a.data() + shift,
+                static_cast<std::size_t>(db));
+      a[ida] = 0;
+    }
+    --da;
+  }
+  a.resize(static_cast<std::size_t>(db > 0 ? db : 0));
+  poly_trim(a);
+  poly_trim(q);
+}
+
+Poly poly_mod(const Field& f, Poly a, const Poly& b) {
+  poly_mod_inplace(f, a, b);
   return a;
 }
 
 Poly poly_div(const Field& f, Poly a, const Poly& b) {
-  const int db = poly_deg(b);
-  if (poly_deg(a) < db) return {};
-  Poly q(a.size() - b.size() + 1, 0);
-  const std::uint64_t lead_inv = f.inv(b[db]);
-  while (poly_deg(a) >= db) {
-    const int da = poly_deg(a);
-    const std::uint64_t factor = f.mul(a[da], lead_inv);
-    const int shift = da - db;
-    q[shift] = factor;
-    for (int i = 0; i <= db; ++i) {
-      a[shift + i] ^= f.mul(factor, b[i]);
-    }
-    poly_trim(a);
-  }
-  poly_trim(q);
+  Poly q;
+  poly_divmod_inplace(f, a, b, q);
   return q;
 }
 
-Poly poly_gcd(const Field& f, Poly a, Poly b) {
+void poly_gcd_inplace(const Field& f, Poly& a, Poly& b) {
   while (!b.empty()) {
-    Poly r = poly_mod(f, a, b);
-    a = std::move(b);
-    b = std::move(r);
+    poly_mod_inplace(f, a, b);
+    std::swap(a, b);
   }
   poly_make_monic(f, a);
+}
+
+Poly poly_gcd(const Field& f, Poly a, Poly b) {
+  poly_gcd_inplace(f, a, b);
   return a;
 }
 
@@ -91,12 +139,8 @@ std::uint64_t poly_eval(const Field& f, const Poly& p, std::uint64_t x) {
 }
 
 Poly poly_sqr(const Field& f, const Poly& p) {
-  if (p.empty()) return {};
-  Poly r(2 * p.size() - 1, 0);
-  for (std::size_t i = 0; i < p.size(); ++i) {
-    r[2 * i] = f.sqr(p[i]);
-  }
-  poly_trim(r);
+  Poly r;
+  poly_sqr_into(f, p, r);
   return r;
 }
 

@@ -17,10 +17,29 @@
 
 namespace lo::gf {
 
+// Reusable scratch for the workspace overload: shared buffers for the
+// Frobenius / trace chains plus a PolyPool for the splitter's per-level
+// factors. A decoder that owns a RootWorkspace finds roots allocation-free
+// in steady state (only the pool grows, up to the deepest split seen).
+struct RootWorkspace {
+  Poly frob;      // running (.)^(2^i) mod f chain
+  Poly sqr_tmp;   // squaring scratch for the chain
+  Poly trace;     // accumulated trace polynomial
+  Poly trace1;    // trace + 1 (the complementary gcd argument)
+  Poly gcd_tmp;   // clobber copy for gcd's second argument
+  PolyPool pool;  // per-recursion-level g / q factors
+};
+
 // Returns all roots of p if p splits into deg(p) distinct linear factors over
 // the field; std::nullopt otherwise (the PinSketch "decode failure" signal).
 // `seed` makes the beta sequence deterministic.
 std::optional<std::vector<std::uint64_t>> find_roots(const Field& f, Poly p,
                                                      std::uint64_t seed = 1);
+
+// Workspace variant: clobbers p, appends the roots to out (cleared first),
+// and returns whether p split completely. Identical results to find_roots
+// (same beta sequence, same root order).
+bool find_roots_ws(const Field& f, Poly& p, std::uint64_t seed,
+                   RootWorkspace& ws, std::vector<std::uint64_t>& out);
 
 }  // namespace lo::gf

@@ -30,16 +30,16 @@ bool PartitionedReconciler::recurse(std::span<const std::uint64_t> a,
   Sketch sb(bits_, capacity_);
   // Field elements are a many-to-one image of raw items; remember the
   // preimages so decoded elements can be mapped back. Items appearing in both
-  // sets cancel inside the merged sketch and never need resolving.
+  // sets cancel inside the merged sketch and never need resolving. add()
+  // returns the mapped element, so each raw item pays its map_nonzero
+  // division exactly once.
   std::unordered_map<std::uint64_t, std::uint64_t> preimage;
   preimage.reserve(a.size() + b.size());
   for (auto raw : a) {
-    sa.add(raw);
-    preimage.emplace(sa.field().map_nonzero(raw), raw);
+    preimage.emplace(sa.add(raw), raw);
   }
   for (auto raw : b) {
-    sb.add(raw);
-    preimage.emplace(sb.field().map_nonzero(raw), raw);
+    preimage.emplace(sb.add(raw), raw);
   }
   sa.merge(sb);
   stats.sketches_used += 2;  // one transmitted per side

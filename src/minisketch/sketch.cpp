@@ -2,29 +2,58 @@
 
 #include <stdexcept>
 
-#include "gf/berlekamp_massey.hpp"
 #include "gf/poly.hpp"
-#include "gf/root_find.hpp"
 
 namespace lo::sketch {
 
 Sketch::Sketch(unsigned bits, std::size_t capacity)
-    : field_(bits), syndromes_(capacity, 0) {
+    : Sketch(gf::Field::get(bits), capacity) {}
+
+Sketch::Sketch(const gf::Field& field, std::size_t capacity)
+    : field_(&field), syndromes_(capacity, 0) {
   if (capacity == 0) throw std::invalid_argument("sketch capacity must be > 0");
 }
 
-void Sketch::add(std::uint64_t raw_item) {
-  add_element(field_.map_nonzero(raw_item));
+std::uint64_t Sketch::add(std::uint64_t raw_item) {
+  const std::uint64_t element = field_->map_nonzero(raw_item);
+  add_element(element);
+  return element;
 }
 
 void Sketch::add_element(std::uint64_t element) {
   // Incremental update: s_k += element^(2k+1). Uses p *= element^2 stepping.
-  const std::uint64_t e2 = field_.sqr(element);
+  const gf::Field& f = *field_;
+  const std::uint64_t e2 = f.sqr(element);
   std::uint64_t p = element;
   for (auto& s : syndromes_) {
     s ^= p;
-    p = field_.mul(p, e2);
+    p = f.mul(p, e2);
   }
+}
+
+void Sketch::add_all(std::span<const std::uint64_t> raw_items) {
+  // Process items in blocks: the outer loop walks the syndromes once per
+  // block while the inner loop advances kBlock independent power chains, so
+  // the multiplies of different items overlap instead of each item waiting
+  // out its own serial p *= e^2 chain.
+  constexpr std::size_t kBlock = 8;
+  const gf::Field& f = *field_;
+  std::size_t i = 0;
+  for (; i + kBlock <= raw_items.size(); i += kBlock) {
+    std::uint64_t p[kBlock];
+    std::uint64_t e2[kBlock];
+    for (std::size_t j = 0; j < kBlock; ++j) {
+      p[j] = f.map_nonzero(raw_items[i + j]);
+      e2[j] = f.sqr(p[j]);
+    }
+    for (auto& s : syndromes_) {
+      std::uint64_t acc = 0;
+      for (std::size_t j = 0; j < kBlock; ++j) acc ^= p[j];
+      s ^= acc;
+      f.mul_many(p, e2, kBlock);
+    }
+  }
+  for (; i < raw_items.size(); ++i) add(raw_items[i]);
 }
 
 void Sketch::merge(const Sketch& other) {
@@ -37,9 +66,11 @@ void Sketch::merge(const Sketch& other) {
 }
 
 Sketch Sketch::truncated(std::size_t new_capacity) const {
-  if (new_capacity == 0) new_capacity = 1;
+  if (new_capacity == 0) {
+    throw std::invalid_argument("sketch capacity must be > 0");
+  }
   if (new_capacity >= syndromes_.size()) return *this;
-  Sketch out(bits(), new_capacity);
+  Sketch out(*field_, new_capacity);
   for (std::size_t i = 0; i < new_capacity; ++i) {
     out.syndromes_[i] = syndromes_[i];
   }
@@ -58,57 +89,92 @@ void Sketch::clear() noexcept {
 }
 
 std::optional<std::vector<std::uint64_t>> Sketch::decode() const {
-  if (is_zero()) return std::vector<std::uint64_t>{};
+  // The sketch layer owns one Decoder per thread: every decode entry point
+  // (node reconciliation, consistency checks, the partitioned reconciler)
+  // shares its warmed-up buffers, so steady-state decoding is allocation-free
+  // apart from the returned vector.
+  thread_local Decoder decoder;
+  return decoder.decode(*this);
+}
 
-  const std::size_t c = syndromes_.size();
+std::optional<std::vector<std::uint64_t>> Decoder::decode(const Sketch& sk) {
+  if (sk.is_zero()) return std::vector<std::uint64_t>{};
+
+  const gf::Field& field = sk.field();
+  const auto& syndromes = sk.syndromes();
+  const std::size_t c = syndromes.size();
   // Full syndrome sequence S_1 .. S_2c: odd entries are stored, even entries
   // derived via Frobenius (S_2j = S_j^2).
-  std::vector<std::uint64_t> s(2 * c, 0);
-  for (std::size_t k = 0; k < c; ++k) s[2 * k] = syndromes_[k];  // S_{2k+1}
+  syn_.assign(2 * c, 0);
+  for (std::size_t k = 0; k < c; ++k) syn_[2 * k] = syndromes[k];  // S_{2k+1}
   for (std::size_t j = 1; 2 * j <= 2 * c; ++j) {
-    s[2 * j - 1] = field_.sqr(s[j - 1]);  // S_{2j} = S_j^2
+    syn_[2 * j - 1] = field.sqr(syn_[j - 1]);  // S_{2j} = S_j^2
   }
 
-  gf::Poly locator = gf::berlekamp_massey(field_, s);
+  const gf::Poly& locator = gf::berlekamp_massey(field, syn_, bm_);
   const int t = gf::poly_deg(locator);
   if (t <= 0 || static_cast<std::size_t>(t) > c) return std::nullopt;
 
   // The locator is Lambda(x) = prod (1 - X_i x); its reciprocal
   // x^t Lambda(1/x) = prod (x - X_i) has the difference elements as roots.
-  gf::Poly recip(locator.rbegin(), locator.rend());
-  gf::poly_trim(recip);
-  if (gf::poly_deg(recip) != t) {
+  recip_.assign(locator.rbegin(), locator.rend());
+  gf::poly_trim(recip_);
+  if (gf::poly_deg(recip_) != t) {
     // Lambda had a zero constant term — impossible for a valid locator.
     return std::nullopt;
   }
 
   // Deterministic root finding seeded from the syndromes for reproducibility.
   std::uint64_t seed = 0x5eed;
-  for (auto v : syndromes_) seed = seed * 0x100000001b3ULL ^ v;
-  auto roots = gf::find_roots(field_, std::move(recip), seed);
-  if (!roots) return std::nullopt;
+  for (auto v : syndromes) seed = seed * 0x100000001b3ULL ^ v;
+  if (!gf::find_roots_ws(field, recip_, seed, roots_, found_)) {
+    return std::nullopt;
+  }
 
   // Overflow detection: verify that the recovered set reproduces all stored
   // syndromes. (When |diff| > capacity BM can still emit a degree-<=c
   // polynomial; this check rejects such spurious decodes.)
-  Sketch check(bits(), capacity());
-  for (auto r : *roots) {
+  for (auto r : found_) {
     if (r == 0) return std::nullopt;
-    check.add_element(r);
+  }
+  check_.assign(c, 0);
+  constexpr std::size_t kBlock = 8;
+  std::size_t r = 0;
+  for (; r + kBlock <= found_.size(); r += kBlock) {
+    std::uint64_t p[kBlock];
+    std::uint64_t e2[kBlock];
+    for (std::size_t j = 0; j < kBlock; ++j) {
+      p[j] = found_[r + j];
+      e2[j] = field.sqr(p[j]);
+    }
+    for (auto& s : check_) {
+      std::uint64_t acc = 0;
+      for (std::size_t j = 0; j < kBlock; ++j) acc ^= p[j];
+      s ^= acc;
+      field.mul_many(p, e2, kBlock);
+    }
+  }
+  for (; r < found_.size(); ++r) {
+    const std::uint64_t e2 = field.sqr(found_[r]);
+    std::uint64_t p = found_[r];
+    for (auto& s : check_) {
+      s ^= p;
+      p = field.mul(p, e2);
+    }
   }
   for (std::size_t i = 0; i < c; ++i) {
-    if (check.syndromes_[i] != syndromes_[i]) return std::nullopt;
+    if (check_[i] != syndromes[i]) return std::nullopt;
   }
-  return roots;
+  return std::vector<std::uint64_t>(found_.begin(), found_.end());
 }
 
 std::size_t Sketch::serialized_size() const noexcept {
-  const std::size_t bytes_per = (field_.bits() + 7) / 8;
+  const std::size_t bytes_per = (field_->bits() + 7) / 8;
   return syndromes_.size() * bytes_per;
 }
 
 std::vector<std::uint8_t> Sketch::serialize() const {
-  const std::size_t bytes_per = (field_.bits() + 7) / 8;
+  const std::size_t bytes_per = (field_->bits() + 7) / 8;
   std::vector<std::uint8_t> out;
   out.reserve(serialized_size());
   for (auto s : syndromes_) {

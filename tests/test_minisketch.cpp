@@ -134,6 +134,100 @@ TEST(Sketch, ZeroCapacityThrows) {
   EXPECT_THROW(Sketch(32, 0), std::invalid_argument);
 }
 
+TEST(Sketch, TruncatedToZeroThrows) {
+  // Regression: truncated(0) used to silently produce an undecodable
+  // zero-syndrome sketch; it must reject like the constructor does.
+  Sketch s(32, 8);
+  s.add(42);
+  EXPECT_THROW(s.truncated(0), std::invalid_argument);
+  // Valid truncations still work and keep the prefix property.
+  const Sketch t = s.truncated(4);
+  EXPECT_EQ(t.capacity(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(t.syndromes()[i], s.syndromes()[i]);
+  }
+}
+
+TEST(Sketch, AddReturnsMappedElement) {
+  Sketch s(32, 8);
+  const std::uint64_t raw = 0x123456789abcdef0ULL;
+  EXPECT_EQ(s.add(raw), s.field().map_nonzero(raw));
+}
+
+TEST(Sketch, AddAllMatchesRepeatedAdd) {
+  // The blocked batch path must produce bit-identical syndromes to the
+  // one-at-a-time path, including a tail that doesn't fill a block.
+  for (std::size_t n : {1u, 7u, 8u, 9u, 64u, 100u}) {
+    util::Rng rng(n);
+    std::vector<std::uint64_t> items(n);
+    for (auto& v : items) v = rng.next();
+    Sketch one(32, 32), batch(32, 32);
+    for (auto v : items) one.add(v);
+    batch.add_all(items);
+    EXPECT_EQ(batch.syndromes(), one.syndromes()) << "n=" << n;
+  }
+}
+
+TEST(Sketch, DecodeAtExactCapacityAndOneOver) {
+  // Round-trip property at the capacity boundary: a difference of exactly c
+  // decodes to the exact set; c+1 must return nullopt — never a wrong set.
+  for (std::size_t cap : {4u, 8u, 16u, 33u}) {
+    util::Rng rng(1000 + cap);
+    Sketch full(32, cap);
+    std::set<std::uint64_t> want;
+    for (std::size_t i = 0; i < cap; ++i) {
+      const auto v = rng.next();
+      want.insert(full.add(v));
+    }
+    auto at = full.decode();
+    ASSERT_TRUE(at.has_value()) << "cap=" << cap;
+    EXPECT_EQ(std::set<std::uint64_t>(at->begin(), at->end()), want);
+
+    Sketch over = full;
+    over.add(rng.next());  // one element past capacity
+    EXPECT_FALSE(over.decode().has_value()) << "cap=" << cap;
+  }
+}
+
+TEST(Sketch, ExplicitDecoderMatchesSketchDecode) {
+  // An owned Decoder workspace reused across decodes of different sketches
+  // must match the thread-local path byte for byte, run after run.
+  Decoder dec;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    Sketch s(32, 16);
+    util::Rng rng(seed);
+    for (int i = 0; i < 12; ++i) s.add(rng.next());
+    const auto via_sketch = s.decode();
+    const auto via_decoder = dec.decode(s);
+    const auto again = dec.decode(s);
+    ASSERT_EQ(via_decoder.has_value(), via_sketch.has_value());
+    EXPECT_EQ(*via_decoder, *via_sketch);
+    EXPECT_EQ(*again, *via_sketch);
+  }
+}
+
+TEST(Sketch, FastAndReferenceFieldsDecodeIdentically) {
+  // End-to-end differential: the same items sketched over the fast field and
+  // over the retained reference-kernel field must yield identical syndromes
+  // (the wire format) and identical decode output.
+  for (unsigned bits : {16u, 32u, 63u}) {
+    Sketch fast(gf::Field::get(bits), 12);
+    Sketch ref(gf::Field::get_reference(bits), 12);
+    util::Rng rng(bits);
+    for (int i = 0; i < 10; ++i) {
+      const auto v = rng.next();
+      fast.add(v);
+      ref.add(v);
+    }
+    EXPECT_EQ(fast.syndromes(), ref.syndromes()) << "bits=" << bits;
+    const auto df = fast.decode();
+    const auto dr = ref.decode();
+    ASSERT_TRUE(df.has_value());
+    ASSERT_TRUE(dr.has_value());
+    EXPECT_EQ(*df, *dr);
+  }
+}
+
 TEST(Sketch, WireSizeMatchesPaperScale) {
   // The paper uses a 1,000-byte sketch for up to ~100 differences of 32-bit
   // elements; 128 * 4 = 512 bytes is the same order.
