@@ -1,11 +1,55 @@
-// Scaling bench — LØ's per-node costs as the network grows.
+// Scaling bench — LØ's per-node costs as the network grows, plus the
+// observability overhead guard (BENCH_obs.json).
 //
 // The paper deployed 10,000 processes; this single-process reproduction runs
 // smaller networks and uses this sweep to support the extrapolation argument
 // (EXPERIMENTS.md): LØ's per-node overhead is governed by the local
 // reconciliation budget (3 neighbors/second), not by the network size, while
 // flooding-style protocols pay per edge.
+//
+// The final section reruns one fixed configuration twice — instrumentation
+// disabled (the default everywhere) and fully traced (event tracer +
+// profiling hooks on) — and records both wall times. The traced/disabled
+// ratio is the overhead budget DESIGN.md commits to; CI keeps the artifact
+// next to BENCH_crypto.json so regressions in the "disabled" fast path are
+// visible in the same dashboard.
+#include <chrono>
+
 #include "bench_common.hpp"
+#include "obs/profile.hpp"
+
+namespace {
+
+struct ObsRow {
+  double wall_s = 0.0;
+  std::uint64_t trace_events = 0;
+  std::uint64_t txs = 0;
+};
+
+ObsRow run_obs_leg(std::size_t n, double seconds, std::uint64_t seed,
+                   bool instrumented) {
+  auto cfg = lo::bench::base_config(n, seed);
+  cfg.trace = instrumented;
+  cfg.trace_capacity = instrumented ? (1u << 20) : 0;  // keep every event
+  lo::obs::profile::reset();
+  lo::obs::profile::set_enabled(instrumented);
+  lo::harness::LoNetwork net(cfg);
+  net.start_workload(lo::bench::base_workload(20.0, seed * 3), 1);
+  // lolint:allow(banned-source) reason=wall-clock stopwatch for the overhead guard column; never feeds protocol state or the simulation
+  const auto t0 = std::chrono::steady_clock::now();
+  net.run_for(seconds);
+  // lolint:allow(banned-source) reason=wall-clock stopwatch read for the overhead guard column; never feeds protocol state or the simulation
+  const auto t1 = std::chrono::steady_clock::now();
+  lo::obs::profile::set_enabled(false);
+  ObsRow row;
+  row.wall_s = std::chrono::duration<double>(t1 - t0).count();
+  row.trace_events = net.sim().obs().tracer.size() +
+                     net.sim().obs().tracer.dropped();
+  row.txs = net.txs_injected();
+  return row;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   const auto args = lo::bench::parse_args(argc, argv, 0, 30.0);
@@ -41,5 +85,25 @@ int main(int argc, char** argv) {
       "\nexpected shape: overhead per node roughly flat (the reconciliation\n"
       "budget is local); latency grows slowly (diameter); accountability\n"
       "memory grows with observed peers, far below the Sec. 6.5 bound.\n");
+
+  // ---- observability overhead guard (BENCH_obs.json) ----
+  const std::size_t obs_n = 32;
+  const ObsRow off = run_obs_leg(obs_n, args.seconds, args.seed, false);
+  const ObsRow on = run_obs_leg(obs_n, args.seconds, args.seed, true);
+  const double ratio = off.wall_s > 0.0 ? on.wall_s / off.wall_s : 0.0;
+  std::printf(
+      "\nobservability overhead (%zu nodes, %.0fs horizon):\n"
+      "  disabled  %.3fs wall\n"
+      "  traced    %.3fs wall (%llu events) -> ratio %.3f\n",
+      obs_n, args.seconds, off.wall_s, on.wall_s,
+      static_cast<unsigned long long>(on.trace_events), ratio);
+
+  lo::bench::JsonReport report("BENCH_obs.json", "lo-obs-overhead");
+  report.add("obs/disabled", off.wall_s * 1e9,
+             static_cast<double>(off.txs) / off.wall_s);
+  report.add("obs/traced", on.wall_s * 1e9,
+             static_cast<double>(on.trace_events) / on.wall_s);
+  report.add("obs/overhead_ratio", on.wall_s * 1e9, ratio);
+  if (!report.write()) return 1;
   return 0;
 }

@@ -4,20 +4,26 @@
 // node is ever exposed, no log double-commits, and mempools stay consistent
 // with the commitment logs.
 //
-//   $ ./build/examples/chaos_lab
+//   $ ./build/examples/chaos_lab [trace.lotrace [metrics.json]]
 //
 // Everything is driven by two seeds (network and fault injector), so every
-// run of this binary prints exactly the same trace.
+// run of this binary prints exactly the same trace. With a trace path the
+// event tracer records the whole run (crashes, drops, reconciliations);
+// `./build/tools/lotrace` converts the capture for the Perfetto UI.
 #include <cstdio>
 
 #include "harness/lo_network.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lo;
+  const char* trace_path = argc > 1 ? argv[1] : nullptr;
+  const char* metrics_path = argc > 2 ? argv[2] : nullptr;
 
   harness::NetworkConfig cfg;
   cfg.num_nodes = 16;
   cfg.seed = 7;
+  cfg.trace = trace_path != nullptr;
+  cfg.trace_capacity = 1 << 18;  // chaos runs are long; keep the whole story
   cfg.node.sig_mode = crypto::SignatureMode::kSimFast;
   cfg.node.prevalidation.sig_mode = crypto::SignatureMode::kSimFast;
   harness::LoNetwork net(cfg);
@@ -98,5 +104,20 @@ int main() {
   }
   std::printf("false exposures           %zu  %s\n", exposures,
               exposures == 0 ? "(accuracy holds)" : "(BUG!)");
+
+  if (trace_path != nullptr) {
+    auto& tracer = net.sim().obs().tracer;
+    if (!tracer.write_file(trace_path)) return 1;
+    std::printf("wrote %zu trace events to %s (dropped=%llu)\n", tracer.size(),
+                trace_path, static_cast<unsigned long long>(tracer.dropped()));
+  }
+  if (metrics_path != nullptr) {
+    net.publish_metrics();
+    if (!net.sim().obs().registry.write_json(metrics_path, "chaos_lab")) {
+      return 1;
+    }
+    std::printf("wrote %zu metrics to %s\n", net.sim().obs().registry.size(),
+                metrics_path);
+  }
   return exposures == 0 && converged == net.size() ? 0 : 1;
 }

@@ -2,17 +2,23 @@
 // propagate through accountable mempool reconciliation, and build a block in
 // the verifiable canonical order.
 //
-//   $ ./build/examples/quickstart
+//   $ ./build/examples/quickstart [trace.lotrace [metrics.json]]
 //
 // This walks the whole happy path of the paper: Stage I (client submission),
 // Stage II (mempool reconciliation with pairwise commitments), Stage III
 // (canonical block building) and block inspection.
+//
+// With a trace path, the deterministic event tracer records every message,
+// commitment and tx-lifecycle event; convert the capture for the Perfetto UI
+// (https://ui.perfetto.dev) with `./build/tools/lotrace trace.lotrace`.
 #include <cstdio>
 
 #include "harness/lo_network.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lo;
+  const char* trace_path = argc > 1 ? argv[1] : nullptr;
+  const char* metrics_path = argc > 2 ? argv[2] : nullptr;
 
   // 1. A 16-node network with the paper's defaults: 8 outgoing connections,
   //    reconciliation with 3 random neighbors every second, 1 s request
@@ -20,6 +26,7 @@ int main() {
   harness::NetworkConfig cfg;
   cfg.num_nodes = 16;
   cfg.seed = 2023;
+  cfg.trace = trace_path != nullptr;
   std::printf("== LO quickstart: %zu miners, city latency model ==\n\n",
               cfg.num_nodes);
   harness::LoNetwork net(cfg);
@@ -79,6 +86,24 @@ int main() {
   }
   std::printf("after inspection: %zu/%zu miners blame the creator (expect 0)\n",
               blamed, net.size());
+
+  // 6. Observability artifacts: the binary event trace (lotrace converts it
+  //    to Perfetto JSON) and a registry snapshot of every metric in the run.
+  if (trace_path != nullptr) {
+    auto& tracer = net.sim().obs().tracer;
+    if (!tracer.write_file(trace_path)) return 1;
+    std::printf("\nwrote %zu trace events to %s (dropped=%llu)\n",
+                tracer.size(), trace_path,
+                static_cast<unsigned long long>(tracer.dropped()));
+  }
+  if (metrics_path != nullptr) {
+    net.publish_metrics();
+    if (!net.sim().obs().registry.write_json(metrics_path, "quickstart")) {
+      return 1;
+    }
+    std::printf("wrote %zu metrics to %s\n", net.sim().obs().registry.size(),
+                metrics_path);
+  }
   std::printf("\nquickstart complete.\n");
   return 0;
 }

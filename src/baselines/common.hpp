@@ -22,6 +22,9 @@ struct BaselineNetConfig {
   overlay::TopologyConfig topology;
   bool city_latency = true;
   sim::Duration constant_latency = 50 * sim::kMillisecond;
+  // Enable the simulator's deterministic event tracer (same stream the LØ
+  // harness records, so baseline traces diff side by side).
+  bool trace = false;
 };
 
 // NodeT requirements:
@@ -36,6 +39,7 @@ class BaselineNetwork {
   BaselineNetwork(const BaselineNetConfig& net_cfg,
                   const typename NodeT::Config& node_cfg)
       : config_(net_cfg), sim_(net_cfg.seed) {
+    if (net_cfg.trace) sim_.obs().tracer.enable(true);
     if (net_cfg.city_latency) {
       sim_.set_latency_model(std::make_shared<sim::CityLatencyModel>());
     } else {
@@ -84,6 +88,9 @@ class BaselineNetwork {
       ++txs_injected_;
       for (std::size_t k = 0; k < submit_fanout_; ++k) {
         const auto i = sim_.rng().next_below(nodes_.size());
+        sim_.obs().tracer.emit(obs::EventKind::kTxSubmit,
+                               static_cast<std::uint32_t>(i), 0,
+                               core::txid_short(tx.id));
         nodes_[i]->submit_transaction(tx);
       }
       schedule_next_tx();

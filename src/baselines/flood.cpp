@@ -11,10 +11,11 @@ void FloodNode::submit_transaction(const core::Transaction& tx) {
 }
 
 void FloodNode::admit(const core::Transaction& tx, core::NodeId source) {
-  (void)source;
   if (store_.count(tx.id) != 0) return;
   if (!prevalidate(tx, config_.prevalidation)) return;
   store_.emplace(tx.id, tx);
+  sim_.obs().tracer.emit(obs::EventKind::kTxAdmit, id_, source,
+                         core::txid_short(tx.id), store_.size());
   if (hooks_ != nullptr && hooks_->on_mempool_admit) {
     hooks_->on_mempool_admit(id_, tx, sim_.now());
   }

@@ -32,6 +32,8 @@ void NarwhalNode::submit_transaction(const core::Transaction& tx) {
   if (hooks_ != nullptr && hooks_->on_mempool_admit) {
     hooks_->on_mempool_admit(id_, tx, sim_.now());
   }
+  sim_.obs().tracer.emit(obs::EventKind::kTxAdmit, id_, id_,
+                         core::txid_short(tx.id), known_txs_);
   pending_.push_back(tx);
 }
 
@@ -45,6 +47,8 @@ void NarwhalNode::batch_tick() {
     batch->txs = std::move(pending_);
     pending_.clear();
     const auto d = batch->digest();
+    sim_.obs().tracer.emit(obs::EventKind::kCommitCreate, id_, 0,
+                           batch->txs.size(), batch_no_);
     ack_count_[d] = 1;  // self-ack
     batch_store_[d] = batch;
     for (std::uint32_t n = 0; n < config_.num_nodes; ++n) {
@@ -73,6 +77,8 @@ void NarwhalNode::on_message(core::NodeId from, const sim::PayloadPtr& msg) {
     const auto d = batch->digest();
     if (batch_store_.emplace(d, std::static_pointer_cast<const NwBatchMsg>(msg))
             .second) {
+      sim_.obs().tracer.emit(obs::EventKind::kCommitObserve, id_, batch->origin,
+                             batch->txs.size());
       for (const auto& tx : batch->txs) {
         if (!seen_.insert(tx.id).second) continue;
         ++known_txs_;

@@ -63,6 +63,9 @@ void PeerReviewNode::log_event(std::uint8_t kind, core::NodeId peer,
   e.chain = chain_step(log_top_, e);
   log_top_ = e.chain;
   log_.push_back(e);
+  // PeerReview's tamper-evident log is its commitment analog: record the
+  // append so its cadence lines up against LØ's kCommitCreate stream.
+  sim_.obs().tracer.emit(obs::EventKind::kCommitCreate, id_, peer, kind, e.seq);
 }
 
 void PeerReviewNode::submit_transaction(const core::Transaction& tx) {
@@ -73,6 +76,8 @@ void PeerReviewNode::admit(const core::Transaction& tx) {
   if (store_.count(tx.id) != 0) return;
   if (!prevalidate(tx, config_.prevalidation)) return;
   store_.emplace(tx.id, tx);
+  sim_.obs().tracer.emit(obs::EventKind::kTxAdmit, id_, id_,
+                         core::txid_short(tx.id), store_.size());
   if (hooks_ != nullptr && hooks_->on_mempool_admit) {
     hooks_->on_mempool_admit(id_, tx, sim_.now());
   }

@@ -1,6 +1,7 @@
 #include "core/node.hpp"
 
 #include <algorithm>
+#include <string>
 
 #include "util/ordered.hpp"
 
@@ -26,6 +27,20 @@ LoNode::LoNode(sim::Simulator& sim, NodeId id, const LoConfig& config,
       registry_(config.sig_mode, config.verify_signatures,
                 config.two_stage_checks) {
   registry_.set_verify_cache(&verify_cache_);
+  // Observability: mechanism counters live in the simulator's registry as
+  // per-node labeled cells; protocol events go to the shared tracer.
+  obs::Registry& reg = sim_.obs().registry;
+  const obs::Labels node_label{{"node", std::to_string(id_)}};
+  tracer_ = &sim_.obs().tracer;
+  c_requests_sent_ = &reg.counter("lo.requests_sent", node_label);
+  c_retries_sent_ = &reg.counter("lo.retries_sent", node_label);
+  c_timeouts_fired_ = &reg.counter("lo.timeouts_fired", node_label);
+  c_suspicions_raised_ = &reg.counter("lo.suspicions_raised", node_label);
+  c_suspicions_retracted_ = &reg.counter("lo.suspicions_retracted", node_label);
+  c_crashes_ = &reg.counter("lo.crashes", node_label);
+  c_restarts_ = &reg.counter("lo.restarts", node_label);
+  verify_cache_.bind(obs::Scope(&reg, node_label));
+  verify_cache_.set_tracer(tracer_, id_);
 }
 
 void LoNode::set_neighbors(std::vector<NodeId> neighbors) {
@@ -95,6 +110,8 @@ void LoNode::admit_transaction(const Transaction& tx, NodeId source) {
   valid_.insert(tx.id);
   content_clock_.add(txid_short(tx.id));
   commit_batch({tx.id}, source);
+  tracer_->emit(obs::EventKind::kTxAdmit, id_, source, txid_short(tx.id),
+                log_.seqno());
   if (hooks_ && hooks_->on_mempool_admit) {
     hooks_->on_mempool_admit(id_, tx, sim_.now());
   }
@@ -103,6 +120,8 @@ void LoNode::admit_transaction(const Transaction& tx, NodeId source) {
 void LoNode::commit_batch(const std::vector<TxId>& ids, NodeId source) {
   if (ids.empty()) return;
   log_.append(ids, source);
+  tracer_->emit(obs::EventKind::kCommitCreate, id_, source, ids.size(),
+                log_.seqno());
   if (fork_log_) {
     // The fork tells a censored story: ids with an even short hash vanish
     // (own transactions are always kept — the fork must stay plausible).
@@ -119,7 +138,7 @@ void LoNode::commit_batch(const std::vector<TxId>& ids, NodeId source) {
 void LoNode::crash(bool wipe_mempool) {
   if (crashed_) return;
   crashed_ = true;
-  ++stats_.crashes;
+  ++*c_crashes_;
   // Volatile state dies with the process. The commitment log (log_ and an
   // equivocator's fork_log_) persists as "disk"; so do suspicion_epoch_ and
   // own_nonce_ — monotonic counters a real implementation would fsync to
@@ -158,7 +177,7 @@ void LoNode::crash(bool wipe_mempool) {
 void LoNode::restart() {
   if (!crashed_) return;
   crashed_ = false;
-  ++stats_.restarts;
+  ++*c_restarts_;
   // Fresh random phase, exactly like a cold start; the pre-crash timers were
   // invalidated by the epoch bump when the simulator marked us down.
   const sim::Duration phase = static_cast<sim::Duration>(
@@ -319,6 +338,13 @@ void LoNode::handle_sync_request(NodeId from, const SyncRequest& req) {
   ++sketch_decodes_;
   if (hooks_ && hooks_->on_reconcile) hooks_->on_reconcile(id_, 1);
   const auto diff = merged.decode();
+  if (tracer_->enabled()) {
+    const std::uint64_t outcome = !diff ? obs::kReconcileOverflow
+                                  : diff->empty() ? obs::kReconcileEmpty
+                                                  : obs::kReconcileDecoded;
+    tracer_->emit(obs::EventKind::kReconcileRound, id_, from, outcome,
+                  diff ? diff->size() : merged.capacity());
+  }
 
   auto resp = std::make_shared<SyncResponse>();
   resp->request_id = req.request_id;
@@ -443,7 +469,16 @@ void LoNode::handle_sync_response(NodeId from, const SyncResponse& resp) {
     merged.merge(resp.commitment.sketch);
     ++sketch_decodes_;
     if (hooks_ && hooks_->on_reconcile) hooks_->on_reconcile(id_, 1);
-    if (const auto diff = merged.decode()) {
+    const auto recovery_diff = merged.decode();
+    if (tracer_->enabled()) {
+      const std::uint64_t outcome =
+          !recovery_diff ? obs::kReconcileOverflow
+          : recovery_diff->empty() ? obs::kReconcileEmpty
+                                   : obs::kReconcileDecoded;
+      tracer_->emit(obs::EventKind::kReconcileRound, id_, from, outcome,
+                    recovery_diff ? recovery_diff->size() : merged.capacity());
+    }
+    if (const auto& diff = recovery_diff) {
       std::vector<std::uint64_t> ours;
       std::vector<std::uint64_t> theirs;
       for (const auto elem : *diff) {
@@ -582,6 +617,7 @@ void LoNode::handle_tx_bundle(NodeId from, const TxBundleMsg& msg) {
 // -------------------------------------------------------- accountability ----
 
 void LoNode::observe_header(NodeId from, const CommitmentHeader& header) {
+  tracer_->emit(obs::EventKind::kCommitObserve, id_, header.node, header.count);
   bool used_decode = false;
   auto evidence = registry_.observe_commitment(header, &used_decode);
   if (used_decode) {
@@ -594,6 +630,7 @@ void LoNode::observe_header(NodeId from, const CommitmentHeader& header) {
     msg->verdict = 0xff;
     msg->equivocation = std::move(*evidence);
     if (seen_exposures_.insert(msg->accused).second) {
+      tracer_->emit(obs::EventKind::kExpose, id_, msg->accused, msg->verdict);
       if (hooks_ && hooks_->on_exposure) {
         hooks_->on_exposure(id_, msg->accused, sim_.now());
       }
@@ -663,7 +700,8 @@ void LoNode::suspect_peer(NodeId peer) {
   if (registry_.is_exposed(peer)) return;
   auto& reporters = suspected_by_[peer];
   if (!reporters.insert(id_).second) return;  // we already reported
-  ++stats_.suspicions_raised;
+  ++*c_suspicions_raised_;
+  tracer_->emit(obs::EventKind::kSuspect, id_, peer);
   // Remember what we were covering when we complained: any later commitment
   // from the suspect that dominates this snapshot moots the complaint (the
   // suspect caught up), letting observe_header retract it even when the logs
@@ -690,7 +728,8 @@ void LoNode::resolve_suspicion(NodeId peer) {
   // reporters retract for themselves.
   if (it->second.erase(id_) == 0) return;
   suspicion_snapshot_.erase(peer);
-  ++stats_.suspicions_retracted;
+  ++*c_suspicions_retracted_;
+  tracer_->emit(obs::EventKind::kRetract, id_, peer);
   auto msg = std::make_shared<SuspicionMsg>();
   msg->suspect = peer;
   msg->reporter = id_;
@@ -788,6 +827,7 @@ void LoNode::handle_exposure(NodeId from, const ExposureMsg& msg) {
   }
   seen_exposures_.insert(msg.accused);
   registry_.expose(msg.accused);
+  tracer_->emit(obs::EventKind::kExpose, id_, msg.accused, msg.verdict);
   if (hooks_ && hooks_->on_exposure) {
     hooks_->on_exposure(id_, msg.accused, sim_.now());
   }
@@ -877,7 +917,12 @@ Block LoNode::create_block(std::uint64_t height,
         signer_.sign(std::span<const std::uint8_t>(msg.data(), msg.size()));
   }
 
-  seen_blocks_.emplace(block.hash(), block);
+  const auto block_hash = block.hash();
+  tracer_->emit(obs::EventKind::kBlockBuild, id_, 0,
+                obs::short_id(std::span<const std::uint8_t>(
+                    block_hash.data(), block_hash.size())),
+                block.tx_count());
+  seen_blocks_.emplace(block_hash, block);
   auto bm = std::make_shared<BlockMsg>();
   bm->block = block;
   flood(bm, id_);
@@ -910,6 +955,13 @@ void LoNode::inspect_known_block(const Block& block) {
     return;
   }
 
+  if (tracer_->enabled()) {
+    const auto block_hash = block.hash();
+    tracer_->emit(obs::EventKind::kBlockInspect, id_, block.creator,
+                  obs::short_id(std::span<const std::uint8_t>(
+                      block_hash.data(), block_hash.size())),
+                  static_cast<std::uint64_t>(res.verdict));
+  }
   if (hooks_ && hooks_->on_block_inspected) {
     hooks_->on_block_inspected(id_, block, res.verdict, sim_.now());
   }
@@ -1019,7 +1071,7 @@ std::uint64_t LoNode::register_pending(NodeId peer, RequestKind kind,
   p.payload = std::move(payload);
   p.retries_left = config_.max_retries;
   pending_.emplace(rid, std::move(p));
-  ++stats_.requests_sent;
+  ++*c_requests_sent_;
   arm_timeout(rid);
   return rid;
 }
@@ -1044,11 +1096,11 @@ void LoNode::arm_timeout(std::uint64_t request_id) {
     auto it = pending_.find(request_id);
     if (it == pending_.end()) return;
     Pending& p = it->second;
-    ++stats_.timeouts_fired;
+    ++*c_timeouts_fired_;
     if (p.retries_left > 0) {
       --p.retries_left;
       ++p.attempt;
-      ++stats_.retries_sent;
+      ++*c_retries_sent_;
       sim_.send(id_, p.peer, p.payload);
       arm_timeout(request_id);
       return;

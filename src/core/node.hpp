@@ -39,6 +39,7 @@
 #include "core/types.hpp"
 #include "crypto/keys.hpp"
 #include "crypto/verify_cache.hpp"
+#include "obs/hub.hpp"
 #include "overlay/sampler.hpp"
 #include "sim/simulator.hpp"
 
@@ -143,7 +144,15 @@ class LoNode final : public sim::INode {
   const std::unordered_map<TxId, Transaction, TxIdHash>& mempool() const noexcept {
     return store_;
   }
-  const NodeStats& stats() const noexcept { return stats_; }
+  // The mechanism counters live in the simulator's metrics registry as
+  // per-node labeled cells ("lo.requests_sent{node=i}", ...); this struct is
+  // a thin read shim assembled from the registry cells so pre-registry
+  // callers keep compiling unchanged.
+  NodeStats stats() const noexcept {
+    return NodeStats{*c_requests_sent_,     *c_retries_sent_,
+                     *c_timeouts_fired_,    *c_suspicions_raised_,
+                     *c_suspicions_retracted_, *c_crashes_, *c_restarts_};
+  }
   bool has_tx(const TxId& id) const { return store_.count(id) != 0; }
   const Transaction* get_tx(const TxId& id) const;
   // The inspector's view of a creator's committed bundles (from verified
@@ -158,7 +167,8 @@ class LoNode final : public sim::INode {
     return signer_.public_key();
   }
   // Hit/miss counters of the per-node verification cache (perf diagnostics).
-  const crypto::VerifyCacheStats& verify_cache_stats() const noexcept {
+  // By-value shim over the registry-bound cells (see crypto::VerifyCache).
+  crypto::VerifyCacheStats verify_cache_stats() const noexcept {
     return verify_cache_.stats();
   }
 
@@ -293,7 +303,17 @@ class LoNode final : public sim::INode {
   std::uint64_t sync_recons_ = 0;
   std::uint64_t own_nonce_ = 0;
   std::vector<TxId> stealth_txs_;  // off-channel content (Sec. 5.3)
-  NodeStats stats_;
+  // Observability: the simulator's tracer (kTxAdmit, kCommitCreate,
+  // kReconcileRound, blame and block events) plus registry cell handles for
+  // the mechanism counters (stable addresses; see obs::Registry::counter).
+  obs::Tracer* tracer_;
+  std::uint64_t* c_requests_sent_;
+  std::uint64_t* c_retries_sent_;
+  std::uint64_t* c_timeouts_fired_;
+  std::uint64_t* c_suspicions_raised_;
+  std::uint64_t* c_suspicions_retracted_;
+  std::uint64_t* c_crashes_;
+  std::uint64_t* c_restarts_;
   bool crashed_ = false;
 };
 

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "crypto/sha512.hpp"
+#include "obs/profile.hpp"
 
 namespace lo::crypto {
 namespace detail {
@@ -793,6 +794,7 @@ PublicKey ed25519_public_key(const SecretSeed& seed) {
 }
 
 Signature ed25519_sign(const SecretSeed& seed, std::span<const std::uint8_t> msg) {
+  obs::ScopedProfile prof(obs::ProfileSite::kEd25519Sign, msg.size());
   const ExpandedKey k = expand(seed);
   const PublicKey a_enc = ge_to_bytes(ge_scalarmult_base(k.a_clamped));
 
@@ -822,6 +824,7 @@ Signature ed25519_sign(const SecretSeed& seed, std::span<const std::uint8_t> msg
 
 bool ed25519_verify(const PublicKey& pub, std::span<const std::uint8_t> msg,
                     const Signature& sig) {
+  obs::ScopedProfile prof(obs::ProfileSite::kEd25519Verify, msg.size());
   const auto a_point = ge_from_bytes(pub);
   if (!a_point) return false;
   return verify_with_point(*a_point, pub, msg, sig);
@@ -839,6 +842,7 @@ std::optional<PreparedPublicKey> ed25519_prepare(const PublicKey& pub) {
 bool ed25519_verify_prepared(const PreparedPublicKey& key,
                              std::span<const std::uint8_t> msg,
                              const Signature& sig) {
+  obs::ScopedProfile prof(obs::ProfileSite::kEd25519Verify, msg.size());
   return verify_with_point(key.point, key.encoded, msg, sig);
 }
 

@@ -1,15 +1,37 @@
 #include "crypto/verify_cache.hpp"
 
+#include "obs/profile.hpp"
+
 namespace lo::crypto {
+
+void VerifyCache::bind(obs::Scope scope) {
+  scope_ = std::move(scope);
+  const VerifyCacheStats carry = stats();
+  c_key_hits_ = &scope_.counter("verify_cache.key_hits");
+  c_key_misses_ = &scope_.counter("verify_cache.key_misses");
+  c_memo_hits_ = &scope_.counter("verify_cache.memo_hits");
+  c_memo_misses_ = &scope_.counter("verify_cache.memo_misses");
+  *c_key_hits_ += carry.key_hits;
+  *c_key_misses_ += carry.key_misses;
+  *c_memo_hits_ += carry.memo_hits;
+  *c_memo_misses_ += carry.memo_misses;
+  local_stats_ = VerifyCacheStats{};
+}
 
 const PreparedPublicKey* VerifyCache::prepared_key(const PublicKey& pub) {
   const auto it = key_index_.find(pub);
   if (it != key_index_.end()) {
-    ++stats_.key_hits;
+    ++key_hits();
+    if (tracer_ != nullptr) {
+      tracer_->emit(obs::EventKind::kCacheProbe, trace_node_, 0, 1, 0);
+    }
     key_lru_.splice(key_lru_.begin(), key_lru_, it->second);
     return &key_lru_.front().prepared;
   }
-  ++stats_.key_misses;
+  ++key_misses();
+  if (tracer_ != nullptr) {
+    tracer_->emit(obs::EventKind::kCacheProbe, trace_node_, 0, 0, 0);
+  }
   auto prepared = ed25519_prepare(pub);
   if (!prepared) return nullptr;
   if (key_index_.size() >= key_capacity_) {
@@ -25,6 +47,7 @@ bool VerifyCache::verify(SignatureMode mode, const PublicKey& pub,
                          std::span<const std::uint8_t> msg,
                          const Signature& sig) {
   if (mode != SignatureMode::kEd25519) return Signer::verify(mode, pub, msg, sig);
+  obs::ScopedProfile prof(obs::ProfileSite::kVerifyCacheProbe);
 
   Sha256 h;
   h.update("lo-vmemo");
@@ -35,11 +58,17 @@ bool VerifyCache::verify(SignatureMode mode, const PublicKey& pub,
 
   const auto it = memo_index_.find(memo_key);
   if (it != memo_index_.end()) {
-    ++stats_.memo_hits;
+    ++memo_hits();
+    if (tracer_ != nullptr) {
+      tracer_->emit(obs::EventKind::kCacheProbe, trace_node_, 0, 1, 1);
+    }
     memo_lru_.splice(memo_lru_.begin(), memo_lru_, it->second);
     return memo_lru_.front().ok;
   }
-  ++stats_.memo_misses;
+  ++memo_misses();
+  if (tracer_ != nullptr) {
+    tracer_->emit(obs::EventKind::kCacheProbe, trace_node_, 0, 0, 1);
+  }
 
   const PreparedPublicKey* key = prepared_key(pub);
   const bool ok = key != nullptr && ed25519_verify_prepared(*key, msg, sig);

@@ -33,6 +33,8 @@
 #include "crypto/ed25519.hpp"
 #include "crypto/keys.hpp"
 #include "crypto/sha256.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace lo::crypto {
 
@@ -63,9 +65,29 @@ class VerifyCache {
   bool verify(SignatureMode mode, const PublicKey& pub,
               std::span<const std::uint8_t> msg, const Signature& sig);
 
-  const VerifyCacheStats& stats() const noexcept { return stats_; }
+  // The hit/miss counters live either in local storage (default) or, after
+  // bind(), in a metrics registry (per-node labeled cells); this is a thin
+  // read shim over the active cells so pre-registry callers keep compiling
+  // unchanged.
+  VerifyCacheStats stats() const noexcept {
+    return VerifyCacheStats{key_hits(), key_misses(), memo_hits(),
+                            memo_misses()};
+  }
   std::size_t key_cache_size() const noexcept { return key_index_.size(); }
   std::size_t memo_size() const noexcept { return memo_index_.size(); }
+
+  // Repoints the stat counters at registry cells created through `scope`
+  // (e.g. labeled {node=i}); current values carry over, so binding mid-run
+  // loses nothing. The scope is stored so detached-scope storage stays
+  // alive as long as the cache.
+  void bind(obs::Scope scope);
+
+  // Optional tracer: on each verify the cache emits a kCacheProbe event
+  // (a = hit, b = tier: 0 key, 1 memo) attributed to `node`.
+  void set_tracer(obs::Tracer* tracer, std::uint32_t node) noexcept {
+    tracer_ = tracer;
+    trace_node_ = node;
+  }
 
   // Drops all entries; counters are preserved. Correctness never requires
   // calling this (entries are pure-function results), it only frees memory.
@@ -101,6 +123,23 @@ class VerifyCache {
   // nullptr for malformed keys (never cached — they always re-reject cold).
   const PreparedPublicKey* prepared_key(const PublicKey& pub);
 
+  // Active counter cells: registry-bound when the pointer is set, local
+  // otherwise. Indirection (instead of self-pointing defaults) keeps the
+  // implicitly generated copy operations meaningful for unbound caches.
+  std::uint64_t& key_hits() const noexcept {
+    return c_key_hits_ != nullptr ? *c_key_hits_ : local_stats_.key_hits;
+  }
+  std::uint64_t& key_misses() const noexcept {
+    return c_key_misses_ != nullptr ? *c_key_misses_ : local_stats_.key_misses;
+  }
+  std::uint64_t& memo_hits() const noexcept {
+    return c_memo_hits_ != nullptr ? *c_memo_hits_ : local_stats_.memo_hits;
+  }
+  std::uint64_t& memo_misses() const noexcept {
+    return c_memo_misses_ != nullptr ? *c_memo_misses_
+                                     : local_stats_.memo_misses;
+  }
+
   std::size_t key_capacity_;
   std::size_t memo_capacity_;
   // front() = most recently used; the unordered indices are lookup-only
@@ -109,7 +148,14 @@ class VerifyCache {
   MemoList memo_lru_;
   std::unordered_map<PublicKey, KeyList::iterator, ArrayHash> key_index_;
   std::unordered_map<Digest256, MemoList::iterator, ArrayHash> memo_index_;
-  VerifyCacheStats stats_;
+  mutable VerifyCacheStats local_stats_;
+  obs::Scope scope_;
+  std::uint64_t* c_key_hits_ = nullptr;
+  std::uint64_t* c_key_misses_ = nullptr;
+  std::uint64_t* c_memo_hits_ = nullptr;
+  std::uint64_t* c_memo_misses_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
+  std::uint32_t trace_node_ = 0;
 };
 
 }  // namespace lo::crypto

@@ -12,6 +12,13 @@ LoNetwork::LoNetwork(const NetworkConfig& config)
     : config_(config), sim_(config.seed) {
   const std::size_t n = config.num_nodes;
 
+  // Tracing goes live before nodes exist so construction-time events (cache
+  // binds, first timers) land in the stream too.
+  if (config.trace_capacity > 0) {
+    sim_.obs().tracer.set_capacity(config.trace_capacity);
+  }
+  if (config.trace) sim_.obs().tracer.enable(true);
+
   if (config.city_latency) {
     sim_.set_latency_model(std::make_shared<sim::CityLatencyModel>());
   } else {
@@ -105,6 +112,9 @@ void LoNetwork::schedule_next_tx() {
       if (malicious_[i]) continue;
       // Clients cannot reach a down node; they pick another correct peer.
       if (!sim_.node_up(static_cast<core::NodeId>(i))) continue;
+      sim_.obs().tracer.emit(obs::EventKind::kTxSubmit,
+                             static_cast<std::uint32_t>(i), 0,
+                             core::txid_short(tx.id));
       nodes_[i]->submit_transaction(tx);
       ++placed;
     }
@@ -146,6 +156,8 @@ void LoNetwork::schedule_next_block() {
     for (const auto& seg : block.segments) {
       for (const auto& id : seg.txids) {
         if (!tx_settled_.insert(id).second) continue;
+        sim_.obs().tracer.emit(obs::EventKind::kTxFinalize, leader, 0,
+                               core::txid_short(id), block.height);
         auto it = tx_created_.find(id);
         if (it == tx_created_.end()) continue;
         block_latency_.add(now_s - sim::to_seconds(it->second));
@@ -266,6 +278,23 @@ crypto::VerifyCacheStats LoNetwork::total_verify_cache_stats() const {
   crypto::VerifyCacheStats sum;
   for (const auto& n : nodes_) sum += n->verify_cache_stats();
   return sum;
+}
+
+void LoNetwork::publish_metrics() {
+  auto& reg = sim_.obs().registry;
+  reg.gauge("harness.txs_injected") = static_cast<double>(txs_injected_);
+  reg.gauge("harness.txs_settled") = static_cast<double>(tx_settled_.size());
+  reg.gauge("harness.chain_height") = static_cast<double>(chain_.height());
+  auto& mempool_h = reg.histogram("harness.mempool_latency_s");
+  for (std::size_t i = published_mempool_; i < mempool_latency_.count(); ++i) {
+    mempool_h.observe(mempool_latency_.values()[i]);
+  }
+  published_mempool_ = mempool_latency_.count();
+  auto& block_h = reg.histogram("harness.block_latency_s");
+  for (std::size_t i = published_block_; i < block_latency_.count(); ++i) {
+    block_h.observe(block_latency_.values()[i]);
+  }
+  published_block_ = block_latency_.count();
 }
 
 double LoNetwork::coverage(const core::TxId& id) const {

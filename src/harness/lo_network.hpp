@@ -42,6 +42,12 @@ struct NetworkConfig {
   core::MaliciousBehavior malicious;
   bool connect_malicious_clique = true;  // paper: all malicious interconnected
   bool ensure_honest_connected = true;
+
+  // Observability: enable the simulator's deterministic event tracer before
+  // any node is constructed (so node-construction events are captured too).
+  // `trace_capacity` sizes the ring; 0 keeps the tracer default.
+  bool trace = false;
+  std::size_t trace_capacity = 0;
 };
 
 struct DetectionTimes {
@@ -132,6 +138,11 @@ class LoNetwork {
   sim::Samples& mempool_latency() noexcept { return mempool_latency_; }
   // Fig. 8: creation -> first block inclusion, seconds.
   sim::Samples& block_latency() noexcept { return block_latency_; }
+  // Folds harness-level measurements (latency samples, injection counters)
+  // into the simulator's metrics registry so one snapshot/export covers the
+  // whole run. Only samples recorded since the previous call are observed,
+  // so repeated calls never double-count.
+  void publish_metrics();
   // Fig. 6: detection completeness over the whole faulty population.
   DetectionTimes detection_times() const;
   // Fraction of correct nodes holding the tx with the given id.
@@ -183,6 +194,8 @@ class LoNetwork {
 
   sim::Samples mempool_latency_;
   sim::Samples block_latency_;
+  std::size_t published_mempool_ = 0;  // publish_metrics() high-water marks
+  std::size_t published_block_ = 0;
   std::vector<BlameEvent> suspicion_events_;
   std::vector<BlameEvent> exposure_events_;
 };

@@ -2,6 +2,7 @@
 
 #include <unordered_map>
 
+#include "obs/profile.hpp"
 #include "util/rng.hpp"
 
 namespace lo::sketch {
@@ -14,6 +15,8 @@ bool partition_bit(std::uint64_t raw_item, unsigned depth) {
 std::optional<std::vector<std::uint64_t>> PartitionedReconciler::reconcile(
     std::span<const std::uint64_t> a, std::span<const std::uint64_t> b,
     ReconcileStats* stats) const {
+  obs::ScopedProfile prof(obs::ProfileSite::kReconcileRound,
+                          a.size() + b.size());
   ReconcileStats local;
   std::vector<std::uint64_t> out;
   const bool ok = recurse(a, b, 0, local, out);

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "gf/poly.hpp"
+#include "obs/profile.hpp"
 
 namespace lo::sketch {
 
@@ -32,6 +33,7 @@ void Sketch::add_element(std::uint64_t element) {
 }
 
 void Sketch::add_all(std::span<const std::uint64_t> raw_items) {
+  obs::ScopedProfile prof(obs::ProfileSite::kSketchAddAll, raw_items.size());
   // Process items in blocks: the outer loop walks the syndromes once per
   // block while the inner loop advances kBlock independent power chains, so
   // the multiplies of different items overlap instead of each item waiting
@@ -98,6 +100,7 @@ std::optional<std::vector<std::uint64_t>> Sketch::decode() const {
 }
 
 std::optional<std::vector<std::uint64_t>> Decoder::decode(const Sketch& sk) {
+  obs::ScopedProfile prof(obs::ProfileSite::kSketchDecode, sk.capacity());
   if (sk.is_zero()) return std::vector<std::uint64_t>{};
 
   const gf::Field& field = sk.field();

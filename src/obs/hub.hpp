@@ -1,0 +1,17 @@
+// The per-simulation observability bundle: one metrics registry + one event
+// tracer, owned by sim::Simulator so every component reachable from a
+// simulation shares the same instrumented substrate (and two simulations in
+// one process — e.g. the determinism tests — stay fully isolated).
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace lo::obs {
+
+struct Hub {
+  Registry registry;
+  Tracer tracer;
+};
+
+}  // namespace lo::obs

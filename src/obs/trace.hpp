@@ -1,0 +1,192 @@
+// Deterministic structured event tracer (observability layer, part 2).
+//
+// A fixed-capacity ring buffer of POD trace events stamped with *simulator*
+// time — never wall clock (lolint's banned-source rule covers this
+// directory), so same-seed runs produce byte-identical traces and the
+// existing SHA-256 trace-digest determinism tests extend to the event
+// stream. The recorder is disabled by default; when disabled, emit() is a
+// single predictable branch.
+//
+// Events cover the whole mempool stack: message send/recv/drop, the
+// commitment lifecycle (created -> observed -> reconciled -> finalized),
+// sketch-reconciliation rounds with decode outcomes, verify-cache hits,
+// per-transaction lifecycle spans (submit -> admit -> finalize across
+// nodes), and fault-injector events. PeerReview-style accountability is
+// itself built on logs of observed events, so the trace doubles as an audit
+// artifact.
+//
+// Export paths:
+//   bytes() / write_file()  - canonical little-endian binary ("LOTR"), the
+//                             stream the determinism digests cover;
+//   chrome_json()           - Chrome/Perfetto trace-event JSON (tools/lotrace
+//                             converts the binary form offline).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lo::obs {
+
+enum class EventKind : std::uint16_t {
+  kNone = 0,
+  // Network layer (emitted by sim::Simulator). a = wire bytes; b = latency
+  // (send) or drop reason (drop); name = payload type.
+  kMsgSend = 1,
+  kMsgRecv = 2,
+  kMsgDrop = 3,
+  // Transaction lifecycle span (async span id = short tx id in a).
+  kTxSubmit = 10,   // workload handed the tx to `node`
+  kTxAdmit = 11,    // tx admitted to `node`'s mempool; b = bundle seqno
+  kTxFinalize = 12, // first block inclusion observed; b = block height
+  // Commitment lifecycle. create: a = batch size, b = log seqno after the
+  // append; observe: peer = creator, a = creator's commitment count.
+  kCommitCreate = 20,
+  kCommitObserve = 21,  // header observed from `peer`
+  // Set reconciliation. a = decode outcome (ReconcileOutcome);
+  // b = recovered difference size (or sketch capacity on failure).
+  kReconcileRound = 30,
+  // Blocks. a = short block id; b = tx count (build) / seqno span (inspect).
+  kBlockBuild = 40,
+  kBlockInspect = 41,
+  // Accountability. peer = accused/exposed node; a = detail.
+  kSuspect = 50,
+  kRetract = 51,
+  kExpose = 52,
+  // Fault injector. a = detail (e.g. scheduled restart delay us).
+  kFaultCrash = 60,
+  kFaultRestart = 61,
+  // Verify cache. a = 1 on hit, 0 on miss; b = tier (0 = key, 1 = memo).
+  kCacheProbe = 70,
+};
+
+const char* event_kind_name(EventKind k) noexcept;
+
+// Drop reasons carried in `a` of kMsgDrop, matching the simulator's
+// evaluation order.
+enum DropReason : std::uint64_t {
+  kDropSenderDown = 0,
+  kDropRandom = 1,
+  kDropFilter = 2,
+  kDropFaultFilter = 3,
+  kDropReceiverDown = 4,
+};
+
+const char* drop_reason_name(std::uint64_t r) noexcept;
+
+// Decode outcomes carried in `a` of kReconcileRound.
+enum ReconcileOutcome : std::uint64_t {
+  kReconcileDecoded = 0,
+  kReconcileOverflow = 1,  // difference exceeded sketch capacity
+  kReconcileEmpty = 2,     // decoded, nothing missing
+};
+
+const char* reconcile_outcome_name(std::uint64_t r) noexcept;
+
+// 24-byte POD record. `name` is an interned string id (payload type, metric
+// name); 0 means "no name".
+struct TraceEvent {
+  std::int64_t at = 0;  // simulator microseconds
+  std::uint16_t kind = 0;
+  std::uint16_t name = 0;
+  std::uint32_t node = 0;
+  std::uint32_t peer = 0;
+  std::uint32_t pad = 0;  // keeps the wire format 8-byte aligned and explicit
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+};
+
+// Short id for span correlation: first 8 bytes of a digest, little-endian
+// (fewer bytes are zero-padded). Collisions across 2^64 are irrelevant for
+// trace grouping.
+std::uint64_t short_id(std::span<const std::uint8_t> bytes) noexcept;
+
+class Tracer {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1 << 16;
+
+  explicit Tracer(std::size_t capacity = kDefaultCapacity);
+
+  // The tracer stamps events by dereferencing `now`: the simulator hands a
+  // pointer to its clock cell once, and every component holding a Tracer*
+  // gets simulator-time stamps without depending on sim/. Null clock stamps
+  // 0 (useful in unit tests).
+  void set_clock(const std::int64_t* now) noexcept { clock_ = now; }
+
+  void enable(bool on);
+  bool enabled() const noexcept { return enabled_; }
+
+  // Changing capacity clears the buffer (ring arithmetic restarts).
+  void set_capacity(std::size_t capacity);
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  // Interns a string, returning its stable id. Ids are assigned in first-use
+  // order (deterministic given deterministic call order); id 0 is "". Throws
+  // std::length_error past 65535 distinct strings.
+  std::uint16_t intern(std::string_view s);
+  const std::string& name(std::uint16_t id) const;
+  const std::vector<std::string>& names() const noexcept { return names_; }
+
+  // Records an event (no-op when disabled). Overflow policy: drop-oldest —
+  // the ring keeps the most recent `capacity` events and counts what it
+  // evicted, so the tail of a long run is always inspectable.
+  void emit(EventKind kind, std::uint32_t node, std::uint32_t peer = 0,
+            std::uint64_t a = 0, std::uint64_t b = 0, std::uint16_t name = 0) {
+    if (!enabled_) return;
+    record(kind, node, peer, a, b, name);
+  }
+
+  std::size_t size() const noexcept { return count_; }
+  std::uint64_t dropped() const noexcept { return dropped_; }
+
+  // Events oldest -> newest (linearized copy of the ring).
+  std::vector<TraceEvent> events() const;
+
+  // Drops recorded events and the eviction count; keeps the string table so
+  // previously handed-out intern ids stay valid.
+  void clear();
+
+  // Canonical binary form: "LOTR" magic, version, dropped count, string
+  // table, then events oldest -> newest, all little-endian. This is the byte
+  // stream the determinism digests cover.
+  std::vector<std::uint8_t> bytes() const;
+  bool write_file(const std::string& path) const;
+
+  // Parsed binary trace (what tools/lotrace consumes). Throws
+  // util::SerdeError on malformed input.
+  struct File {
+    std::uint64_t dropped = 0;
+    std::vector<std::string> names;
+    std::vector<TraceEvent> events;
+  };
+  static File from_bytes(std::span<const std::uint8_t> data);
+  static File read_file(const std::string& path);
+
+ private:
+  void record(EventKind kind, std::uint32_t node, std::uint32_t peer,
+              std::uint64_t a, std::uint64_t b, std::uint16_t name);
+
+  bool enabled_ = false;
+  const std::int64_t* clock_ = nullptr;
+  std::size_t capacity_;
+  std::size_t head_ = 0;  // index of the oldest event
+  std::size_t count_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::vector<TraceEvent> ring_;  // allocated lazily on first record
+  std::vector<std::string> names_;
+  std::map<std::string, std::uint16_t, std::less<>> intern_;
+};
+
+// Chrome/Perfetto trace-event JSON. Every event renders as a thread-scoped
+// instant ("ph": "i", tid = node); transaction lifecycle events additionally
+// render as an async span ("b"/"n"/"e", id = short tx id) so Perfetto draws
+// one bar per tx from submission to inclusion. Timestamps are simulator
+// microseconds, which is exactly the unit the format expects.
+std::string chrome_json(const Tracer::File& f);
+std::string chrome_json(const Tracer& t);
+bool write_chrome_json(const Tracer& t, const std::string& path);
+
+}  // namespace lo::obs

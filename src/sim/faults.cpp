@@ -14,6 +14,9 @@ FaultInjector::FaultInjector(Simulator& sim, std::uint64_t seed, CrashFn crash,
   if (!crash_fn_ || !restart_fn_) {
     throw std::invalid_argument("FaultInjector needs crash and restart handlers");
   }
+  c_crashes_ = &sim_.obs().registry.counter("faults.crashes_injected");
+  c_restarts_ = &sim_.obs().registry.counter("faults.restarts_injected");
+  c_link_drops_ = &sim_.obs().registry.counter("faults.link_drops");
   sim_.set_fault_filter(
       [this](NodeId from, NodeId to) { return !should_drop(from, to); });
   sim_.set_latency_shaper([this](NodeId from, NodeId to, Duration base) {
@@ -26,7 +29,10 @@ void FaultInjector::crash_now(NodeId node, Duration down_for,
   if (down_.count(node) != 0 || !sim_.node_up(node)) return;
   crash_fn_(node, wipe_mempool);
   down_.insert(node);
-  ++crashes_;
+  ++*c_crashes_;
+  sim_.obs().tracer.emit(obs::EventKind::kFaultCrash, node, 0,
+                         static_cast<std::uint64_t>(std::max<Duration>(0, down_for)),
+                         wipe_mempool ? 1 : 0);
   sim_.schedule(std::max<Duration>(0, down_for),
                 [this, node] { restart_now(node); });
 }
@@ -34,7 +40,8 @@ void FaultInjector::crash_now(NodeId node, Duration down_for,
 void FaultInjector::restart_now(NodeId node) {
   if (down_.erase(node) == 0) return;
   restart_fn_(node);
-  ++restarts_;
+  ++*c_restarts_;
+  sim_.obs().tracer.emit(obs::EventKind::kFaultRestart, node);
 }
 
 void FaultInjector::crash_at(TimePoint at, NodeId node, Duration down_for,
@@ -102,7 +109,7 @@ bool FaultInjector::should_drop(NodeId from, NodeId to) {
     const bool match = (w.a == from && w.b == to) ||
                        (w.bidirectional && w.a == to && w.b == from);
     if (match && rng_.next_bool(w.drop_prob)) {
-      ++link_drops_;
+      ++*c_link_drops_;
       return true;
     }
   }

@@ -79,11 +79,14 @@ class FaultInjector {
   void latency_spike(TimePoint from, TimePoint until, double factor);
 
   // --- introspection ---
+  // The injector counters live in the simulator's metrics registry
+  // ("faults.crashes_injected", ...); these accessors are read shims over
+  // the registry cells.
   bool is_down(NodeId node) const { return down_.count(node) != 0; }
   std::size_t down_count() const noexcept { return down_.size(); }
-  std::uint64_t crashes_injected() const noexcept { return crashes_; }
-  std::uint64_t restarts_injected() const noexcept { return restarts_; }
-  std::uint64_t link_drops() const noexcept { return link_drops_; }
+  std::uint64_t crashes_injected() const noexcept { return *c_crashes_; }
+  std::uint64_t restarts_injected() const noexcept { return *c_restarts_; }
+  std::uint64_t link_drops() const noexcept { return *c_link_drops_; }
 
  private:
   struct FlakyWindow {
@@ -114,9 +117,10 @@ class FaultInjector {
   bool churn_active_ = false;
   ChurnConfig churn_;
 
-  std::uint64_t crashes_ = 0;
-  std::uint64_t restarts_ = 0;
-  std::uint64_t link_drops_ = 0;
+  // Registry cell handles (stable addresses; see obs::Registry::counter).
+  std::uint64_t* c_crashes_;
+  std::uint64_t* c_restarts_;
+  std::uint64_t* c_link_drops_;
 };
 
 }  // namespace lo::sim

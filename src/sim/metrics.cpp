@@ -72,4 +72,14 @@ std::vector<Samples::HistogramBin> Samples::histogram(std::size_t bins,
   return out;
 }
 
+obs::LogHistogram Samples::histogram_log() const {
+  obs::LogHistogram h;
+  for (double v : values_) h.observe(v);
+  return h;
+}
+
+void Samples::merge(const Samples& other) {
+  values_.insert(values_.end(), other.values_.begin(), other.values_.end());
+}
+
 }  // namespace lo::sim

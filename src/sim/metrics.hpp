@@ -5,6 +5,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/metrics.hpp"
+
 namespace lo::sim {
 
 // A bag of scalar samples with summary statistics and a fixed-bin histogram
@@ -29,6 +31,15 @@ class Samples {
     double density;  // count / (total * width)
   };
   std::vector<HistogramBin> histogram(std::size_t bins, double lo, double hi) const;
+
+  // Log-bucketed histogram of the same samples (obs::LogHistogram buckets:
+  // exponent e spans [2^e, 2^(e+1)), v <= 0 in a dedicated bucket). Keeps the
+  // latency *tails* resolvable where the fixed-bin histogram clips at `hi`.
+  obs::LogHistogram histogram_log() const;
+
+  // Appends the other bag's samples (per-node bags -> one global
+  // distribution before computing percentiles).
+  void merge(const Samples& other);
 
   const std::vector<double>& values() const noexcept { return values_; }
   void clear() noexcept { values_.clear(); }

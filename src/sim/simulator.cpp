@@ -6,6 +6,12 @@ namespace lo::sim {
 
 Simulator::Simulator(std::uint64_t seed) : rng_(seed) {
   latency_ = std::make_shared<ConstantLatency>(50 * kMillisecond);
+  obs_.tracer.set_clock(&now_);
+  c_dropped_sender_down_ = &obs_.registry.counter("sim.dropped_sender_down");
+  c_dropped_receiver_down_ = &obs_.registry.counter("sim.dropped_receiver_down");
+  c_suppressed_callbacks_ = &obs_.registry.counter("sim.suppressed_callbacks");
+  c_dropped_by_fault_filter_ =
+      &obs_.registry.counter("sim.dropped_by_fault_filter");
 }
 
 NodeId Simulator::add_node(INode* node) {
@@ -31,26 +37,56 @@ std::size_t Simulator::down_count() const noexcept {
 
 void Simulator::send(NodeId from, NodeId to, PayloadPtr msg) {
   if (to >= nodes_.size()) throw std::out_of_range("unknown destination node");
+  obs::Tracer& tr = obs_.tracer;
+  // Interning and event assembly stay behind the enabled() check so the
+  // disabled path pays one branch per drop/send site.
+  const auto drop = [&](std::uint64_t reason) {
+    if (tr.enabled()) {
+      tr.emit(obs::EventKind::kMsgDrop, from, to, reason, msg->wire_size(),
+              tr.intern(msg->type_name()));
+    }
+  };
   if (!node_up(from)) {
     // A down node's NIC is off: nothing leaves, nothing is charged.
-    ++fault_counters_.dropped_sender_down;
+    ++*c_dropped_sender_down_;
+    drop(obs::kDropSenderDown);
     return;
   }
   bandwidth_.record(from, msg->type_name(), msg->wire_size());
-  if (drop_probability_ > 0.0 && rng_.next_bool(drop_probability_)) return;
-  if (filter_ && !filter_(from, to)) return;
+  if (drop_probability_ > 0.0 && rng_.next_bool(drop_probability_)) {
+    drop(obs::kDropRandom);
+    return;
+  }
+  if (filter_ && !filter_(from, to)) {
+    drop(obs::kDropFilter);
+    return;
+  }
   if (fault_filter_ && !fault_filter_(from, to)) {
-    ++fault_counters_.dropped_by_fault_filter;
+    ++*c_dropped_by_fault_filter_;
+    drop(obs::kDropFaultFilter);
     return;
   }
   Duration lat = latency_->latency_us(from, to, rng_);
   if (latency_shaper_) lat = latency_shaper_(from, to, lat);
+  if (tr.enabled()) {
+    tr.emit(obs::EventKind::kMsgSend, from, to, msg->wire_size(),
+            static_cast<std::uint64_t>(lat), tr.intern(msg->type_name()));
+  }
   INode* dest = nodes_[to];
   schedule(lat, [this, dest, to, from, msg = std::move(msg)] {
     if (!node_up(to)) {
       // The receiver went down while the message was in flight.
-      ++fault_counters_.dropped_receiver_down;
+      ++*c_dropped_receiver_down_;
+      if (obs_.tracer.enabled()) {
+        obs_.tracer.emit(obs::EventKind::kMsgDrop, from, to,
+                         obs::kDropReceiverDown, msg->wire_size(),
+                         obs_.tracer.intern(msg->type_name()));
+      }
       return;
+    }
+    if (obs_.tracer.enabled()) {
+      obs_.tracer.emit(obs::EventKind::kMsgRecv, to, from, msg->wire_size(), 0,
+                       obs_.tracer.intern(msg->type_name()));
     }
     dest->on_message(from, msg);
   });
@@ -70,7 +106,7 @@ void Simulator::schedule_for(NodeId owner, Duration delay,
   const std::uint64_t epoch = node_state_[owner].epoch;
   schedule(delay, [this, owner, epoch, fn = std::move(fn)] {
     if (!node_up(owner) || node_epoch(owner) != epoch) {
-      ++fault_counters_.suppressed_callbacks;
+      ++*c_suppressed_callbacks_;
       return;
     }
     fn();

@@ -33,6 +33,7 @@
 #include <queue>
 #include <vector>
 
+#include "obs/hub.hpp"
 #include "sim/bandwidth.hpp"
 #include "sim/latency.hpp"
 #include "util/rng.hpp"
@@ -75,10 +76,23 @@ class Simulator {
  public:
   explicit Simulator(std::uint64_t seed);
 
+  // The observability hub's tracer holds a pointer to this simulator's
+  // clock cell, so the object must stay put once constructed.
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+  Simulator(Simulator&&) = delete;
+  Simulator& operator=(Simulator&&) = delete;
+
   TimePoint now() const noexcept { return now_; }
   util::Rng& rng() noexcept { return rng_; }
   BandwidthAccountant& bandwidth() noexcept { return bandwidth_; }
   const BandwidthAccountant& bandwidth() const noexcept { return bandwidth_; }
+
+  // Per-simulation observability: the shared metrics registry + event
+  // tracer. The tracer is disabled by default; enabling it costs one branch
+  // per instrumented site plus the ring write when on.
+  obs::Hub& obs() noexcept { return obs_; }
+  const obs::Hub& obs() const noexcept { return obs_; }
 
   // Registers a node; ids are assigned densely starting at 0. The simulator
   // does not own the node.
@@ -122,14 +136,20 @@ class Simulator {
   }
   std::size_t down_count() const noexcept;
 
-  // Fault observability (tests assert on mechanism, not just outcomes).
+  // Fault observability (tests assert on mechanism, not just outcomes). The
+  // counters live in the metrics registry ("sim.dropped_sender_down", ...);
+  // this struct is a thin read shim assembled from the registry cells so
+  // pre-registry callers keep compiling unchanged.
   struct FaultCounters {
     std::uint64_t dropped_sender_down = 0;
     std::uint64_t dropped_receiver_down = 0;
     std::uint64_t suppressed_callbacks = 0;
     std::uint64_t dropped_by_fault_filter = 0;
   };
-  const FaultCounters& fault_counters() const noexcept { return fault_counters_; }
+  FaultCounters fault_counters() const noexcept {
+    return FaultCounters{*c_dropped_sender_down_, *c_dropped_receiver_down_,
+                         *c_suppressed_callbacks_, *c_dropped_by_fault_filter_};
+  }
 
   // Sends a message; it arrives at `to` after the model latency.
   void send(NodeId from, NodeId to, PayloadPtr msg);
@@ -177,6 +197,7 @@ class Simulator {
   TimePoint now_ = 0;
   std::uint64_t next_seq_ = 0;
   util::Rng rng_;
+  obs::Hub obs_;
   std::vector<INode*> nodes_;
   std::vector<NodeState> node_state_;
   std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
@@ -186,7 +207,11 @@ class Simulator {
   DeliveryFilter filter_;
   DeliveryFilter fault_filter_;
   LatencyShaper latency_shaper_;
-  FaultCounters fault_counters_;
+  // Registry cell handles (stable addresses; see Registry::counter).
+  std::uint64_t* c_dropped_sender_down_;
+  std::uint64_t* c_dropped_receiver_down_;
+  std::uint64_t* c_suppressed_callbacks_;
+  std::uint64_t* c_dropped_by_fault_filter_;
   bool started_ = false;
 };
 

@@ -98,6 +98,13 @@ std::string lo_trace_digest(harness::LoNetwork& net) {
   // Emission-ordered metric stream: admission hooks fire in event order, so
   // any nondeterminism in message scheduling shows up here.
   for (double v : net.mempool_latency().values()) d.f64(v);
+  // The whole observability surface rides along: the binary event trace
+  // (every message/commitment/reconciliation event in emission order, string
+  // table included) and the metrics-registry JSON must be byte-identical on
+  // replay — that is the paper-artifact property ISSUE 5 pins down.
+  d.bytes(net.sim().obs().tracer.bytes());
+  net.publish_metrics();
+  d.str(net.sim().obs().registry.to_json("determinism"));
   return d.hex();
 }
 
@@ -105,6 +112,7 @@ std::string lo_trace_digest(harness::LoNetwork& net) {
 // also covers the suspicion/exposure machinery, not just happy-path sync.
 std::string run_lo(std::uint64_t seed) {
   auto cfg = test::net_cfg(16, seed, /*malicious_fraction=*/0.125);
+  cfg.trace = true;  // digest the full event trace, not just the summaries
   cfg.malicious.ignore_requests = true;
   cfg.malicious.censor_txs = true;
   harness::LoNetwork net(cfg);
@@ -137,6 +145,7 @@ std::string run_baseline(const typename NodeT::Config& node_cfg,
   cfg.num_nodes = 12;
   cfg.seed = seed;
   cfg.city_latency = true;
+  cfg.trace = true;
   baselines::BaselineNetwork<NodeT> net(cfg, node_cfg);
   net.start_workload(test::load_cfg(20.0, seed + 1000));
   net.run_for(10.0);
@@ -155,6 +164,7 @@ std::string run_baseline(const typename NodeT::Config& node_cfg,
     d.u64(st.messages);
     d.u64(st.bytes);
   }
+  d.bytes(net.sim().obs().tracer.bytes());
   return d.hex();
 }
 

@@ -77,6 +77,16 @@ TEST(Lolint, UnorderedIterFiresInProtocolDirs) {
   EXPECT_EQ(count_rule(fs, "unordered-iter"), 3u) << dump(fs);
 }
 
+TEST(Lolint, UnorderedIterAndWallClockFireInObs) {
+  // The observability layer exports byte-identical artifacts across same-seed
+  // runs, so it is held to the protocol rules: no hash-order iteration and no
+  // wall-clock sources (trace timestamps come from the simulator only).
+  const auto iter = lint_as("unordered_iter.cpp", "src/obs/unordered_iter.cpp");
+  EXPECT_EQ(count_rule(iter, "unordered-iter"), 3u) << dump(iter);
+  const auto clk = lint_as("banned_source.cpp", "src/obs/banned_source.cpp");
+  EXPECT_EQ(count_rule(clk, "banned-source"), 6u) << dump(clk);
+}
+
 TEST(Lolint, UnorderedIterSilentOutsideProtocolDirs) {
   // Harness/workload code may iterate hash order freely.
   const auto fs =
@@ -154,6 +164,9 @@ TEST(Lolint, CleanFixtureIsClean) {
 TEST(Lolint, ProtocolPathPredicate) {
   EXPECT_TRUE(lolint::is_protocol_path("src/core/node.cpp"));
   EXPECT_TRUE(lolint::is_protocol_path("src/minisketch/sketch.hpp"));
+  // Trace/metrics exports must stay byte-identical across same-seed runs, so
+  // the observability layer obeys the full protocol ruleset.
+  EXPECT_TRUE(lolint::is_protocol_path("src/obs/trace.cpp"));
   EXPECT_FALSE(lolint::is_protocol_path("src/harness/lo_network.cpp"));
   EXPECT_FALSE(lolint::is_protocol_path("tests/test_util.cpp"));
   EXPECT_TRUE(lolint::is_rng_exempt_path("src/util/rng.hpp"));

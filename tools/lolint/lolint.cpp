@@ -652,7 +652,8 @@ const std::vector<std::string>& rule_ids() {
 bool is_protocol_path(const std::string& path) {
   static const char* kDirs[] = {"src/core/",      "src/enforcement/",
                                 "src/consensus/", "src/baselines/",
-                                "src/overlay/",   "src/minisketch/"};
+                                "src/overlay/",   "src/minisketch/",
+                                "src/obs/"};
   for (const char* d : kDirs) {
     if (path.rfind(d, 0) == 0) return true;
   }

@@ -1,0 +1,86 @@
+// lotrace — converts a binary ".lotrace" capture (obs::Tracer::write_file)
+// into Chrome/Perfetto trace-event JSON, offline. Keeping the converter out
+// of the simulation binaries means runs only pay for the compact binary dump;
+// JSON (an order of magnitude larger) is produced on demand.
+//
+// Usage:
+//   lotrace <in.lotrace> [out.json]       convert (default out: <in>.json)
+//   lotrace --summary <in.lotrace>        print event counts per kind
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "obs/trace.hpp"
+#include "util/serde.hpp"
+
+namespace {
+
+int summarize(const std::string& path) {
+  const auto f = lo::obs::Tracer::read_file(path);
+  std::map<std::string, std::uint64_t> per_kind;
+  for (const auto& e : f.events) {
+    ++per_kind[lo::obs::event_kind_name(
+        static_cast<lo::obs::EventKind>(e.kind))];
+  }
+  std::printf("%s: %zu events, %llu dropped, %zu interned names\n",
+              path.c_str(), f.events.size(),
+              static_cast<unsigned long long>(f.dropped), f.names.size());
+  for (const auto& [kind, n] : per_kind) {
+    std::printf("  %-16s %llu\n", kind.c_str(),
+                static_cast<unsigned long long>(n));
+  }
+  if (!f.events.empty()) {
+    std::printf("  span: %lld .. %lld us\n",
+                static_cast<long long>(f.events.front().at),
+                static_cast<long long>(f.events.back().at));
+  }
+  return 0;
+}
+
+int convert(const std::string& in, const std::string& out) {
+  const auto f = lo::obs::Tracer::read_file(in);
+  const std::string json = lo::obs::chrome_json(f);
+  std::FILE* fp = std::fopen(out.c_str(), "wb");
+  if (fp == nullptr) {
+    std::fprintf(stderr, "lotrace: cannot open %s for writing\n", out.c_str());
+    return 1;
+  }
+  const std::size_t n = std::fwrite(json.data(), 1, json.size(), fp);
+  const bool ok = (n == json.size()) && (std::fclose(fp) == 0);
+  if (!ok) {
+    std::fprintf(stderr, "lotrace: short write to %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("lotrace: %s -> %s (%zu events)\n", in.c_str(), out.c_str(),
+              f.events.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 3 && std::strcmp(argv[1], "--summary") == 0) {
+    try {
+      return summarize(argv[2]);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "lotrace: %s\n", e.what());
+      return 1;
+    }
+  }
+  if (argc < 2 || argv[1][0] == '-') {
+    std::fprintf(stderr,
+                 "usage: lotrace <in.lotrace> [out.json]\n"
+                 "       lotrace --summary <in.lotrace>\n");
+    return 2;
+  }
+  const std::string in = argv[1];
+  const std::string out = argc >= 3 ? argv[2] : in + ".json";
+  try {
+    return convert(in, out);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "lotrace: %s\n", e.what());
+    return 1;
+  }
+}
