@@ -50,6 +50,13 @@ class BloomClock {
   // estimate used to pick reconciliation partitioning).
   std::uint64_t l1_distance(const BloomClock& other) const noexcept;
 
+  // SREP-style symmetric-difference estimate in *items*: the L1 distance
+  // scaled by the hash count. This is the number callers feed to
+  // sketch::adaptive_capacity to size a reconciliation round.
+  std::uint64_t estimate_difference(const BloomClock& other) const noexcept {
+    return l1_distance(other) / (hashes_ == 0 ? 1 : hashes_);
+  }
+
   // Total number of insertions (sum of counters / hashes).
   std::uint64_t population() const noexcept;
 

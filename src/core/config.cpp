@@ -1,0 +1,64 @@
+#include "core/config.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace lo::core {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::invalid_argument("LoConfig: " + what);
+}
+
+}  // namespace
+
+void LoConfig::validate() const {
+  if (request_timeout <= 0) {
+    fail("request_timeout must be positive (got " +
+         std::to_string(request_timeout) + " us); a zero timeout spins the "
+         "retry loop on every event");
+  }
+  if (max_retries < 0) {
+    fail("max_retries must be >= 0 (got " + std::to_string(max_retries) + ")");
+  }
+  if (backoff_factor < 1.0) {
+    fail("backoff_factor must be >= 1.0 (got " +
+         std::to_string(backoff_factor) +
+         "); a shrinking backoff degenerates into a retry storm");
+  }
+  if (backoff_jitter < 0.0 || backoff_jitter >= 1.0) {
+    fail("backoff_jitter must lie in [0, 1) (got " +
+         std::to_string(backoff_jitter) +
+         "); jitter >= 100% can produce non-positive retry delays");
+  }
+  if (backoff_cap < request_timeout) {
+    fail("backoff_cap (" + std::to_string(backoff_cap) +
+         " us) must be >= request_timeout (" + std::to_string(request_timeout) +
+         " us), or the first retry already overshoots the cap");
+  }
+  if (membership.enabled) {
+    if (membership.protocol_period <= 0) {
+      fail("membership.protocol_period must be positive");
+    }
+    if (membership.ping_timeout <= 0 ||
+        membership.ping_timeout >= membership.protocol_period) {
+      fail("membership.ping_timeout must lie in (0, protocol_period): the "
+           "indirect probe round has to fit into the same period");
+    }
+    if (membership.indirect_fanout == 0) {
+      fail("membership.indirect_fanout must be >= 1; without proxies one "
+           "lossy link converts directly into a false suspicion");
+    }
+    if (membership.suspicion_periods == 0) {
+      fail("membership.suspicion_periods must be >= 1: a zero refutation "
+           "window confirms every transient suspicion");
+    }
+    if (membership.gossip_updates == 0) {
+      fail("membership.gossip_updates must be >= 1, or membership state "
+           "never disseminates");
+    }
+  }
+}
+
+}  // namespace lo::core

@@ -5,6 +5,7 @@
 
 #include "core/commitment.hpp"
 #include "core/transaction.hpp"
+#include "membership/swim.hpp"
 #include "sim/simulator.hpp"
 
 namespace lo::core {
@@ -75,6 +76,22 @@ struct LoConfig {
 
   // Fee threshold for block inclusion (Sec. 4.3 step 2).
   std::uint64_t block_min_fee = 1;
+
+  // SWIM-style membership failure detector (src/membership). Disabled by
+  // default: the paper's pure timeout-driven suspicion semantics are
+  // unchanged unless a deployment opts in. When enabled, membership becomes
+  // the *liveness* signal and request timeouts stay the *protocol-misbehavior*
+  // signal: a timed-out request only escalates to accountability suspicion
+  // while the detector still presumes the peer alive (see DESIGN.md §6).
+  membership::MembershipConfig membership;
+
+  // Fails fast (std::invalid_argument) on parameters that would silently
+  // break the retry/backoff or membership machinery: a shrinking backoff
+  // (backoff_factor < 1), jitter outside [0, 1) (a negative or >= 100%
+  // jitter can produce non-positive delays), a zero request timeout (spin
+  // retries), and inconsistent membership timing. Called from the LoNode
+  // constructor, so no node can be built on a nonsensical config.
+  void validate() const;
 };
 
 // Transaction-manipulation primitives (Sec. 2.2) plus attacks on the

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <string>
 
+#include "membership/messages.hpp"
+#include "minisketch/partitioned.hpp"
 #include "util/ordered.hpp"
 
 namespace lo::core {
@@ -26,6 +28,9 @@ LoNode::LoNode(sim::Simulator& sim, NodeId id, const LoConfig& config,
       content_clock_(config.commitment.clock_cells, config.commitment.clock_hashes),
       registry_(config.sig_mode, config.verify_signatures,
                 config.two_stage_checks) {
+  // Fail fast on configs that would silently break retry/backoff or the
+  // membership timing; no node may be built on a nonsensical config.
+  config.validate();
   registry_.set_verify_cache(&verify_cache_);
   // Observability: mechanism counters live in the simulator's registry as
   // per-node labeled cells; protocol events go to the shared tracer.
@@ -39,6 +44,9 @@ LoNode::LoNode(sim::Simulator& sim, NodeId id, const LoConfig& config,
   c_suspicions_retracted_ = &reg.counter("lo.suspicions_retracted", node_label);
   c_crashes_ = &reg.counter("lo.crashes", node_label);
   c_restarts_ = &reg.counter("lo.restarts", node_label);
+  c_member_suspects_ = &reg.counter("lo.member_suspects", node_label);
+  c_member_confirms_ = &reg.counter("lo.member_confirms", node_label);
+  c_suspicions_absolved_ = &reg.counter("lo.suspicions_absolved", node_label);
   verify_cache_.bind(obs::Scope(&reg, node_label));
   verify_cache_.set_tracer(tracer_, id_);
 }
@@ -49,6 +57,10 @@ void LoNode::set_neighbors(std::vector<NodeId> neighbors) {
 
 void LoNode::set_peer_candidates(std::vector<NodeId> candidates) {
   peer_candidates_ = std::move(candidates);
+}
+
+void LoNode::set_member_universe(std::vector<NodeId> members) {
+  member_universe_ = std::move(members);
 }
 
 const Transaction* LoNode::get_tx(const TxId& id) const {
@@ -155,6 +167,10 @@ void LoNode::crash(bool wipe_mempool) {
   blocks_awaiting_bundles_.clear();
   stealth_txs_.clear();
   invalid_.clear();
+  // The failure detector's member table is volatile; only member_incarnation_
+  // persists (like suspicion_epoch_, a counter a real node would fsync so a
+  // reboot re-joins with a strictly higher incarnation).
+  swim_.reset();
   registry_ = AccountabilityRegistry(config_.sig_mode, config_.verify_signatures,
                                      config_.two_stage_checks);
   // The verify cache deliberately survives the crash: it memoizes pure
@@ -186,10 +202,54 @@ void LoNode::restart() {
   if (config_.rotate_interval > 0 && view_) {
     sim_.schedule_for(id_, config_.rotate_interval, [this] { rotate_neighbors(); });
   }
+  // Re-join the membership protocol under a strictly higher incarnation: our
+  // next alive update overrides any suspect/confirm issued against the
+  // previous life (the SWIM rejoin path).
+  if (config_.membership.enabled) {
+    ++member_incarnation_;
+    init_membership();
+  }
   // Committed ids whose content was lost with the volatile mempool are
   // re-fetched explicitly; commitments missed while down arrive through the
   // ordinary sketch/bulk-sync rounds.
   request_missing_content();
+}
+
+// -------------------------------------------------------------- membership ----
+
+void LoNode::init_membership() {
+  swim_.reset();
+  if (!config_.membership.enabled) return;
+  membership::SwimDetector::Callbacks cb;
+  cb.send = [this](NodeId to, sim::PayloadPtr msg) {
+    sim_.send(id_, to, std::move(msg));
+  };
+  cb.timer = [this](sim::Duration delay, std::function<void()> fn) {
+    // Epoch-scoped: timers armed before a crash never fire into the new life.
+    sim_.schedule_for(id_, delay, std::move(fn));
+  };
+  cb.rand_below = [this](std::uint64_t bound) {
+    return sim_.rng().next_below(bound);
+  };
+  cb.on_state = [this](NodeId node, membership::MemberState state,
+                       std::uint64_t /*incarnation*/) {
+    if (state == membership::MemberState::kSuspect) ++*c_member_suspects_;
+    if (state == membership::MemberState::kConfirmed) ++*c_member_confirms_;
+    if (hooks_ && hooks_->on_member_state) {
+      hooks_->on_member_state(id_, node, state, sim_.now());
+    }
+  };
+  cb.on_incarnation = [this](std::uint64_t incarnation) {
+    member_incarnation_ = incarnation;
+  };
+  swim_ = std::make_unique<membership::SwimDetector>(id_, config_.membership,
+                                                     std::move(cb), tracer_);
+  swim_->set_members(member_universe_.empty() ? neighbors_ : member_universe_);
+  swim_->start(member_incarnation_);
+}
+
+bool LoNode::presumed_live(NodeId peer) const {
+  return swim_ == nullptr || swim_->presumed_live(peer);
 }
 
 void LoNode::request_missing_content() {
@@ -220,6 +280,8 @@ void LoNode::on_start() {
   const sim::Duration phase = static_cast<sim::Duration>(
       sim_.rng().next_below(static_cast<std::uint64_t>(config_.recon_interval)));
   sim_.schedule_for(id_, phase, [this] { sync_round(); });
+
+  init_membership();
 
   if (config_.rotate_interval > 0) {
     view_ = std::make_unique<overlay::BasaltView>(id_, config_.view_size,
@@ -267,7 +329,12 @@ void LoNode::sync_round() {
     std::vector<NodeId> candidates;
     candidates.reserve(neighbors_.size());
     for (NodeId n : neighbors_) {
-      if (!registry_.is_exposed(n)) candidates.push_back(n);
+      if (registry_.is_exposed(n)) continue;
+      // Peers the failure detector has confirmed faulty are skipped: syncing
+      // with a dead process only burns the retry budget and, absent the
+      // membership gate, would end in a bogus accountability suspicion.
+      if (swim_ != nullptr && swim_->confirmed_faulty(n)) continue;
+      candidates.push_back(n);
     }
     sim_.rng().shuffle(candidates);
     const std::size_t k = std::min(config_.recon_fanout, candidates.size());
@@ -292,12 +359,11 @@ std::size_t LoNode::wire_capacity_for(NodeId peer, const CommitmentLog& log,
   if (!config_.adaptive_wire_sketch) return config_.commitment.sketch_capacity;
   std::size_t estimate = 24;
   if (const auto* h = registry_.latest(peer)) {
-    estimate = static_cast<std::size_t>(log.clock().l1_distance(h->clock)) /
-               std::max(1u, log.clock().hashes());
+    estimate =
+        static_cast<std::size_t>(log.clock().estimate_difference(h->clock));
   }
   estimate = std::max(estimate, delta_hint);
-  const std::size_t cap = std::max<std::size_t>(8, 2 * estimate + 4);
-  return std::min(cap, config_.commitment.sketch_capacity);
+  return sketch::adaptive_capacity(estimate, config_.commitment.sketch_capacity);
 }
 
 void LoNode::send_sync_request(NodeId peer) {
@@ -677,7 +743,11 @@ void LoNode::arm_coverage_deadline(NodeId peer) {
       return;
     }
     coverage_.erase(it);
-    suspect_peer(peer);
+    if (presumed_live(peer)) {
+      suspect_peer(peer);
+    } else {
+      ++*c_suspicions_absolved_;
+    }
   });
 }
 
@@ -1138,7 +1208,14 @@ void LoNode::arm_timeout(std::uint64_t request_id) {
     }
     if (p.kind == RequestKind::kSync) outstanding_sync_.erase(peer);
     pending_.erase(it);
-    suspect_peer(peer);
+    if (presumed_live(peer)) {
+      suspect_peer(peer);
+    } else {
+      // Membership no longer presumes the peer alive: a dead process cannot
+      // answer, so the exhausted retries are a liveness event, not protocol
+      // misbehavior — absolve instead of blaming.
+      ++*c_suspicions_absolved_;
+    }
   });
 }
 
@@ -1213,6 +1290,14 @@ void LoNode::on_message(NodeId from, const sim::PayloadPtr& msg) {
       observe_header(from, h);
       handle_challenge_response(from, h);
     }
+  } else if (const auto* mp = dynamic_cast<const membership::PingMsg*>(msg.get())) {
+    if (swim_) swim_->on_ping(from, *mp);
+  } else if (const auto* ma =
+                 dynamic_cast<const membership::PingAckMsg*>(msg.get())) {
+    if (swim_) swim_->on_ping_ack(from, *ma);
+  } else if (const auto* mq =
+                 dynamic_cast<const membership::PingReqMsg*>(msg.get())) {
+    if (swim_) swim_->on_ping_req(from, *mq);
   }
 }
 

@@ -39,6 +39,7 @@
 #include "core/types.hpp"
 #include "crypto/keys.hpp"
 #include "crypto/verify_cache.hpp"
+#include "membership/swim.hpp"
 #include "obs/hub.hpp"
 #include "overlay/sampler.hpp"
 #include "sim/simulator.hpp"
@@ -62,6 +63,11 @@ struct Hooks {
       on_block_inspected;
   // Sketch decode attempts performed (Fig. 10 reconciliation counting).
   std::function<void(NodeId node, std::size_t decode_ops)> on_reconcile;
+  // The membership failure detector of `node` moved `member` to `state`
+  // (only fired when config.membership.enabled).
+  std::function<void(NodeId node, NodeId member, membership::MemberState state,
+                     sim::TimePoint when)>
+      on_member_state;
 };
 
 // Retry/timeout/blame mechanism counters — fault tests assert on mechanism
@@ -98,6 +104,11 @@ class LoNode final : public sim::INode {
   // Candidate peers for the rotation sampler (typically the whole
   // membership); only consulted when config.rotate_interval > 0.
   void set_peer_candidates(std::vector<NodeId> candidates);
+
+  // Full member universe for the SWIM failure detector (self is filtered
+  // out). Must be set before on_start() when config.membership.enabled;
+  // falls back to the neighbor set otherwise.
+  void set_member_universe(std::vector<NodeId> members);
 
   MaliciousBehavior& behavior() noexcept { return behavior_; }
   const MaliciousBehavior& behavior() const noexcept { return behavior_; }
@@ -171,6 +182,19 @@ class LoNode final : public sim::INode {
   crypto::VerifyCacheStats verify_cache_stats() const noexcept {
     return verify_cache_.stats();
   }
+  // The SWIM failure detector, or nullptr when membership is disabled (or
+  // the node is currently crashed — the detector is volatile state).
+  const membership::SwimDetector* swim() const noexcept { return swim_.get(); }
+  // Durable membership incarnation (survives crashes, grows on restart).
+  std::uint64_t member_incarnation() const noexcept {
+    return member_incarnation_;
+  }
+  // Request timeouts that membership absolved: the final retry expired but
+  // the detector no longer presumed the peer alive, so no accountability
+  // suspicion was raised (liveness failure, not protocol misbehavior).
+  std::uint64_t suspicions_absolved() const noexcept {
+    return *c_suspicions_absolved_;
+  }
 
  private:
   enum class RequestKind : std::uint8_t { kSync, kContent, kBundles };
@@ -233,6 +257,15 @@ class LoNode final : public sim::INode {
   void inspect_known_block(const Block& block);
   bool tx_includeable(const TxId& id) const;
 
+  // --- membership (liveness layer) ---
+  // Builds and starts the SWIM detector (fresh volatile state, durable
+  // incarnation). Called from on_start() and restart().
+  void init_membership();
+  // The accountability gate: true when membership still presumes the peer
+  // alive (always true with membership disabled). Request timeouts escalate
+  // to suspicion only through this gate.
+  bool presumed_live(NodeId peer) const;
+
   // --- plumbing ---
   std::uint64_t register_pending(NodeId peer, RequestKind kind,
                                  sim::PayloadPtr payload);
@@ -258,6 +291,11 @@ class LoNode final : public sim::INode {
 
   std::vector<NodeId> neighbors_;
   std::vector<NodeId> peer_candidates_;
+  std::vector<NodeId> member_universe_;
+  std::unique_ptr<membership::SwimDetector> swim_;
+  // Durable across crash(): a restarted node re-joins with a strictly higher
+  // incarnation, overriding any confirm issued against its previous life.
+  std::uint64_t member_incarnation_ = 0;
   std::unique_ptr<overlay::BasaltView> view_;
   CommitmentLog log_;
   // Equivocators maintain a censored fork shown to half of their peers.
@@ -314,6 +352,9 @@ class LoNode final : public sim::INode {
   std::uint64_t* c_suspicions_retracted_;
   std::uint64_t* c_crashes_;
   std::uint64_t* c_restarts_;
+  std::uint64_t* c_member_suspects_;
+  std::uint64_t* c_member_confirms_;
+  std::uint64_t* c_suspicions_absolved_;
   bool crashed_ = false;
 };
 

@@ -67,6 +67,24 @@ LoNetwork::LoNetwork(const NetworkConfig& config)
     exposure_events_.push_back(
         BlameEvent{node, accused, sim::to_seconds(when)});
   };
+  hooks_.on_member_state = [this](core::NodeId node, core::NodeId member,
+                                  membership::MemberState state,
+                                  sim::TimePoint when) {
+    member_events_.push_back(
+        MemberEvent{node, member, state, sim::to_seconds(when)});
+    // Crash -> confirmation latency: only counted while the member is in
+    // fact down (a confirm of a node that already restarted is stale news,
+    // not a detection).
+    if (state == membership::MemberState::kConfirmed &&
+        member < crash_time_s_.size() && crash_time_s_[member] >= 0.0) {
+      const double latency_s = sim::to_seconds(when) - crash_time_s_[member];
+      membership_detection_latency_.add(latency_s);
+      sim_.obs().registry.histogram("membership.detection_latency_s")
+          .observe(latency_s);
+    }
+  };
+  crash_time_s_.assign(n, -1.0);
+  ever_crashed_.assign(n, false);
 
   nodes_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
@@ -82,10 +100,18 @@ LoNetwork::LoNetwork(const NetworkConfig& config)
   for (std::size_t i = 0; i < n; ++i) {
     nodes_[i]->set_neighbors(topology_.neighbors(static_cast<core::NodeId>(i)));
   }
-  if (config.node.rotate_interval > 0) {
+  if (config.node.rotate_interval > 0 || config.node.membership.enabled) {
     std::vector<core::NodeId> everyone(n);
     for (std::size_t i = 0; i < n; ++i) everyone[i] = static_cast<core::NodeId>(i);
-    for (std::size_t i = 0; i < n; ++i) nodes_[i]->set_peer_candidates(everyone);
+    if (config.node.rotate_interval > 0) {
+      for (std::size_t i = 0; i < n; ++i) nodes_[i]->set_peer_candidates(everyone);
+    }
+    if (config.node.membership.enabled) {
+      // SWIM probes the full universe, not just overlay neighbors: liveness
+      // is a property of the member, not of one overlay edge, and the full
+      // rotation is what bounds worst-case detection time.
+      for (std::size_t i = 0; i < n; ++i) nodes_[i]->set_member_universe(everyone);
+    }
   }
 }
 
@@ -180,6 +206,8 @@ void LoNetwork::crash_node(std::size_t i, bool wipe_mempool) {
   // the dying node scheduled can fire; then the node wipes volatile state.
   sim_.set_node_up(id, false);
   nodes_.at(i)->crash(wipe_mempool);
+  crash_time_s_.at(i) = sim::to_seconds(sim_.now());
+  ever_crashed_.at(i) = true;
 }
 
 void LoNetwork::restart_node(std::size_t i) {
@@ -188,6 +216,7 @@ void LoNetwork::restart_node(std::size_t i) {
   // Up first: restart() re-arms timers under the current (live) epoch.
   sim_.set_node_up(id, true);
   nodes_.at(i)->restart();
+  crash_time_s_.at(i) = -1.0;
 }
 
 sim::FaultInjector& LoNetwork::faults() {
@@ -235,6 +264,22 @@ std::vector<std::string> LoNetwork::check_invariants() const {
         note("node " + std::to_string(i) +
              " holds a mempool tx missing from its commitment log");
         break;
+      }
+    }
+    // Membership accuracy: a correct node that is up and has never crashed
+    // answers every probe (directly or through proxies), so no correct
+    // observer may hold it *confirmed* faulty. (Transient suspicion is fine
+    // — that is what the refutation window is for; and a node that did crash
+    // may legitimately stay confirmed until its rejoin gossip lands.)
+    if (const auto* det = nodes_[i]->swim()) {
+      for (const auto& [member, ms] : det->members()) {
+        if (ms.state != membership::MemberState::kConfirmed) continue;
+        if (member < n && !malicious_[member] &&
+            sim_.node_up(member) && !ever_crashed_[member]) {
+          note("node " + std::to_string(i) +
+               " confirmed live correct node " + std::to_string(member) +
+               " as faulty");
+        }
       }
     }
   }

@@ -163,6 +163,25 @@ class LoNetwork {
     return exposure_events_;
   }
 
+  // Membership (SWIM) observations; empty unless config.node.membership is
+  // enabled. One event per failure-detector state transition at any node.
+  struct MemberEvent {
+    core::NodeId observer;
+    core::NodeId member;
+    membership::MemberState state;
+    double when_s;
+  };
+  const std::vector<MemberEvent>& member_events() const noexcept {
+    return member_events_;
+  }
+  // Crash -> first-confirmation latency samples, seconds: one per (observer,
+  // crashed member) confirmation while the member was actually down. Also
+  // published to the registry histogram "membership.detection_latency_s".
+  const sim::Samples& membership_detection_latency() const noexcept {
+    return membership_detection_latency_;
+  }
+  bool ever_crashed(std::size_t i) const { return ever_crashed_.at(i); }
+
  private:
   void schedule_next_tx();
   void schedule_next_block();
@@ -198,6 +217,10 @@ class LoNetwork {
   std::size_t published_block_ = 0;
   std::vector<BlameEvent> suspicion_events_;
   std::vector<BlameEvent> exposure_events_;
+  std::vector<MemberEvent> member_events_;
+  sim::Samples membership_detection_latency_;
+  std::vector<double> crash_time_s_;  // per node; < 0 while the node is up
+  std::vector<bool> ever_crashed_;
 };
 
 }  // namespace lo::harness

@@ -1,0 +1,110 @@
+#include "membership/messages.hpp"
+
+#include "util/serde.hpp"
+
+namespace lo::membership {
+
+const char* member_state_name(MemberState s) noexcept {
+  switch (s) {
+    case MemberState::kAlive: return "alive";
+    case MemberState::kSuspect: return "suspect";
+    case MemberState::kConfirmed: return "confirmed";
+  }
+  return "unknown";
+}
+
+namespace {
+
+void write_updates(util::Writer& w, const std::vector<MemberUpdate>& ups) {
+  w.u32(static_cast<std::uint32_t>(ups.size()));
+  for (const auto& u : ups) {
+    w.u32(u.node);
+    w.u8(static_cast<std::uint8_t>(u.state));
+    w.u64(u.incarnation);
+  }
+}
+
+bool read_updates(util::Reader& r, std::vector<MemberUpdate>& out) {
+  const std::uint32_t n = r.u32();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    MemberUpdate u;
+    u.node = r.u32();
+    const std::uint8_t s = r.u8();
+    if (s > static_cast<std::uint8_t>(MemberState::kConfirmed)) return false;
+    u.state = static_cast<MemberState>(s);
+    u.incarnation = r.u64();
+    out.push_back(u);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> PingMsg::serialize() const {
+  util::Writer w;
+  w.u64(seq);
+  write_updates(w, gossip);
+  return w.take_u8();
+}
+
+std::optional<PingMsg> PingMsg::deserialize(
+    std::span<const std::uint8_t> data) {
+  try {
+    util::Reader r(data);
+    PingMsg m;
+    m.seq = r.u64();
+    if (!read_updates(r, m.gossip)) return std::nullopt;
+    if (!r.done()) return std::nullopt;
+    return m;
+  } catch (const util::SerdeError&) {
+    return std::nullopt;
+  }
+}
+
+std::vector<std::uint8_t> PingAckMsg::serialize() const {
+  util::Writer w;
+  w.u64(seq);
+  w.u32(target);
+  write_updates(w, gossip);
+  return w.take_u8();
+}
+
+std::optional<PingAckMsg> PingAckMsg::deserialize(
+    std::span<const std::uint8_t> data) {
+  try {
+    util::Reader r(data);
+    PingAckMsg m;
+    m.seq = r.u64();
+    m.target = r.u32();
+    if (!read_updates(r, m.gossip)) return std::nullopt;
+    if (!r.done()) return std::nullopt;
+    return m;
+  } catch (const util::SerdeError&) {
+    return std::nullopt;
+  }
+}
+
+std::vector<std::uint8_t> PingReqMsg::serialize() const {
+  util::Writer w;
+  w.u64(seq);
+  w.u32(target);
+  write_updates(w, gossip);
+  return w.take_u8();
+}
+
+std::optional<PingReqMsg> PingReqMsg::deserialize(
+    std::span<const std::uint8_t> data) {
+  try {
+    util::Reader r(data);
+    PingReqMsg m;
+    m.seq = r.u64();
+    m.target = r.u32();
+    if (!read_updates(r, m.gossip)) return std::nullopt;
+    if (!r.done()) return std::nullopt;
+    return m;
+  } catch (const util::SerdeError&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace lo::membership

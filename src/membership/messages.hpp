@@ -1,0 +1,92 @@
+// Wire messages of the SWIM-style membership subsystem.
+//
+// Message classes, for the bandwidth accounting (this is what the
+// "gossip bandwidth vs. churn" bench series measures):
+//   swim.ping     — direct liveness probe, carries piggybacked updates
+//   swim.ack      — probe acknowledgement (direct, or relayed by a proxy)
+//   swim.ping_req — indirect probe request through a proxy (SWIM Sec. 4.1)
+//
+// Every message piggybacks a bounded vector of membership updates
+// (node, state, incarnation) — SWIM's infection-style dissemination
+// component. There is no separate gossip message: updates only ever ride on
+// probe traffic, so the dissemination load is bounded by the probe rate.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace lo::membership {
+
+// Per-member failure-detector state. Precedence at equal incarnation:
+// kConfirmed > kSuspect > kAlive; a higher incarnation (issued only by the
+// member itself, to refute) wins over any lower-incarnation state.
+enum class MemberState : std::uint8_t {
+  kAlive = 0,
+  kSuspect = 1,
+  kConfirmed = 2,  // declared faulty (crash-confirmed)
+};
+
+const char* member_state_name(MemberState s) noexcept;
+
+// One piggybacked membership update.
+struct MemberUpdate {
+  sim::NodeId node = 0;
+  MemberState state = MemberState::kAlive;
+  std::uint64_t incarnation = 0;
+
+  static constexpr std::size_t kWire = 4 + 1 + 8;
+  bool operator==(const MemberUpdate&) const = default;
+};
+
+// Direct probe: "are you alive?". `seq` matches the ack to the probe.
+struct PingMsg final : sim::Payload {
+  std::uint64_t seq = 0;
+  std::vector<MemberUpdate> gossip;
+
+  const char* type_name() const noexcept override { return "swim.ping"; }
+  std::size_t wire_size() const noexcept override {
+    return 8 + 4 + MemberUpdate::kWire * gossip.size();
+  }
+  std::vector<std::uint8_t> serialize() const;
+  static std::optional<PingMsg> deserialize(std::span<const std::uint8_t> data);
+};
+
+// Probe acknowledgement. `target` is the node whose liveness the ack attests:
+// the ack sender itself on the direct path, or the probed third party when a
+// proxy relays the answer of a ping-req back to the original prober.
+struct PingAckMsg final : sim::Payload {
+  std::uint64_t seq = 0;
+  sim::NodeId target = 0;
+  std::vector<MemberUpdate> gossip;
+
+  const char* type_name() const noexcept override { return "swim.ack"; }
+  std::size_t wire_size() const noexcept override {
+    return 8 + 4 + 4 + MemberUpdate::kWire * gossip.size();
+  }
+  std::vector<std::uint8_t> serialize() const;
+  static std::optional<PingAckMsg> deserialize(
+      std::span<const std::uint8_t> data);
+};
+
+// Indirect probe request: "ping `target` for me" — sent to k proxies when the
+// direct probe timed out, so a lossy or asymmetric link to the target does
+// not turn into a false suspicion (SWIM's false-positive mitigation).
+struct PingReqMsg final : sim::Payload {
+  std::uint64_t seq = 0;
+  sim::NodeId target = 0;
+  std::vector<MemberUpdate> gossip;
+
+  const char* type_name() const noexcept override { return "swim.ping_req"; }
+  std::size_t wire_size() const noexcept override {
+    return 8 + 4 + 4 + MemberUpdate::kWire * gossip.size();
+  }
+  std::vector<std::uint8_t> serialize() const;
+  static std::optional<PingReqMsg> deserialize(
+      std::span<const std::uint8_t> data);
+};
+
+}  // namespace lo::membership

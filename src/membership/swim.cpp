@@ -1,0 +1,305 @@
+#include "membership/swim.hpp"
+
+#include <algorithm>
+#include <memory>
+
+namespace lo::membership {
+
+namespace {
+
+unsigned ceil_log2(std::size_t n) {
+  unsigned bits = 0;
+  std::size_t v = 1;
+  while (v < n) {
+    v <<= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+}  // namespace
+
+SwimDetector::SwimDetector(sim::NodeId self, const MembershipConfig& cfg,
+                           Callbacks cb, obs::Tracer* tracer)
+    : self_(self), cfg_(cfg), cb_(std::move(cb)), tracer_(tracer) {}
+
+void SwimDetector::set_members(const std::vector<sim::NodeId>& members) {
+  table_.clear();
+  rotation_.clear();
+  for (sim::NodeId n : members) {
+    if (n == self_) continue;
+    table_.emplace(n, Member{});
+    rotation_.push_back(n);
+  }
+  std::sort(rotation_.begin(), rotation_.end());
+  rotation_pos_ = rotation_.size();  // force a shuffle on the first tick
+  gossip_budget_ = std::max(1u, cfg_.retransmit_multiplier *
+                                    ceil_log2(table_.size() + 2));
+}
+
+void SwimDetector::start(std::uint64_t incarnation) {
+  own_incarnation_ = incarnation;
+  // Announce ourselves: a restarted node re-joins with a higher incarnation,
+  // which is what overrides any confirm issued against its previous life.
+  enqueue_gossip(self_, MemberState::kAlive, own_incarnation_);
+  const auto period = static_cast<std::uint64_t>(cfg_.protocol_period);
+  const sim::Duration phase =
+      static_cast<sim::Duration>(cb_.rand_below(period));
+  cb_.timer(phase, [this] { tick(); });
+}
+
+MemberState SwimDetector::state_of(sim::NodeId n) const {
+  auto it = table_.find(n);
+  return it == table_.end() ? MemberState::kAlive : it->second.state;
+}
+
+std::uint64_t SwimDetector::incarnation_of(sim::NodeId n) const {
+  auto it = table_.find(n);
+  return it == table_.end() ? 0 : it->second.incarnation;
+}
+
+// ------------------------------------------------------------ probe loop ----
+
+void SwimDetector::tick() {
+  evaluate_probe();
+
+  // Round-robin target selection over a shuffled permutation: every member is
+  // probed once per n periods, bounding worst-case first-detection time.
+  sim::NodeId target = 0;
+  bool found = false;
+  for (std::size_t tries = 0; tries <= rotation_.size() && !rotation_.empty();
+       ++tries) {
+    if (rotation_pos_ >= rotation_.size()) {
+      for (std::size_t i = rotation_.size(); i > 1; --i) {
+        const std::size_t j =
+            static_cast<std::size_t>(cb_.rand_below(static_cast<std::uint64_t>(i)));
+        std::swap(rotation_[i - 1], rotation_[j]);
+      }
+      rotation_pos_ = 0;
+    }
+    const sim::NodeId cand = rotation_[rotation_pos_++];
+    if (!confirmed_faulty(cand)) {
+      target = cand;
+      found = true;
+      break;
+    }
+  }
+
+  if (found) {
+    const std::uint64_t seq = next_seq_++;
+    probe_ = Probe{seq, target, false};
+    auto ping = std::make_shared<PingMsg>();
+    ping->seq = seq;
+    ping->gossip = pick_gossip();
+    if (tracer_ != nullptr) {
+      tracer_->emit(obs::EventKind::kMemberProbe, self_, target, seq, 0);
+    }
+    cb_.send(target, ping);
+    cb_.timer(cfg_.ping_timeout, [this, seq] { on_direct_timeout(seq); });
+  }
+  cb_.timer(cfg_.protocol_period, [this] { tick(); });
+}
+
+void SwimDetector::on_direct_timeout(std::uint64_t seq) {
+  if (!probe_ || probe_->seq != seq || probe_->acked) return;
+  // Indirect round: ask k proxies to probe the silent target for us, so one
+  // bad link does not fabricate a suspicion.
+  auto proxies = alive_peers_except(probe_->target);
+  const std::size_t k = std::min(cfg_.indirect_fanout, proxies.size());
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t j = i + static_cast<std::size_t>(cb_.rand_below(
+                                  static_cast<std::uint64_t>(proxies.size() - i)));
+    std::swap(proxies[i], proxies[j]);
+    auto req = std::make_shared<PingReqMsg>();
+    req->seq = seq;
+    req->target = probe_->target;
+    req->gossip = pick_gossip();
+    if (tracer_ != nullptr) {
+      tracer_->emit(obs::EventKind::kMemberProbe, self_, proxies[i], seq, 1);
+    }
+    cb_.send(proxies[i], req);
+  }
+}
+
+void SwimDetector::evaluate_probe() {
+  if (probe_ && !probe_->acked && !confirmed_faulty(probe_->target)) {
+    // Neither the direct nor any indirect path produced an ack within the
+    // protocol period: suspect at the target's current incarnation, giving it
+    // the refutation window before anything is confirmed.
+    apply_update(MemberUpdate{probe_->target, MemberState::kSuspect,
+                              incarnation_of(probe_->target)});
+  }
+  probe_.reset();
+}
+
+std::vector<sim::NodeId> SwimDetector::alive_peers_except(
+    sim::NodeId excluded) const {
+  std::vector<sim::NodeId> out;
+  out.reserve(table_.size());
+  for (const auto& [n, m] : table_) {
+    if (n != excluded && m.state != MemberState::kConfirmed) out.push_back(n);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------- wire handlers ----
+
+void SwimDetector::on_ping(sim::NodeId from, const PingMsg& m) {
+  for (const auto& u : m.gossip) apply_update(u);
+  auto ack = std::make_shared<PingAckMsg>();
+  ack->seq = m.seq;
+  ack->target = self_;
+  ack->gossip = pick_gossip();
+  cb_.send(from, ack);
+}
+
+void SwimDetector::on_ping_ack(sim::NodeId from, const PingAckMsg& m) {
+  for (const auto& u : m.gossip) apply_update(u);
+  if (probe_ && probe_->seq == m.seq &&
+      (m.target == probe_->target || from == probe_->target)) {
+    probe_->acked = true;
+    return;
+  }
+  // We proxied this probe: relay the answer back to the original prober.
+  auto it = relays_.find(m.seq);
+  if (it != relays_.end() && from == it->second.target) {
+    auto fwd = std::make_shared<PingAckMsg>();
+    fwd->seq = it->second.origin_seq;
+    fwd->target = it->second.target;
+    fwd->gossip = pick_gossip();
+    cb_.send(it->second.origin, fwd);
+    relays_.erase(it);
+  }
+}
+
+void SwimDetector::on_ping_req(sim::NodeId from, const PingReqMsg& m) {
+  for (const auto& u : m.gossip) apply_update(u);
+  if (m.target == self_) {
+    // Degenerate but legal: answer as if pinged directly.
+    auto ack = std::make_shared<PingAckMsg>();
+    ack->seq = m.seq;
+    ack->target = self_;
+    ack->gossip = pick_gossip();
+    cb_.send(from, ack);
+    return;
+  }
+  const std::uint64_t local_seq = next_seq_++;
+  relays_.emplace(local_seq, Relay{from, m.seq, m.target});
+  auto ping = std::make_shared<PingMsg>();
+  ping->seq = local_seq;
+  ping->gossip = pick_gossip();
+  cb_.send(m.target, ping);
+  // Bound relay-table memory: a relay unanswered after a full period is dead.
+  cb_.timer(cfg_.protocol_period,
+            [this, local_seq] { relays_.erase(local_seq); });
+}
+
+// ------------------------------------------------------------ state rules ----
+
+void SwimDetector::apply_update(const MemberUpdate& u) {
+  if (u.node == self_) {
+    if (u.state != MemberState::kAlive) {
+      refute(u.incarnation);
+    } else if (u.incarnation < own_incarnation_) {
+      // Stale alive about us circulating: re-assert the fresher one.
+      enqueue_gossip(self_, MemberState::kAlive, own_incarnation_);
+    }
+    return;
+  }
+  auto it = table_.find(u.node);
+  if (it == table_.end()) return;
+  Member& m = it->second;
+
+  // SWIM precedence: a higher incarnation (issued only by the member itself)
+  // wins any state; at equal incarnation confirm > suspect > alive. The one
+  // extension over the paper is that alive with a strictly higher incarnation
+  // also overrides confirmed — that is how a restarted node (whose durable
+  // incarnation counter only grows) re-joins without a separate join round.
+  bool accept = false;
+  switch (u.state) {
+    case MemberState::kAlive:
+      accept = u.incarnation > m.incarnation;
+      break;
+    case MemberState::kSuspect:
+      accept = m.state != MemberState::kConfirmed &&
+               (u.incarnation > m.incarnation ||
+                (u.incarnation == m.incarnation &&
+                 m.state == MemberState::kAlive));
+      break;
+    case MemberState::kConfirmed:
+      accept = m.state != MemberState::kConfirmed &&
+               u.incarnation >= m.incarnation;
+      break;
+  }
+  if (!accept) return;
+
+  m.state = u.state;
+  m.incarnation = u.incarnation;
+  ++m.token;
+  enqueue_gossip(u.node, u.state, u.incarnation);
+  if (u.state == MemberState::kSuspect) arm_suspicion_deadline(u.node);
+  if (tracer_ != nullptr) {
+    tracer_->emit(obs::EventKind::kMemberState, self_, u.node,
+                  static_cast<std::uint64_t>(u.state), u.incarnation);
+  }
+  if (cb_.on_state) cb_.on_state(u.node, u.state, u.incarnation);
+}
+
+void SwimDetector::arm_suspicion_deadline(sim::NodeId node) {
+  const std::uint64_t token = table_.at(node).token;
+  const sim::Duration deadline =
+      cfg_.protocol_period * static_cast<sim::Duration>(cfg_.suspicion_periods);
+  cb_.timer(deadline, [this, node, token] {
+    auto it = table_.find(node);
+    if (it == table_.end()) return;
+    if (it->second.state != MemberState::kSuspect ||
+        it->second.token != token) {
+      return;  // refuted or superseded in the meantime
+    }
+    apply_update(
+        MemberUpdate{node, MemberState::kConfirmed, it->second.incarnation});
+  });
+}
+
+void SwimDetector::refute(std::uint64_t seen_incarnation) {
+  if (seen_incarnation < own_incarnation_) {
+    // Old rumor, already beaten by our current incarnation; re-assert it.
+    enqueue_gossip(self_, MemberState::kAlive, own_incarnation_);
+    return;
+  }
+  own_incarnation_ = seen_incarnation + 1;
+  enqueue_gossip(self_, MemberState::kAlive, own_incarnation_);
+  if (cb_.on_incarnation) cb_.on_incarnation(own_incarnation_);
+}
+
+// ---------------------------------------------------------- dissemination ----
+
+void SwimDetector::enqueue_gossip(sim::NodeId node, MemberState state,
+                                  std::uint64_t incarnation) {
+  gossip_[node] = Gossip{state, incarnation, gossip_budget_};
+}
+
+std::vector<MemberUpdate> SwimDetector::pick_gossip() {
+  // Freshest-first dissemination: updates with the most remaining budget are
+  // the least-spread ones; ties break by node id. std::map iteration plus an
+  // explicit sort keeps selection deterministic under seed replay.
+  std::vector<std::pair<sim::NodeId, Gossip*>> live;
+  for (auto& [node, g] : gossip_) {
+    if (g.left > 0) live.emplace_back(node, &g);
+  }
+  std::sort(live.begin(), live.end(), [](const auto& a, const auto& b) {
+    if (a.second->left != b.second->left) return a.second->left > b.second->left;
+    return a.first < b.first;
+  });
+  std::vector<MemberUpdate> out;
+  const std::size_t k = std::min(cfg_.gossip_updates, live.size());
+  out.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    out.push_back(MemberUpdate{live[i].first, live[i].second->state,
+                               live[i].second->incarnation});
+    --live[i].second->left;
+  }
+  return out;
+}
+
+}  // namespace lo::membership

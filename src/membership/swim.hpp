@@ -1,0 +1,171 @@
+// SWIM-style failure detector (Das, Gupta, Motivala — SWIM, DSN'02) adapted
+// as LØ's *liveness* layer.
+//
+// The paper drives suspicion from per-peer request timeouts (Sec. 6.1); that
+// conflates two very different signals once the network scales or links get
+// lossy: "this peer is dead" and "this peer is misbehaving". This subsystem
+// separates them. Each protocol period a node probes one member (round-robin
+// over a shuffled permutation, SWIM Sec. 4.3, which bounds worst-case first
+// detection time); on a direct-probe timeout it asks k proxies to probe
+// indirectly (ping-req), so one lossy or asymmetric link cannot manufacture
+// a suspicion. Failed probes yield *suspicion*, disseminated by piggybacking
+// updates on probe traffic; the suspected member refutes by incrementing its
+// incarnation number; unrefuted suspicions become *confirmed* after a
+// deadline. The accountability layer consults this detector before blaming:
+// request timeouts escalate to protocol-misbehavior suspicion only while
+// membership still considers the peer alive.
+//
+// The detector is transport-agnostic and timer-agnostic: sends, timers and
+// randomness are injected callbacks, so the same code runs under the
+// deterministic simulator today and a real transport later. Determinism:
+// member tables are ordered maps, all randomness flows through the injected
+// `rand_below`, and timers carry tokens so stale callbacks self-cancel.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "membership/messages.hpp"
+#include "obs/trace.hpp"
+#include "sim/simulator.hpp"
+
+namespace lo::membership {
+
+struct MembershipConfig {
+  // Master switch: disabled by default, so the paper's pure timeout-driven
+  // suspicion semantics (and every test pinning them) are unchanged unless a
+  // deployment opts in.
+  bool enabled = false;
+
+  // One probe target per protocol period (SWIM T').
+  sim::Duration protocol_period = sim::kSecond;
+  // Direct-probe ack deadline; after it the indirect round starts. Must be
+  // well below protocol_period so the indirect round fits in the same period.
+  sim::Duration ping_timeout = 300 * sim::kMillisecond;
+  // Number of proxies asked to probe indirectly (SWIM k).
+  std::size_t indirect_fanout = 3;
+  // Suspect -> confirmed deadline, in protocol periods: the refutation window
+  // for a live member that was falsely suspected.
+  unsigned suspicion_periods = 5;
+  // Max piggybacked updates per probe message.
+  std::size_t gossip_updates = 6;
+  // Each update is piggybacked on up to multiplier * ceil(log2(n+1)) messages
+  // (SWIM's lambda log n retransmission budget).
+  unsigned retransmit_multiplier = 3;
+};
+
+class SwimDetector {
+ public:
+  struct Member {
+    MemberState state = MemberState::kAlive;
+    std::uint64_t incarnation = 0;
+    // Invalidates in-flight suspicion deadline timers on any state change.
+    std::uint64_t token = 0;
+  };
+
+  struct Callbacks {
+    std::function<void(sim::NodeId to, sim::PayloadPtr msg)> send;
+    // Epoch-scoped timer: the host must suppress callbacks armed before a
+    // crash (the simulator's schedule_for does exactly that).
+    std::function<void(sim::Duration delay, std::function<void()> fn)> timer;
+    std::function<std::uint64_t(std::uint64_t bound)> rand_below;
+    // State transition observed for `node` (never self). Fired for every
+    // alive/suspect/confirmed change, after the table was updated.
+    std::function<void(sim::NodeId node, MemberState state,
+                       std::uint64_t incarnation)>
+        on_state;
+    // Own incarnation bumped (refutation). The host persists this counter
+    // across crashes so a restarted node re-joins with a higher incarnation.
+    std::function<void(std::uint64_t incarnation)> on_incarnation;
+  };
+
+  SwimDetector(sim::NodeId self, const MembershipConfig& cfg, Callbacks cb,
+               obs::Tracer* tracer = nullptr);
+
+  // Full member universe (self is filtered out). Resets the probe rotation.
+  void set_members(const std::vector<sim::NodeId>& members);
+
+  // Starts the probe loop at a random phase within one protocol period.
+  // `incarnation` is the durable self-incarnation (0 on first boot, strictly
+  // higher after every restart, so our alive refutes any stale confirm).
+  void start(std::uint64_t incarnation);
+
+  // --- liveness queries (the accountability gate) ---
+  MemberState state_of(sim::NodeId n) const;
+  std::uint64_t incarnation_of(sim::NodeId n) const;
+  // "Still presumed live": only then may a request timeout escalate into a
+  // protocol-misbehavior suspicion.
+  bool presumed_live(sim::NodeId n) const {
+    return state_of(n) == MemberState::kAlive;
+  }
+  bool confirmed_faulty(sim::NodeId n) const {
+    return state_of(n) == MemberState::kConfirmed;
+  }
+  std::uint64_t own_incarnation() const noexcept { return own_incarnation_; }
+  const std::map<sim::NodeId, Member>& members() const noexcept {
+    return table_;
+  }
+
+  // --- wire entry points (host dispatches by payload type) ---
+  void on_ping(sim::NodeId from, const PingMsg& m);
+  void on_ping_ack(sim::NodeId from, const PingAckMsg& m);
+  void on_ping_req(sim::NodeId from, const PingReqMsg& m);
+
+  // Applies one membership update with SWIM's precedence rules; public so
+  // tests can drive the state machine without wire traffic.
+  void apply_update(const MemberUpdate& u);
+
+ private:
+  struct Probe {
+    std::uint64_t seq = 0;
+    sim::NodeId target = 0;
+    bool acked = false;
+  };
+  // A ping-req we are proxying: local probe seq -> origin bookkeeping.
+  struct Relay {
+    sim::NodeId origin = 0;
+    std::uint64_t origin_seq = 0;
+    sim::NodeId target = 0;
+  };
+
+  void tick();
+  void on_direct_timeout(std::uint64_t seq);
+  void evaluate_probe();
+  void arm_suspicion_deadline(sim::NodeId node);
+  void enqueue_gossip(sim::NodeId node, MemberState state,
+                      std::uint64_t incarnation);
+  std::vector<MemberUpdate> pick_gossip();
+  void refute(std::uint64_t seen_incarnation);
+  std::vector<sim::NodeId> alive_peers_except(sim::NodeId excluded) const;
+
+  sim::NodeId self_;
+  MembershipConfig cfg_;
+  Callbacks cb_;
+  obs::Tracer* tracer_;
+
+  std::map<sim::NodeId, Member> table_;
+  std::uint64_t own_incarnation_ = 0;
+
+  // Round-robin probe rotation: a shuffled permutation, reshuffled when
+  // exhausted (SWIM Sec. 4.3).
+  std::vector<sim::NodeId> rotation_;
+  std::size_t rotation_pos_ = 0;
+
+  std::uint64_t next_seq_ = 1;
+  std::optional<Probe> probe_;
+  std::map<std::uint64_t, Relay> relays_;
+
+  // Dissemination queue: node -> freshest update + remaining piggyback budget.
+  struct Gossip {
+    MemberState state = MemberState::kAlive;
+    std::uint64_t incarnation = 0;
+    unsigned left = 0;
+  };
+  std::map<sim::NodeId, Gossip> gossip_;
+  unsigned gossip_budget_ = 8;
+};
+
+}  // namespace lo::membership

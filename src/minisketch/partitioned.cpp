@@ -12,6 +12,64 @@ bool partition_bit(std::uint64_t raw_item, unsigned depth) {
   return (util::splitmix64(s) & 1) != 0;
 }
 
+std::size_t adaptive_capacity(std::size_t diff_estimate,
+                              std::size_t max_capacity) noexcept {
+  const std::size_t sized = 2 * diff_estimate + 4;
+  const std::size_t floored = sized < 8 ? 8 : sized;
+  return floored > max_capacity ? max_capacity : floored;
+}
+
+std::optional<std::vector<std::uint64_t>> AdaptiveReconciler::reconcile(
+    std::span<const std::uint64_t> a, std::span<const std::uint64_t> b,
+    std::size_t diff_estimate, ReconcileStats* stats) const {
+  obs::ScopedProfile prof(obs::ProfileSite::kReconcileRound,
+                          a.size() + b.size());
+  ReconcileStats local;
+  const std::size_t cap = adaptive_capacity(diff_estimate, max_capacity_);
+
+  Sketch sa(bits_, cap);
+  Sketch sb(bits_, cap);
+  std::unordered_map<std::uint64_t, std::uint64_t> preimage;
+  preimage.reserve(a.size() + b.size());
+  for (auto raw : a) preimage.emplace(sa.add(raw), raw);
+  for (auto raw : b) preimage.emplace(sb.add(raw), raw);
+  sa.merge(sb);
+  local.sketches_used += 2;
+  local.bytes += 2 * sa.serialized_size();
+
+  if (auto elems = sa.decode()) {
+    std::vector<std::uint64_t> out;
+    out.reserve(elems->size());
+    bool ok = true;
+    for (auto e : *elems) {
+      auto it = preimage.find(e);
+      if (it == preimage.end()) {
+        ok = false;  // decode produced a non-member: treat as a failure
+        break;
+      }
+      out.push_back(it->second);
+    }
+    if (ok) {
+      if (stats != nullptr) *stats = local;
+      return out;
+    }
+  }
+
+  // The estimate was too small (or the decode was corrupt): escalate to the
+  // fixed full-capacity partitioned path, whose first attempt at
+  // max_capacity_ is the natural next rung of the ladder.
+  ++local.decode_failures;
+  ReconcileStats fb;
+  auto out = PartitionedReconciler(bits_, max_capacity_, max_depth_)
+                 .reconcile(a, b, &fb);
+  local.sketches_used += fb.sketches_used;
+  local.bytes += fb.bytes;
+  local.rounds = fb.rounds > local.rounds ? fb.rounds : local.rounds;
+  local.decode_failures += fb.decode_failures;
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
 std::optional<std::vector<std::uint64_t>> PartitionedReconciler::reconcile(
     std::span<const std::uint64_t> a, std::span<const std::uint64_t> b,
     ReconcileStats* stats) const {

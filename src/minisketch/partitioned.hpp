@@ -29,6 +29,14 @@ struct ReconcileStats {
 // the raw item, indexed by depth.
 bool partition_bit(std::uint64_t raw_item, unsigned depth);
 
+// Shared SREP-style sketch sizing: capacity for an estimated symmetric
+// difference (e.g. the Bloom-clock L1 estimate). A 2x margin plus slack
+// absorbs estimator error; the result is clamped to [8, max_capacity]. Both
+// the wire-sketch prefix (core::LoNode) and AdaptiveReconciler size through
+// this one function, so the two layers stay consistent.
+std::size_t adaptive_capacity(std::size_t diff_estimate,
+                              std::size_t max_capacity) noexcept;
+
 class PartitionedReconciler {
  public:
   PartitionedReconciler(unsigned bits, std::size_t capacity,
@@ -50,6 +58,32 @@ class PartitionedReconciler {
 
   unsigned bits_;
   std::size_t capacity_;
+  unsigned max_depth_;
+};
+
+// SREP-style adaptive reconciliation: size the first sketch to the estimated
+// difference instead of a fixed capacity, so small diffs pay few syndrome
+// bytes and large diffs decode in one round instead of splitting. A failed
+// adaptive decode (estimator error) falls back to the hash-partitioned
+// splitter at full capacity — correctness never depends on the estimate.
+// The recovered raw-item set is identical to PartitionedReconciler's for any
+// estimate (the symmetric difference is unique); only the cost differs.
+class AdaptiveReconciler {
+ public:
+  AdaptiveReconciler(unsigned bits, std::size_t max_capacity,
+                     unsigned max_depth = 24)
+      : bits_(bits), max_capacity_(max_capacity), max_depth_(max_depth) {}
+
+  // `diff_estimate` is the caller's symmetric-difference estimate (Bloom
+  // clock: a.estimate_difference(b)); 0 means "no information" and sizes
+  // minimally, relying on the fallback if that proves too small.
+  std::optional<std::vector<std::uint64_t>> reconcile(
+      std::span<const std::uint64_t> a, std::span<const std::uint64_t> b,
+      std::size_t diff_estimate, ReconcileStats* stats = nullptr) const;
+
+ private:
+  unsigned bits_;
+  std::size_t max_capacity_;
   unsigned max_depth_;
 };
 

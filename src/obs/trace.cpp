@@ -59,6 +59,8 @@ const char* event_kind_name(EventKind k) noexcept {
     case EventKind::kFaultCrash: return "fault.crash";
     case EventKind::kFaultRestart: return "fault.restart";
     case EventKind::kCacheProbe: return "cache.probe";
+    case EventKind::kMemberProbe: return "member.probe";
+    case EventKind::kMemberState: return "member.state";
   }
   return "unknown";
 }

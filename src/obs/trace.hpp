@@ -61,6 +61,11 @@ enum class EventKind : std::uint16_t {
   kFaultRestart = 61,
   // Verify cache. a = 1 on hit, 0 on miss; b = tier (0 = key, 1 = memo).
   kCacheProbe = 70,
+  // Membership (SWIM failure detector). probe: peer = probed member (or the
+  // proxy for an indirect request), a = probe seq, b = 0 direct / 1 indirect;
+  // state: peer = member, a = MemberState, b = incarnation.
+  kMemberProbe = 80,
+  kMemberState = 81,
 };
 
 const char* event_kind_name(EventKind k) noexcept;

@@ -16,6 +16,7 @@
 #include "core/commitment_log.hpp"
 #include "core/inspection.hpp"
 #include "core/messages.hpp"
+#include "membership/messages.hpp"
 #include "util/rng.hpp"
 #include "util/serde.hpp"
 
@@ -342,6 +343,58 @@ TEST(AdversarialDecode, HostileBlockSegmentCountDoesNotBalloon) {
   w2.u64(1);            // seqno
   w2.u32(0xFFFFFFFFu);  // ...claiming 4 billion txids
   EXPECT_FALSE(BlockMsg::deserialize(w2.take_u8()).has_value());
+}
+
+// ------------------------------- membership wire --------------------------
+// SWIM messages carry attacker-influenceable gossip vectors (count prefix,
+// state enum byte, incarnation), so they get the same battery as the core
+// protocol messages. Their decoders take no params — capacity is implicit in
+// the fixed 13-byte update encoding.
+
+std::vector<membership::MemberUpdate> sample_gossip() {
+  return {
+      membership::MemberUpdate{3, membership::MemberState::kSuspect, 7},
+      membership::MemberUpdate{9, membership::MemberState::kAlive, 2},
+      membership::MemberUpdate{12, membership::MemberState::kConfirmed, 1},
+  };
+}
+
+TEST(AdversarialDecode, MembershipPing) {
+  membership::PingMsg m;
+  m.seq = 41;
+  m.gossip = sample_gossip();
+  battery(m.serialize(), [](const std::vector<std::uint8_t>& b) {
+    return membership::PingMsg::deserialize(b).has_value();
+  });
+}
+
+TEST(AdversarialDecode, MembershipPingAck) {
+  membership::PingAckMsg m;
+  m.seq = 42;
+  m.target = 6;
+  m.gossip = sample_gossip();
+  battery(m.serialize(), [](const std::vector<std::uint8_t>& b) {
+    return membership::PingAckMsg::deserialize(b).has_value();
+  });
+}
+
+TEST(AdversarialDecode, MembershipPingReq) {
+  membership::PingReqMsg m;
+  m.seq = 43;
+  m.target = 6;
+  m.gossip = sample_gossip();
+  battery(m.serialize(), [](const std::vector<std::uint8_t>& b) {
+    return membership::PingReqMsg::deserialize(b).has_value();
+  });
+}
+
+TEST(AdversarialDecode, HostileCountMembershipGossip) {
+  // "4 billion updates, zero bytes behind the count" must reject without
+  // allocating.
+  util::Writer w;
+  w.u64(1);            // seq
+  w.u32(0xFFFFFFFFu);  // gossip count
+  EXPECT_FALSE(membership::PingMsg::deserialize(w.take_u8()).has_value());
 }
 
 // A hostile sketch capacity embedded in a commitment must be bounded by the

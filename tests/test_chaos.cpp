@@ -247,5 +247,257 @@ TEST(Chaos, InvariantSweepIsCleanOnHealthyNetwork) {
   EXPECT_TRUE(net.invariant_violations().empty());
 }
 
+TEST(Chaos, PreCrashTimersNeverFireIntoNewIncarnation) {
+  // Regression: request/retry timers armed before a crash must be dead on
+  // arrival after restart() — the epoch bump has to swallow them, or a
+  // restarted node would fire timeouts (and potentially suspicions) that
+  // belong to its previous life.
+  harness::LoNetwork net(net_cfg(6, 61));
+  // Total blackout: every sync request stays pending, arming full retry
+  // chains (timers due up to ~15 s out) on every node.
+  net.sim().set_delivery_filter(
+      [](core::NodeId, core::NodeId) { return false; });
+  net.run_for(3.0);
+  ASSERT_GT(net.node(0).stats().requests_sent, 0u);
+  ASSERT_GT(net.node(0).stats().timeouts_fired, 0u);
+
+  // Heal the network, then bounce node 0. All its pre-crash timers are still
+  // scheduled inside the simulator — they must all hit the epoch wall.
+  net.sim().set_delivery_filter(nullptr);
+  const auto suppressed_before = net.sim().fault_counters().suppressed_callbacks;
+  net.crash_node(0);
+  net.restart_node(0);
+  const auto timeouts_at_restart = net.node(0).stats().timeouts_fired;
+  net.run_for(20.0);  // past every pre-crash retry deadline
+  EXPECT_GT(net.sim().fault_counters().suppressed_callbacks, suppressed_before)
+      << "stale pre-crash timers must be suppressed, not silently dropped";
+  // Post-restart the network is healthy: every request node 0 arms is
+  // answered well inside its timeout, so any timeout increment would have to
+  // come from a pre-crash timer leaking into the new incarnation.
+  EXPECT_EQ(net.node(0).stats().timeouts_fired, timeouts_at_restart);
+  EXPECT_EQ(net.node(0).stats().suspicions_raised, 0u);
+}
+
+// ------------------------------------------------- membership-enabled runs ----
+
+// Membership timing used by the chaos scenarios: constant 50 ms latency keeps
+// the direct probe RTT (100 ms) inside the ping timeout, and the period leaves
+// room for the full indirect round (timeout + four 50 ms hops = 320 ms) so a
+// reachable peer is never suspected merely because only the proxy path works.
+harness::NetworkConfig membership_cfg(std::size_t n, std::uint64_t seed) {
+  auto cfg = net_cfg(n, seed);
+  cfg.city_latency = false;
+  cfg.node.membership.enabled = true;
+  cfg.node.membership.protocol_period = 500 * sim::kMillisecond;
+  cfg.node.membership.ping_timeout = 120 * sim::kMillisecond;
+  return cfg;
+}
+
+TEST(Chaos, MembershipConfirmsCrashAndAbsolvesTimeouts) {
+  auto cfg = membership_cfg(16, 71);
+  harness::LoNetwork net(cfg);
+  net.start_invariant_checker(sim::kSecond);
+  net.start_workload(load_cfg(5.0, 73));
+  net.run_for(5.0);
+  ASSERT_NE(net.node(0).swim(), nullptr);
+
+  net.crash_node(3);
+  // Worst-case first probe: one full rotation (n-1 periods); then the
+  // suspicion window (suspicion_periods periods) plus dissemination slack.
+  const double bound_s =
+      sim::to_seconds(cfg.node.membership.protocol_period) *
+      (static_cast<double>(cfg.num_nodes) +
+       cfg.node.membership.suspicion_periods + 8);
+  net.run_for(bound_s + 15.0);  // also past the pre-confirm retry chains
+
+  std::size_t confirms = 0;
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    if (i == 3) continue;
+    ASSERT_NE(net.node(i).swim(), nullptr) << "node " << i;
+    if (net.node(i).swim()->confirmed_faulty(3)) ++confirms;
+  }
+  EXPECT_EQ(confirms, net.size() - 1)
+      << "every live node must confirm the crashed one";
+  ASSERT_GT(net.membership_detection_latency().count(), 0u);
+  for (double s : net.membership_detection_latency().values()) {
+    EXPECT_LE(s, bound_s) << "detection latency must be bounded";
+  }
+  // Accuracy in a loss-free run: the only member ever suspected or confirmed
+  // anywhere is the node that actually crashed.
+  for (const auto& ev : net.member_events()) {
+    if (ev.state != membership::MemberState::kAlive) {
+      EXPECT_EQ(ev.member, 3u) << "false " << member_state_name(ev.state)
+                               << " of live node " << ev.member;
+    }
+  }
+  // Liveness/misbehavior separation: request timeouts that expired after the
+  // detector confirmed the crash were absolved instead of raising blame.
+  std::uint64_t absolved = 0;
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    absolved += net.node(i).suspicions_absolved();
+  }
+  EXPECT_GT(absolved, 0u);
+  EXPECT_TRUE(net.invariant_violations().empty());
+
+  // Rejoin: the restarted node announces a strictly higher incarnation,
+  // which overrides confirmed everywhere — no manual membership reset.
+  net.restart_node(3);
+  net.run_for(15.0);
+  EXPECT_GT(net.node(3).member_incarnation(), 0u);
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    if (i == 3) continue;
+    EXPECT_TRUE(net.node(i).swim()->presumed_live(3))
+        << "node " << i << " still thinks the rejoined node is faulty";
+  }
+}
+
+TEST(Chaos, AsymmetricPartitionCausesNoMembershipSuspicion) {
+  // One-way loss 2 -> 9: pings from 2 die, acks from 9 die, but every
+  // indirect path is intact. SWIM's ping-req round must mask the broken
+  // direction completely — neither endpoint may ever be suspected, let alone
+  // confirmed, by anyone.
+  auto cfg = membership_cfg(12, 79);
+  harness::LoNetwork net(cfg);
+  net.start_invariant_checker(sim::kSecond);
+  net.faults().flaky_link(2, 9, 0, 40 * sim::kSecond, 1.0,
+                          /*bidirectional=*/false);
+  net.start_workload(load_cfg(4.0, 83));
+  net.run_for(30.0);
+  net.stop_workload();
+  net.run_for(30.0);  // link heals at 40 s; accountability drains after
+
+  for (const auto& ev : net.member_events()) {
+    EXPECT_EQ(ev.state, membership::MemberState::kAlive)
+        << "membership " << member_state_name(ev.state) << " of node "
+        << ev.member << " under a one-way link";
+  }
+  // The accountability layer may transiently blame across the broken
+  // direction (requests really were lost) but must retract once the link
+  // heals and the logs reconverge; nothing hardens into exposure.
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    EXPECT_TRUE(net.node(i).registry().exposed().empty()) << "node " << i;
+    for (std::size_t j = 0; j < net.size(); ++j) {
+      EXPECT_FALSE(net.node(i).registry().is_suspected(
+          static_cast<core::NodeId>(j)))
+          << i << " still suspects " << j;
+    }
+  }
+  EXPECT_TRUE(net.invariant_violations().empty());
+}
+
+TEST(Chaos, FlappingPeerRejoinsWithGrowingIncarnation) {
+  auto cfg = membership_cfg(10, 89);
+  harness::LoNetwork net(cfg);
+  net.start_invariant_checker(sim::kSecond);
+  net.start_workload(load_cfg(4.0, 97));
+  net.run_for(3.0);
+  // Five down/up cycles, each long enough for suspicion to set in but short
+  // enough that confirms and rejoins interleave aggressively.
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    net.crash_node(7);
+    net.run_for(3.0);
+    net.restart_node(7);
+    net.run_for(3.0);
+  }
+  net.stop_workload();
+  net.run_for(25.0);
+
+  // The durable incarnation grew monotonically across the flaps (one bump
+  // per restart, plus any refutations of in-flight suspicions).
+  EXPECT_GE(net.node(7).member_incarnation(), 5u);
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    if (i == 7) continue;
+    EXPECT_TRUE(net.node(i).swim()->presumed_live(7)) << "node " << i;
+    EXPECT_TRUE(net.node(i).registry().exposed().empty()) << "node " << i;
+  }
+  // No stale confirm of the flapper may survive the final rejoin, and no
+  // live node was ever suspected or confirmed.
+  for (const auto& ev : net.member_events()) {
+    if (ev.state != membership::MemberState::kAlive) {
+      EXPECT_EQ(ev.member, 7u);
+    }
+  }
+  EXPECT_TRUE(net.invariant_violations().empty());
+}
+
+TEST(Chaos, MassChurnWithMembershipStaysAccurateAndConverges) {
+  // 20% of the network flapping at once: the detector must track each life
+  // cycle without ever confirming a node that never crashed, and the mempool
+  // must still converge once the churn stops.
+  auto cfg = membership_cfg(20, 101);
+  harness::LoNetwork net(cfg);
+  net.start_invariant_checker(sim::kSecond);
+  net.start_workload(load_cfg(6.0, 103));
+  sim::ChurnConfig churn;
+  churn.mean_gap = sim::kSecond;
+  churn.min_down = 2 * sim::kSecond;
+  churn.max_down = 6 * sim::kSecond;
+  churn.max_concurrent_down = 4;  // 20% of 20 nodes
+  net.start_churn(churn);
+  net.run_for(30.0);
+  EXPECT_GT(net.faults().crashes_injected(), 5u);
+  net.stop_churn();
+  net.stop_workload();
+  net.run_for(90.0);
+  EXPECT_EQ(net.faults().down_count(), 0u);
+
+  // Accuracy under churn: anything beyond alive only ever hit nodes that
+  // really crashed at some point.
+  for (const auto& ev : net.member_events()) {
+    if (ev.state != membership::MemberState::kAlive) {
+      EXPECT_TRUE(net.ever_crashed(ev.member))
+          << "node " << ev.member << " was "
+          << member_state_name(ev.state) << " but never crashed";
+    }
+  }
+  // Convergence: everyone is presumed alive again and holds the full set.
+  const auto total = net.txs_injected();
+  ASSERT_GT(total, 50u);
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    EXPECT_EQ(net.node(i).mempool_size(), total) << "node " << i;
+    EXPECT_TRUE(net.node(i).registry().exposed().empty()) << "node " << i;
+    for (std::size_t j = 0; j < net.size(); ++j) {
+      if (i == j) continue;
+      EXPECT_TRUE(net.node(i).swim()->presumed_live(
+          static_cast<core::NodeId>(j)))
+          << i << " still distrusts " << j;
+    }
+  }
+  EXPECT_TRUE(net.invariant_violations().empty());
+}
+
+TEST(Chaos, MembershipScalesToThousandNodes) {
+  // The scalability claim: detection latency is governed by protocol periods,
+  // not by per-peer request timeouts — at n=1000 a single crash is confirmed
+  // network-wide within a bounded number of periods, and a loss-free run
+  // produces zero false suspicion. No workload: this isolates the
+  // SWIM traffic itself.
+  auto cfg = membership_cfg(1000, 107);
+  cfg.node.membership.protocol_period = sim::kSecond;
+  cfg.node.membership.ping_timeout = 300 * sim::kMillisecond;
+  harness::LoNetwork net(cfg);
+  net.run_for(3.0);
+  net.crash_node(123);
+  // With 999 independent probers the first probe of the victim lands within
+  // a couple of periods; the suspicion window plus gossip spread bounds the
+  // rest. 25 periods is generous and still far below the ~999-period bound
+  // a single prober would need.
+  net.run_for(25.0);
+
+  std::size_t confirms = 0;
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    if (i == 123) continue;
+    if (net.node(i).swim()->confirmed_faulty(123)) ++confirms;
+  }
+  EXPECT_EQ(confirms, net.size() - 1);
+  for (const auto& ev : net.member_events()) {
+    if (ev.state != membership::MemberState::kAlive) {
+      EXPECT_EQ(ev.member, 123u)
+          << "false " << member_state_name(ev.state) << " at scale";
+    }
+  }
+  EXPECT_TRUE(net.check_invariants().empty());
+}
+
 }  // namespace
 }  // namespace lo

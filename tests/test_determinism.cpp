@@ -136,6 +136,58 @@ TEST(Determinism, LoDifferentSeedDifferentTrace) {
   EXPECT_NE(run_lo(42), run_lo(43));
 }
 
+// --------------------------------------------------- LØ with membership ----
+
+// A membership-enabled run under churn: SWIM probes, suspicion deadlines,
+// incarnation-bump refutations and the rejoin path all ride the same seeded
+// RNG and epoch-scoped timers, so the full detector state and the member
+// event feed must replay bit-for-bit too.
+std::string run_lo_membership(std::uint64_t seed) {
+  auto cfg = test::net_cfg(12, seed);
+  cfg.trace = true;
+  cfg.city_latency = false;
+  cfg.node.membership.enabled = true;
+  cfg.node.membership.protocol_period = 500 * sim::kMillisecond;
+  cfg.node.membership.ping_timeout = 120 * sim::kMillisecond;
+  harness::LoNetwork net(cfg);
+  net.start_workload(test::load_cfg(10.0, seed + 2000));
+  sim::ChurnConfig churn;
+  churn.mean_gap = 2 * sim::kSecond;
+  churn.max_concurrent_down = 2;
+  net.start_churn(churn);
+  net.run_for(12.0);
+  net.stop_churn();
+  net.run_for(8.0);
+
+  TraceDigest d;
+  d.str(lo_trace_digest(net));
+  for (const auto& ev : net.member_events()) {
+    d.u64(ev.observer);
+    d.u64(ev.member);
+    d.u64(static_cast<std::uint64_t>(ev.state));
+    d.f64(ev.when_s);
+  }
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    d.u64(net.node(i).member_incarnation());
+    d.u64(net.node(i).suspicions_absolved());
+    if (const auto* det = net.node(i).swim()) {
+      for (const auto& [member, ms] : det->members()) {
+        d.u64(member);
+        d.u64(static_cast<std::uint64_t>(ms.state));
+        d.u64(ms.incarnation);
+      }
+    }
+  }
+  for (double v : net.membership_detection_latency().values()) d.f64(v);
+  return d.hex();
+}
+
+TEST(Determinism, LoMembershipSameSeedSameTrace) {
+  const std::string a = run_lo_membership(77);
+  const std::string b = run_lo_membership(77);
+  EXPECT_EQ(a, b) << "membership-enabled LO runs diverged under seed replay";
+}
+
 // -------------------------------------------------------------- baselines ----
 
 template <typename NodeT>

@@ -167,6 +167,9 @@ TEST(Lolint, ProtocolPathPredicate) {
   // Trace/metrics exports must stay byte-identical across same-seed runs, so
   // the observability layer obeys the full protocol ruleset.
   EXPECT_TRUE(lolint::is_protocol_path("src/obs/trace.cpp"));
+  // The failure detector feeds the accountability gate, so its state machine
+  // must replay deterministically under the same ruleset.
+  EXPECT_TRUE(lolint::is_protocol_path("src/membership/swim.cpp"));
   EXPECT_FALSE(lolint::is_protocol_path("src/harness/lo_network.cpp"));
   EXPECT_FALSE(lolint::is_protocol_path("tests/test_util.cpp"));
   EXPECT_TRUE(lolint::is_rng_exempt_path("src/util/rng.hpp"));
