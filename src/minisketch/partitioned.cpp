@@ -30,6 +30,7 @@ std::optional<std::vector<std::uint64_t>> AdaptiveReconciler::reconcile(
   Sketch sa(bits_, cap);
   Sketch sb(bits_, cap);
   std::unordered_map<std::uint64_t, std::uint64_t> preimage;
+  // lolint:allow(hot-path-alloc) reason=one sized reserve per reconcile round; the preimage map is the round's result scratch, not per-element churn
   preimage.reserve(a.size() + b.size());
   for (auto raw : a) preimage.emplace(sa.add(raw), raw);
   for (auto raw : b) preimage.emplace(sb.add(raw), raw);
@@ -39,6 +40,7 @@ std::optional<std::vector<std::uint64_t>> AdaptiveReconciler::reconcile(
 
   if (auto elems = sa.decode()) {
     std::vector<std::uint64_t> out;
+    // lolint:allow(hot-path-alloc) reason=exact-size reserve for the returned difference set; allocation is the function's output, not churn
     out.reserve(elems->size());
     bool ok = true;
     for (auto e : *elems) {
@@ -47,6 +49,7 @@ std::optional<std::vector<std::uint64_t>> AdaptiveReconciler::reconcile(
         ok = false;  // decode produced a non-member: treat as a failure
         break;
       }
+      // lolint:allow(hot-path-alloc) reason=append into the exact-size reserved result vector; never reallocates
       out.push_back(it->second);
     }
     if (ok) {

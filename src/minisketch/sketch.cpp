@@ -95,12 +95,33 @@ std::optional<std::vector<std::uint64_t>> Sketch::decode() const {
   // (node reconciliation, consistency checks, the partitioned reconciler)
   // shares its warmed-up buffers, so steady-state decoding is allocation-free
   // apart from the returned vector.
+  // lolint:allow(thread-local-protocol) reason=per-thread decode workspace is the documented exception; capacity is clamped by Decoder::decode's high-water check
   thread_local Decoder decoder;
   return decoder.decode(*this);
 }
 
+void Decoder::clamp_workspace(std::size_t capacity) {
+  if (capacity > window_high_water_) window_high_water_ = capacity;
+  if (++decodes_in_window_ < kClampWindow) return;
+  // syn_ holds the expanded sequence S_1 .. S_2c, so a capacity-c request
+  // needs 2c elements; the other buffers scale with c or smaller.
+  const std::size_t needed = 2 * window_high_water_;
+  if (syn_.capacity() > kClampSlack * needed) {
+    std::vector<std::uint64_t>().swap(syn_);
+    syn_.reserve(needed);
+    gf::Poly().swap(recip_);
+    std::vector<std::uint64_t>().swap(found_);
+    std::vector<std::uint64_t>().swap(check_);
+    bm_ = gf::BmWorkspace{};
+    roots_ = gf::RootWorkspace{};
+  }
+  window_high_water_ = 0;
+  decodes_in_window_ = 0;
+}
+
 std::optional<std::vector<std::uint64_t>> Decoder::decode(const Sketch& sk) {
   obs::ScopedProfile prof(obs::ProfileSite::kSketchDecode, sk.capacity());
+  clamp_workspace(sk.capacity());
   if (sk.is_zero()) return std::vector<std::uint64_t>{};
 
   const gf::Field& field = sk.field();

@@ -98,13 +98,29 @@ class Decoder {
  public:
   std::optional<std::vector<std::uint64_t>> decode(const Sketch& s);
 
+  // Retained capacity of the syndrome-expansion buffer (elements). This is
+  // the workspace's dominant allocation and what the high-water clamp
+  // manages; exposed so the clamp behavior is testable.
+  std::size_t workspace_capacity() const noexcept { return syn_.capacity(); }
+
  private:
+  // One oversized decode (e.g. a full-capacity partitioned escalation) must
+  // not pin its peak allocation for the life of the thread-local decoder:
+  // every kClampWindow decodes, if the retained buffers exceed kClampSlack
+  // times what the window's largest request needed, the workspace is
+  // released back down to that high-water mark.
+  static constexpr std::size_t kClampWindow = 64;
+  static constexpr std::size_t kClampSlack = 4;
+  void clamp_workspace(std::size_t capacity);
+
   std::vector<std::uint64_t> syn_;    // S_1 .. S_2c (odd stored, even derived)
   gf::BmWorkspace bm_;
   gf::Poly recip_;                    // reciprocal locator
   gf::RootWorkspace roots_;
   std::vector<std::uint64_t> found_;  // roots scratch
   std::vector<std::uint64_t> check_;  // recomputed syndromes (overflow check)
+  std::size_t window_high_water_ = 0;  // largest capacity seen this window
+  std::size_t decodes_in_window_ = 0;
 };
 
 }  // namespace lo::sketch

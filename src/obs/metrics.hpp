@@ -24,6 +24,9 @@
 #include <utility>
 #include <vector>
 
+#include "obs/sync.hpp"
+#include "util/thread_annotations.hpp"
+
 namespace lo::obs {
 
 // Label set as (key, value) pairs; canonicalization sorts by key and rejects
@@ -97,19 +100,27 @@ class Registry {
   // Get-or-create. References stay valid for the registry's lifetime
   // (std::map node stability); re-registering with a different kind under the
   // same id throws std::invalid_argument.
+  //
+  // Concurrency model (DESIGN.md §4d): the internal mutex guards the cell
+  // *map* — registration, snapshot, merge and export are safe from any
+  // thread. The returned value references deliberately escape the lock: a
+  // cell is single-writer (owned by the shard/thread that registered it),
+  // and cross-thread aggregation goes through snapshot()/merge(), never
+  // through a shared cell handle.
   std::uint64_t& counter(std::string_view name, const Labels& labels = {});
   double& gauge(std::string_view name, const Labels& labels = {});
   LogHistogram& histogram(std::string_view name, const Labels& labels = {});
 
   bool contains(std::string_view name, const Labels& labels = {}) const;
-  std::size_t size() const noexcept { return cells_.size(); }
-  const Snapshot& cells() const noexcept { return cells_; }
-  Snapshot snapshot() const { return cells_; }
-  void clear() { cells_.clear(); }
+  std::size_t size() const;
+  Snapshot snapshot() const;
+  void clear();
 
   // Merges `other` into this registry: counters and histogram buckets add,
   // gauges add (the aggregate of per-node gauges is their sum — e.g. total
-  // mempool size). Same id with a different kind throws.
+  // mempool size). Same id with a different kind throws. This is the
+  // per-shard -> global aggregation path: workers merge snapshots of their
+  // private registries into a shared one, serialized by its mutex.
   void merge(const Snapshot& other);
 
   // bench_common-style JSON ({"context": {...}, "metrics": [...]}) and flat
@@ -123,8 +134,13 @@ class Registry {
   bool write_csv(const std::string& path) const;
 
  private:
-  Cell& cell(std::string_view name, const Labels& labels, MetricKind kind);
-  Snapshot cells_;
+  Cell& cell_locked(std::string_view name, const Labels& labels,
+                    MetricKind kind) LO_REQUIRES(mu_);
+  std::string to_json_locked(std::string_view suite) const LO_REQUIRES(mu_);
+  std::string to_csv_locked() const LO_REQUIRES(mu_);
+
+  mutable Mutex mu_;
+  Snapshot cells_ LO_GUARDED_BY(mu_);
 };
 
 // The "global scope" view of a labeled snapshot: strips labels and sums

@@ -19,7 +19,9 @@ const char* profile_site_name(ProfileSite s) noexcept {
 
 namespace profile {
 
+// lolint:allow(mutable-static) reason=process-global profile table, single-threaded by design until the parallel DES shards it per worker
 bool g_enabled = false;
+// lolint:allow(mutable-static) reason=process-global profile table, single-threaded by design until the parallel DES shards it per worker
 std::array<ProfileCounters, static_cast<std::size_t>(ProfileSite::kCount)>
     g_counters{};
 

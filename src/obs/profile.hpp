@@ -40,8 +40,13 @@ struct ProfileCounters {
 
 namespace profile {
 
-// Single-threaded simulator: plain globals, no atomics needed.
+// Single-threaded simulator: plain globals, no atomics needed. The parallel
+// DES will shard this table per worker and publish() will merge; until then
+// the mutable globals are a deliberate, documented exception to the
+// concurrency-readiness rules.
+// lolint:allow(mutable-static) reason=process-global profile table, single-threaded by design until the parallel DES shards it per worker
 extern bool g_enabled;
+// lolint:allow(mutable-static) reason=process-global profile table, single-threaded by design until the parallel DES shards it per worker
 extern std::array<ProfileCounters, static_cast<std::size_t>(ProfileSite::kCount)>
     g_counters;
 

@@ -95,6 +95,7 @@ std::uint64_t short_id(std::span<const std::uint8_t> bytes) noexcept {
 }
 
 Tracer::Tracer(std::size_t capacity) : capacity_(capacity) {
+  MutexLock lock(mu_);
   if (capacity_ == 0) throw std::invalid_argument("tracer capacity 0");
   names_.emplace_back();  // id 0 = ""
 }
@@ -103,6 +104,7 @@ void Tracer::enable(bool on) { enabled_ = on; }
 
 void Tracer::set_capacity(std::size_t capacity) {
   if (capacity == 0) throw std::invalid_argument("tracer capacity 0");
+  MutexLock lock(mu_);
   capacity_ = capacity;
   ring_.clear();
   ring_.shrink_to_fit();
@@ -111,8 +113,24 @@ void Tracer::set_capacity(std::size_t capacity) {
   dropped_ = 0;
 }
 
+std::size_t Tracer::capacity() const {
+  MutexLock lock(mu_);
+  return capacity_;
+}
+
+std::size_t Tracer::size() const {
+  MutexLock lock(mu_);
+  return count_;
+}
+
+std::uint64_t Tracer::dropped() const {
+  MutexLock lock(mu_);
+  return dropped_;
+}
+
 std::uint16_t Tracer::intern(std::string_view s) {
   if (s.empty()) return 0;
+  MutexLock lock(mu_);
   auto it = intern_.find(s);
   if (it != intern_.end()) return it->second;
   if (names_.size() > 0xFFFF) throw std::length_error("tracer intern table full");
@@ -122,13 +140,20 @@ std::uint16_t Tracer::intern(std::string_view s) {
   return id;
 }
 
-const std::string& Tracer::name(std::uint16_t id) const {
+std::string Tracer::name(std::uint16_t id) const {
+  MutexLock lock(mu_);
   if (id >= names_.size()) throw std::out_of_range("unknown interned name");
   return names_[id];
 }
 
+std::vector<std::string> Tracer::names() const {
+  MutexLock lock(mu_);
+  return names_;
+}
+
 void Tracer::record(EventKind kind, std::uint32_t node, std::uint32_t peer,
                     std::uint64_t a, std::uint64_t b, std::uint16_t name) {
+  MutexLock lock(mu_);
   if (ring_.size() != capacity_) ring_.resize(capacity_);
   TraceEvent ev;
   ev.at = clock_ != nullptr ? *clock_ : 0;
@@ -148,7 +173,7 @@ void Tracer::record(EventKind kind, std::uint32_t node, std::uint32_t peer,
   }
 }
 
-std::vector<TraceEvent> Tracer::events() const {
+std::vector<TraceEvent> Tracer::events_locked() const {
   std::vector<TraceEvent> out;
   out.reserve(count_);
   for (std::size_t i = 0; i < count_; ++i) {
@@ -157,13 +182,20 @@ std::vector<TraceEvent> Tracer::events() const {
   return out;
 }
 
+std::vector<TraceEvent> Tracer::events() const {
+  MutexLock lock(mu_);
+  return events_locked();
+}
+
 void Tracer::clear() {
+  MutexLock lock(mu_);
   head_ = 0;
   count_ = 0;
   dropped_ = 0;
 }
 
 std::vector<std::uint8_t> Tracer::bytes() const {
+  MutexLock lock(mu_);
   util::Writer w;
   for (std::uint8_t m : kMagic) w.u8(m);
   w.u32(kVersion);

@@ -29,6 +29,9 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/sync.hpp"
+#include "util/thread_annotations.hpp"
+
 namespace lo::obs {
 
 enum class EventKind : std::uint16_t {
@@ -126,26 +129,28 @@ class Tracer {
 
   // Changing capacity clears the buffer (ring arithmetic restarts).
   void set_capacity(std::size_t capacity);
-  std::size_t capacity() const noexcept { return capacity_; }
+  std::size_t capacity() const;
 
   // Interns a string, returning its stable id. Ids are assigned in first-use
   // order (deterministic given deterministic call order); id 0 is "". Throws
   // std::length_error past 65535 distinct strings.
   std::uint16_t intern(std::string_view s);
-  const std::string& name(std::uint16_t id) const;
-  const std::vector<std::string>& names() const noexcept { return names_; }
+  std::string name(std::uint16_t id) const;
+  std::vector<std::string> names() const;
 
   // Records an event (no-op when disabled). Overflow policy: drop-oldest —
   // the ring keeps the most recent `capacity` events and counts what it
-  // evicted, so the tail of a long run is always inspectable.
+  // evicted, so the tail of a long run is always inspectable. The enabled
+  // check stays outside the lock: enable() is a configuration call made
+  // before any concurrent emitters exist (DESIGN.md §4d).
   void emit(EventKind kind, std::uint32_t node, std::uint32_t peer = 0,
             std::uint64_t a = 0, std::uint64_t b = 0, std::uint16_t name = 0) {
     if (!enabled_) return;
     record(kind, node, peer, a, b, name);
   }
 
-  std::size_t size() const noexcept { return count_; }
-  std::uint64_t dropped() const noexcept { return dropped_; }
+  std::size_t size() const;
+  std::uint64_t dropped() const;
 
   // Events oldest -> newest (linearized copy of the ring).
   std::vector<TraceEvent> events() const;
@@ -173,16 +178,24 @@ class Tracer {
  private:
   void record(EventKind kind, std::uint32_t node, std::uint32_t peer,
               std::uint64_t a, std::uint64_t b, std::uint16_t name);
+  std::vector<TraceEvent> events_locked() const LO_REQUIRES(mu_);
 
+  // enabled_ and clock_ are configuration: set before any concurrent
+  // emitters exist, read-only afterwards — deliberately outside mu_ so the
+  // disabled fast path stays one branch. Ring, counters and the intern table
+  // are the shared-mutable state the capability analysis guards.
+  // lolint:allow(unguarded-field) reason=configuration latch set before concurrent emitters exist; keeping it lock-free is what makes the disabled path one branch
   bool enabled_ = false;
   const std::int64_t* clock_ = nullptr;
-  std::size_t capacity_;
-  std::size_t head_ = 0;  // index of the oldest event
-  std::size_t count_ = 0;
-  std::uint64_t dropped_ = 0;
-  std::vector<TraceEvent> ring_;  // allocated lazily on first record
-  std::vector<std::string> names_;
-  std::map<std::string, std::uint16_t, std::less<>> intern_;
+  mutable Mutex mu_;
+  std::size_t capacity_ LO_GUARDED_BY(mu_);
+  std::size_t head_ LO_GUARDED_BY(mu_) = 0;  // index of the oldest event
+  std::size_t count_ LO_GUARDED_BY(mu_) = 0;
+  std::uint64_t dropped_ LO_GUARDED_BY(mu_) = 0;
+  // Allocated lazily on first record.
+  std::vector<TraceEvent> ring_ LO_GUARDED_BY(mu_);
+  std::vector<std::string> names_ LO_GUARDED_BY(mu_);
+  std::map<std::string, std::uint16_t, std::less<>> intern_ LO_GUARDED_BY(mu_);
 };
 
 // Chrome/Perfetto trace-event JSON. Every event renders as a thread-scoped

@@ -94,7 +94,13 @@ void Simulator::send(NodeId from, NodeId to, PayloadPtr msg) {
 
 void Simulator::schedule(Duration delay, std::function<void()> fn) {
   if (delay < 0) delay = 0;
+  ShardLock lock(shard_mu_);
   queue_.push(Event{now_ + delay, next_seq_++, std::move(fn)});
+}
+
+std::size_t Simulator::pending_events() const {
+  ShardLock lock(shard_mu_);
+  return queue_.size();
 }
 
 void Simulator::schedule_for(NodeId owner, Duration delay,
@@ -123,9 +129,17 @@ void Simulator::start() {
 std::size_t Simulator::run_until(TimePoint horizon) {
   start();
   std::size_t processed = 0;
-  while (!queue_.empty() && queue_.top().at <= horizon) {
-    Event ev = queue_.top();
-    queue_.pop();
+  for (;;) {
+    // Pop under the shard lock, dispatch outside it: event handlers schedule
+    // follow-up events (schedule() re-acquires), and the future parallel DES
+    // dispatches whole lookahead windows without holding the queue lock.
+    Event ev;
+    {
+      ShardLock lock(shard_mu_);
+      if (queue_.empty() || queue_.top().at > horizon) break;
+      ev = queue_.top();
+      queue_.pop();
+    }
     now_ = ev.at;
     ev.fn();
     ++processed;
@@ -136,9 +150,13 @@ std::size_t Simulator::run_until(TimePoint horizon) {
 
 bool Simulator::step() {
   start();
-  if (queue_.empty()) return false;
-  Event ev = queue_.top();
-  queue_.pop();
+  Event ev;
+  {
+    ShardLock lock(shard_mu_);
+    if (queue_.empty()) return false;
+    ev = queue_.top();
+    queue_.pop();
+  }
   now_ = ev.at;
   ev.fn();
   return true;

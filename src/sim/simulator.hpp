@@ -36,7 +36,9 @@
 #include "obs/hub.hpp"
 #include "sim/bandwidth.hpp"
 #include "sim/latency.hpp"
+#include "sim/shard_mutex.hpp"
 #include "util/rng.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace lo::sim {
 
@@ -175,7 +177,7 @@ class Simulator {
   // Processes a single event; returns false when the queue is empty.
   bool step();
 
-  std::size_t pending_events() const noexcept { return queue_.size(); }
+  std::size_t pending_events() const;
 
  private:
   struct Event {
@@ -194,24 +196,47 @@ class Simulator {
     std::uint64_t epoch = 0;  // bumped on every up -> down transition
   };
 
+  // Everything below except {shard_mu_, next_seq_, queue_} is
+  // coordinator-owned: in the parallel DES it is read or written only
+  // between worker windows (setup, barrier advancement, teardown), never
+  // from worker threads, so it stays deliberately outside the shard lock.
+  // The lolint annotations record that ownership decision field by field.
+  //
+  // now_ additionally has its address escaped to the tracer (set_clock), so
+  // it must not move behind a lock that workers would need.
+  // lolint:allow(unguarded-field) reason=coordinator-owned clock; advances only at window barriers, tracer reads it via a stable pointer
   TimePoint now_ = 0;
-  std::uint64_t next_seq_ = 0;
   util::Rng rng_;
   obs::Hub obs_;
+  // lolint:allow(unguarded-field) reason=coordinator-owned topology; nodes register before the run starts
   std::vector<INode*> nodes_;
+  // lolint:allow(unguarded-field) reason=coordinator-owned lifecycle table; fault injection runs between worker windows
   std::vector<NodeState> node_state_;
-  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+  // The event queue is the structure cross-shard sends will contend on once
+  // nodes are sharded across workers; it is lock-guarded today (uncontended)
+  // so the parallel refactor is a guarded-state diff, not an archaeology
+  // project (DESIGN.md §4d).
+  mutable ShardMutex shard_mu_;
+  std::uint64_t next_seq_ LO_GUARDED_BY(shard_mu_) = 0;
+  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_
+      LO_GUARDED_BY(shard_mu_);
+  // lolint:allow(unguarded-field) reason=coordinator-owned configuration; installed during experiment setup, read-only afterwards
   std::shared_ptr<LatencyModel> latency_;
   BandwidthAccountant bandwidth_;
+  // lolint:allow(unguarded-field) reason=coordinator-owned configuration; installed during experiment setup, read-only afterwards
   double drop_probability_ = 0.0;
+  // lolint:allow(unguarded-field) reason=coordinator-owned configuration; installed during experiment setup, read-only afterwards
   DeliveryFilter filter_;
+  // lolint:allow(unguarded-field) reason=coordinator-owned configuration; installed during experiment setup, read-only afterwards
   DeliveryFilter fault_filter_;
+  // lolint:allow(unguarded-field) reason=coordinator-owned configuration; installed during experiment setup, read-only afterwards
   LatencyShaper latency_shaper_;
   // Registry cell handles (stable addresses; see Registry::counter).
   std::uint64_t* c_dropped_sender_down_;
   std::uint64_t* c_dropped_receiver_down_;
   std::uint64_t* c_suppressed_callbacks_;
   std::uint64_t* c_dropped_by_fault_filter_;
+  // lolint:allow(unguarded-field) reason=coordinator-owned start latch; flipped once before any worker exists
   bool started_ = false;
 };
 

@@ -154,6 +154,128 @@ TEST(Lolint, SerdeAsymmetryFires) {
   EXPECT_NE(it->message.find("OneWay"), std::string::npos) << it->message;
 }
 
+// ------------------------------------------------------------ mutable-static ----
+
+TEST(Lolint, MutableStaticFires) {
+  const auto fs = lint_as("mutable_static.cpp", "src/core/mutable_static.cpp");
+  EXPECT_EQ(count_rule(fs, "mutable-static"), 5u) << dump(fs);
+  // Constants and thread_locals must not leak into other rules either.
+  EXPECT_EQ(fs.size(), count_rule(fs, "mutable-static")) << dump(fs);
+}
+
+TEST(Lolint, MutableStaticSilentInTests) {
+  // Test fixtures and harness state may use globals freely.
+  const auto fs = lint_as("mutable_static.cpp", "tests/mutable_static.cpp");
+  EXPECT_TRUE(fs.empty()) << dump(fs);
+}
+
+TEST(Lolint, MutableStaticAllowSuppresses) {
+  const auto fs =
+      lint_as("mutable_static_allowed.cpp", "src/core/mutable_static.cpp");
+  EXPECT_TRUE(fs.empty()) << dump(fs);
+}
+
+// ----------------------------------------------------------- unguarded-field ----
+
+TEST(Lolint, UnguardedFieldFires) {
+  const auto fs = lint_as("unguarded_field.cpp", "src/core/unguarded_field.cpp");
+  EXPECT_EQ(count_rule(fs, "unguarded-field"), 2u) << dump(fs);
+  EXPECT_EQ(fs.size(), count_rule(fs, "unguarded-field")) << dump(fs);
+  // The message names the write site so the finding is actionable.
+  for (const auto& f : fs) {
+    EXPECT_NE(f.message.find("written"), std::string::npos) << f.message;
+  }
+}
+
+TEST(Lolint, UnguardedFieldAllowSuppresses) {
+  const auto fs =
+      lint_as("unguarded_field_allowed.cpp", "src/core/unguarded_field.cpp");
+  EXPECT_TRUE(fs.empty()) << dump(fs);
+}
+
+// ----------------------------------------------------- thread-local-protocol ----
+
+TEST(Lolint, ThreadLocalProtocolFires) {
+  const auto fs = lint_as("thread_local_protocol.cpp",
+                          "src/core/thread_local_protocol.cpp");
+  // `static thread_local` must count once, not once per storage keyword.
+  EXPECT_EQ(count_rule(fs, "thread-local-protocol"), 2u) << dump(fs);
+  EXPECT_EQ(fs.size(), count_rule(fs, "thread-local-protocol")) << dump(fs);
+}
+
+TEST(Lolint, ThreadLocalExemptInWorkspaceDirs) {
+  // gf and obs own the documented per-thread workspace pattern.
+  EXPECT_TRUE(
+      lint_as("thread_local_protocol.cpp", "src/gf/thread_local_protocol.cpp")
+          .empty());
+  EXPECT_TRUE(
+      lint_as("thread_local_protocol.cpp", "src/obs/thread_local_protocol.cpp")
+          .empty());
+}
+
+TEST(Lolint, ThreadLocalAllowSuppresses) {
+  const auto fs = lint_as("thread_local_protocol_allowed.cpp",
+                          "src/core/thread_local_protocol.cpp");
+  EXPECT_TRUE(fs.empty()) << dump(fs);
+}
+
+// ------------------------------------------------------------ hot-path-alloc ----
+
+TEST(Lolint, HotPathAllocFires) {
+  const auto fs = lint_as("hot_path_alloc.cpp", "src/core/hot_path_alloc.cpp");
+  // Four sites in the instrumented function; none in the cold helper.
+  EXPECT_EQ(count_rule(fs, "hot-path-alloc"), 4u) << dump(fs);
+  EXPECT_EQ(fs.size(), count_rule(fs, "hot-path-alloc")) << dump(fs);
+}
+
+TEST(Lolint, HotPathAllocSilentInTests) {
+  const auto fs = lint_as("hot_path_alloc.cpp", "tests/hot_path_alloc.cpp");
+  EXPECT_TRUE(fs.empty()) << dump(fs);
+}
+
+TEST(Lolint, HotPathAllocAllowSuppresses) {
+  const auto fs =
+      lint_as("hot_path_alloc_allowed.cpp", "src/core/hot_path_alloc.cpp");
+  EXPECT_TRUE(fs.empty()) << dump(fs);
+}
+
+// ------------------------------------------------------ serde-field-coverage ----
+
+TEST(Lolint, SerdeFieldCoverageFires) {
+  const auto fs = lint_as("serde_field_coverage.cpp",
+                          "src/core/serde_field_coverage.cpp");
+  ASSERT_EQ(count_rule(fs, "serde-field-coverage"), 1u) << dump(fs);
+  EXPECT_EQ(fs.size(), 1u) << dump(fs);
+  // The message names the missing field and the lopsided class; the
+  // symmetric Balanced struct contributes nothing.
+  const auto& f = fs.front();
+  EXPECT_NE(f.message.find("spare"), std::string::npos) << f.message;
+  EXPECT_NE(f.message.find("Lopsided"), std::string::npos) << f.message;
+}
+
+TEST(Lolint, SerdeFieldCoverageAllowSuppresses) {
+  const auto fs = lint_as("serde_field_coverage_allowed.cpp",
+                          "src/core/serde_field_coverage.cpp");
+  EXPECT_TRUE(fs.empty()) << dump(fs);
+}
+
+// ------------------------------------------------------------- v2 annotations ----
+
+TEST(Lolint, V2AllowForWrongRuleDoesNotSuppress) {
+  // A valid allow naming a sibling concurrency rule leaves the
+  // thread_local finding standing and produces no bad-allow.
+  const auto fs = lint_as("wrong_allow_v2.cpp", "src/core/wrong_allow_v2.cpp");
+  EXPECT_EQ(count_rule(fs, "thread-local-protocol"), 1u) << dump(fs);
+  EXPECT_EQ(count_rule(fs, "bad-allow"), 0u) << dump(fs);
+  EXPECT_EQ(fs.size(), 1u) << dump(fs);
+}
+
+TEST(Lolint, V2MalformedAllowFires) {
+  // Missing reason, empty reason and a misspelled v2 rule id each fire.
+  const auto fs = lint_as("bad_allow_v2.cpp", "src/core/bad_allow_v2.cpp");
+  EXPECT_EQ(count_rule(fs, "bad-allow"), 3u) << dump(fs);
+}
+
 // ------------------------------------------------------------------ helpers ----
 
 TEST(Lolint, CleanFixtureIsClean) {

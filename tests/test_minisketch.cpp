@@ -255,6 +255,39 @@ TEST(Sketch, SupersetDecodesAsGrowth) {
   EXPECT_EQ(d->size(), extras.size());
 }
 
+TEST(Decoder, WorkspaceClampsAfterOversizedDecode) {
+  // Regression: the (thread-local) Decoder workspace used to retain the
+  // capacity of the largest decode it ever served. One full-capacity
+  // partitioned escalation would pin ~2 * 512 syndrome slots for the life of
+  // the thread even when every later request needed 16. The high-water clamp
+  // releases the buffers once a full observation window of decodes stays
+  // well below the retained size.
+  Decoder d;
+  Sketch big(16, 512);
+  util::Rng rng(99);
+  for (int i = 0; i < 300; ++i) big.add(rng.next());
+  ASSERT_TRUE(d.decode(big).has_value());
+  const std::size_t inflated = d.workspace_capacity();
+  ASSERT_GE(inflated, 2 * 512u);  // before: peak buffer pinned
+
+  Sketch small(16, 8);
+  const std::uint64_t elem = small.add(42);
+  for (int i = 0; i < 200; ++i) {
+    const auto out = d.decode(small);
+    ASSERT_TRUE(out.has_value());
+    ASSERT_EQ(out->size(), 1u);
+  }
+  const std::size_t clamped = d.workspace_capacity();
+  EXPECT_LT(clamped, inflated);  // after: released to the window high-water
+  EXPECT_LE(clamped, 64u);       // 2 * max recent capacity, not the old peak
+
+  // Decodes remain correct (and allocation-sized sanely) after the clamp.
+  const auto out = d.decode(small);
+  ASSERT_TRUE(out.has_value());
+  ASSERT_EQ(out->size(), 1u);
+  EXPECT_EQ(out->front(), elem);
+}
+
 // ----------------------------------------------------------- partitioned ----
 
 TEST(Partitioned, SmallDiffNeedsOneRound) {

@@ -632,6 +632,260 @@ void check_serde_symmetry(const FileInput& f, const std::string& code,
   }
 }
 
+// ------------------------------------------------- v2 symbol-aware rules --
+
+// Resolves a function's enclosing/qualifying class to a key in the global
+// class map: exact "ns::qualifier" first, then a unique suffix match.
+std::string resolve_class_key(const Symbols& syms, const FunctionSymbol& fn) {
+  if (fn.cls.empty()) return "";
+  const std::string exact = fn.ns.empty() ? fn.cls : fn.ns + "::" + fn.cls;
+  if (syms.classes.count(exact) != 0) return exact;
+  std::string found;
+  const std::string suffix = "::" + fn.cls;
+  for (const auto& [key, cls] : syms.classes) {
+    (void)cls;
+    const bool match =
+        key == fn.cls ||
+        (key.size() > suffix.size() &&
+         key.compare(key.size() - suffix.size(), suffix.size(), suffix) == 0);
+    if (!match) continue;
+    if (!found.empty()) return "";  // ambiguous across namespaces: skip
+    found = key;
+  }
+  return found;
+}
+
+bool is_write_mutator(const std::string& s) {
+  static const std::set<std::string> kMut = {
+      "push_back", "emplace_back", "pop_back", "push",   "pop",
+      "emplace",   "clear",        "insert",   "erase",  "assign",
+      "resize",    "reserve",      "swap",
+  };
+  return kMut.count(s) != 0;
+}
+
+// `.push_back(` / `->resize(` etc. — the grow-only container calls that can
+// allocate on a hot path. tok k must be the method-name identifier.
+bool is_growth_call(const std::vector<Token>& toks, std::size_t k,
+                    std::size_t end) {
+  static const std::set<std::string> kGrow = {"push_back", "emplace_back",
+                                             "resize", "reserve"};
+  if (kGrow.count(toks[k].text) == 0) return false;
+  if (k == 0) return false;
+  const std::string& prev = toks[k - 1].text;
+  if (prev != "." && prev != "->") return false;
+  return k + 1 < end && toks[k + 1].text == "(";
+}
+
+bool is_assign_op(const std::string& s) {
+  static const std::set<std::string> kOps = {
+      "=",  "+=", "-=", "*=", "/=", "%=",
+      "&=", "|=", "^=", "<<=", ">>=", "++", "--",
+  };
+  return kOps.count(s) != 0;
+}
+
+// Scans a function body's tokens for writes to plain identifiers (candidate
+// member fields): assignments, inc/dec, and mutating container calls.
+// `this->x` counts; `other.x` does not (that is another object's field).
+void scan_field_writes(const std::vector<Token>& toks, std::size_t b,
+                       std::size_t e,
+                       std::map<std::string, int>* write_lines) {
+  for (std::size_t k = b; k < e; ++k) {
+    if (toks[k].kind != TokKind::kIdent) continue;
+    const std::string& name = toks[k].text;
+    if (k > b) {
+      const std::string& prev = toks[k - 1].text;
+      if (prev == "." || prev == "->") {
+        const bool via_this = k >= 2 && toks[k - 2].text == "this";
+        if (!via_this) continue;
+      }
+    }
+    bool write = false;
+    if (k + 1 < e && is_assign_op(toks[k + 1].text)) {
+      write = true;
+    } else if (k > b && (toks[k - 1].text == "++" || toks[k - 1].text == "--")) {
+      write = true;
+    } else if (k + 3 < e &&
+               (toks[k + 1].text == "." || toks[k + 1].text == "->") &&
+               toks[k + 2].kind == TokKind::kIdent &&
+               is_write_mutator(toks[k + 2].text) && toks[k + 3].text == "(") {
+      write = true;
+    }
+    if (write && write_lines->find(name) == write_lines->end()) {
+      (*write_lines)[name] = toks[k].line;
+    }
+  }
+}
+
+void check_mutable_static(const FileInput& f, const TuIndex& idx,
+                          const AllowIndex& allows,
+                          std::vector<Finding>* out) {
+  if (is_test_path(f.path)) return;
+  for (const auto& s : idx.statics) {
+    if (s.is_const || s.is_thread_local) continue;
+    if (!allows.allowed(s.line, "mutable-static")) {
+      const char* where =
+          s.scope == StaticSymbol::Scope::kNamespace
+              ? "namespace-scope variable"
+              : (s.scope == StaticSymbol::Scope::kClassStatic
+                     ? "static data member"
+                     : "function-local static");
+      out->push_back(
+          {f.path, s.line, "mutable-static",
+           std::string("mutable ") + where + " '" + s.name +
+               "' — process-global mutable state cannot be sharded by the "
+               "parallel DES; make it const, move it into an owned object, "
+               "or annotate: // lolint:allow(mutable-static) reason=<why "
+               "single-threaded access is guaranteed>"});
+    }
+  }
+}
+
+void check_thread_local_protocol(const FileInput& f, const TuIndex& idx,
+                                 const AllowIndex& allows,
+                                 std::vector<Finding>* out) {
+  if (is_test_path(f.path) || is_thread_local_exempt_path(f.path)) return;
+  for (const auto& s : idx.statics) {
+    if (!s.is_thread_local || s.is_const) continue;
+    if (allows.allowed(s.line, "thread-local-protocol")) continue;
+    out->push_back(
+        {f.path, s.line, "thread-local-protocol",
+         "thread_local '" + s.name +
+             "' outside the gf/obs per-thread-workspace allowlist — "
+             "per-thread state needs a documented ownership protocol; move "
+             "it behind a gf/obs facade or annotate: "
+             "// lolint:allow(thread-local-protocol) reason=<protocol>"});
+  }
+}
+
+void check_unguarded_field(const FileInput& f, const TuIndex& idx,
+                           const Symbols& syms, const AllowIndex& allows,
+                           std::vector<Finding>* out) {
+  if (is_test_path(f.path)) return;
+  for (const auto& fd : idx.fields) {
+    const auto it = syms.classes.find(fd.class_key);
+    if (it == syms.classes.end() || !it->second.has_guarded) continue;
+    if (fd.guarded || fd.is_mutex || fd.is_atomic || fd.is_const ||
+        fd.is_static) {
+      continue;
+    }
+    const auto w = it->second.writes.find(fd.name);
+    if (w == it->second.writes.end()) continue;
+    if (allows.allowed(fd.line, "unguarded-field")) continue;
+    out->push_back(
+        {f.path, fd.line, "unguarded-field",
+         "field '" + fd.name + "' of capability class '" + fd.class_key +
+             "' is written from a method (" + w->second.first + ":" +
+             std::to_string(w->second.second) +
+             ") but carries no LO_GUARDED_BY — guard it, or annotate the "
+             "declaration: // lolint:allow(unguarded-field) reason=<which "
+             "thread owns it>"});
+  }
+}
+
+void check_hot_path_alloc(const FileInput& f, const TuIndex& idx,
+                          const AllowIndex& allows,
+                          std::vector<Finding>* out) {
+  if (is_test_path(f.path)) return;
+  const auto& toks = idx.tokens;
+  for (const auto& fn : idx.functions) {
+    if (fn.body_end <= fn.body_begin) continue;
+    bool instrumented = false;
+    for (std::size_t k = fn.body_begin; k < fn.body_end; ++k) {
+      if (toks[k].kind == TokKind::kIdent && toks[k].text == "ScopedProfile") {
+        instrumented = true;
+        break;
+      }
+    }
+    if (!instrumented) continue;
+    for (std::size_t k = fn.body_begin; k < fn.body_end; ++k) {
+      if (toks[k].kind != TokKind::kIdent) continue;
+      const std::string& s = toks[k].text;
+      std::string what;
+      if (s == "new" &&
+          (k == fn.body_begin ||
+           (toks[k - 1].text != "." && toks[k - 1].text != "->"))) {
+        what = "operator new";
+      } else if ((s == "make_unique" || s == "make_shared") &&
+                 k + 1 < fn.body_end &&
+                 (toks[k + 1].text == "<" || toks[k + 1].text == "(")) {
+        what = "std::" + s;
+      } else if (is_growth_call(toks, k, fn.body_end)) {
+        what = s + "()";
+      }
+      if (what.empty()) continue;
+      const int line = toks[k].line;
+      if (allows.allowed(line, "hot-path-alloc")) continue;
+      out->push_back(
+          {f.path, line, "hot-path-alloc",
+           what + " inside ScopedProfile-instrumented function '" + fn.name +
+               "' — hot paths must reuse warmed workspaces (PolyPool / "
+               "Decoder buffers); hoist the allocation or annotate: "
+               "// lolint:allow(hot-path-alloc) reason=<amortization "
+               "argument>"});
+    }
+  }
+}
+
+void check_serde_field_coverage(const FileInput& f, const TuIndex& idx,
+                                const Symbols& syms, const AllowIndex& allows,
+                                std::vector<Finding>* out) {
+  if (f.path.rfind("src/", 0) != 0) return;
+  // Gather this TU's write()/read() bodies per resolved class.
+  struct Bodies {
+    std::vector<const FunctionSymbol*> write_fns, read_fns;
+  };
+  std::map<std::string, Bodies> per_class;
+  for (const auto& fn : idx.functions) {
+    if (fn.body_end <= fn.body_begin) continue;
+    if (fn.name != "write" && fn.name != "read") continue;
+    const std::string key = resolve_class_key(syms, fn);
+    if (key.empty()) continue;
+    if (fn.name == "write") {
+      per_class[key].write_fns.push_back(&fn);
+    } else {
+      per_class[key].read_fns.push_back(&fn);
+    }
+  }
+  const auto& toks = idx.tokens;
+  const auto body_idents = [&](const std::vector<const FunctionSymbol*>& fns) {
+    std::set<std::string> names;
+    for (const auto* fn : fns) {
+      for (std::size_t k = fn->body_begin; k < fn->body_end; ++k) {
+        if (toks[k].kind == TokKind::kIdent) names.insert(toks[k].text);
+      }
+    }
+    return names;
+  };
+  for (const auto& [key, bodies] : per_class) {
+    if (bodies.write_fns.empty() || bodies.read_fns.empty()) continue;
+    const auto cls_it = syms.classes.find(key);
+    if (cls_it == syms.classes.end()) continue;
+    const auto in_write = body_idents(bodies.write_fns);
+    const auto in_read = body_idents(bodies.read_fns);
+    for (const auto& fd : cls_it->second.fields) {
+      if (fd.is_static || fd.is_const) continue;
+      const bool w = in_write.count(fd.name) != 0;
+      const bool r = in_read.count(fd.name) != 0;
+      if (w == r) continue;
+      // Anchor at the body that is missing the field, so the allow sits on
+      // the definition that owns the asymmetry.
+      const FunctionSymbol* anchor =
+          w ? bodies.read_fns.front() : bodies.write_fns.front();
+      if (allows.allowed(anchor->line, "serde-field-coverage")) continue;
+      out->push_back(
+          {f.path, anchor->line, "serde-field-coverage",
+           "field '" + fd.name + "' of '" + key + "' is " +
+               (w ? "written by write() but never touched by read()"
+                  : "read by read() but never emitted by write()") +
+               " — wire coverage must be field-symmetric (or annotate the "
+               "lagging side: // lolint:allow(serde-field-coverage) "
+               "reason=<why the field is derived>)"});
+    }
+  }
+}
+
 }  // namespace
 
 bool NameTable::contains(const std::string& file,
@@ -643,8 +897,11 @@ bool NameTable::contains(const std::string& file,
 
 const std::vector<std::string>& rule_ids() {
   static const std::vector<std::string> kIds = {
-      "banned-source",     "unordered-iter", "float-in-protocol",
-      "relative-include",  "serde-symmetry",
+      "banned-source",        "unordered-iter",
+      "float-in-protocol",    "relative-include",
+      "serde-symmetry",       "mutable-static",
+      "unguarded-field",      "thread-local-protocol",
+      "hot-path-alloc",       "serde-field-coverage",
   };
   return kIds;
 }
@@ -662,6 +919,14 @@ bool is_protocol_path(const std::string& path) {
 
 bool is_rng_exempt_path(const std::string& path) {
   return path.rfind("src/util/rng.", 0) == 0 || path.rfind("src/sim/", 0) == 0;
+}
+
+bool is_thread_local_exempt_path(const std::string& path) {
+  return path.rfind("src/gf/", 0) == 0 || path.rfind("src/obs/", 0) == 0;
+}
+
+bool is_test_path(const std::string& path) {
+  return path.rfind("tests/", 0) == 0;
 }
 
 std::string strip_comments(const std::string& content) {
@@ -757,25 +1022,71 @@ NameTable collect_unordered_names(const std::vector<FileInput>& files) {
   return table;
 }
 
-std::vector<Finding> lint_file(const FileInput& file, const NameTable& names) {
+Symbols collect_symbols(const std::vector<FileInput>& files) {
+  Symbols syms;
+  syms.names = collect_unordered_names(files);
+  std::vector<TuIndex> indices;
+  indices.reserve(files.size());
+  for (const auto& f : files) {
+    indices.push_back(index_tu(strip_comments(f.content)));
+    const TuIndex& idx = indices.back();
+    for (const auto& fd : idx.fields) {
+      auto& cls = syms.classes[fd.class_key];
+      cls.fields.push_back(fd);
+      cls.field_files.push_back(f.path);
+      if (fd.guarded) cls.has_guarded = true;
+    }
+  }
+  // Second pass: attribute method-body writes to the (now complete) class
+  // map, keeping only names that are actual fields of the resolved class.
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    const TuIndex& idx = indices[i];
+    for (const auto& fn : idx.functions) {
+      if (fn.body_end <= fn.body_begin || fn.is_ctor_or_dtor) continue;
+      const std::string key = resolve_class_key(syms, fn);
+      if (key.empty()) continue;
+      auto cls_it = syms.classes.find(key);
+      if (cls_it == syms.classes.end()) continue;
+      std::map<std::string, int> write_lines;
+      scan_field_writes(idx.tokens, fn.body_begin, fn.body_end, &write_lines);
+      for (const auto& [name, line] : write_lines) {
+        const bool is_field = std::any_of(
+            cls_it->second.fields.begin(), cls_it->second.fields.end(),
+            [&](const FieldSymbol& fd) { return fd.name == name; });
+        if (!is_field) continue;
+        cls_it->second.writes.emplace(name,
+                                      std::make_pair(files[i].path, line));
+      }
+    }
+  }
+  return syms;
+}
+
+std::vector<Finding> lint_file(const FileInput& file, const Symbols& symbols) {
   std::vector<Finding> out;
   const std::string code = strip_comments(file.content);
   const AllowIndex allows = build_allow_index(file, code);
   out.insert(out.end(), allows.malformed.begin(), allows.malformed.end());
   check_banned_sources(file, code, allows, &out);
-  check_unordered_iter(file, code, names, allows, &out);
+  check_unordered_iter(file, code, symbols.names, allows, &out);
   check_float_in_protocol(file, code, allows, &out);
   check_relative_include(file, allows, &out);
   check_serde_symmetry(file, code, allows, &out);
+  const TuIndex idx = index_tu(code);
+  check_mutable_static(file, idx, allows, &out);
+  check_thread_local_protocol(file, idx, allows, &out);
+  check_unguarded_field(file, idx, symbols, allows, &out);
+  check_hot_path_alloc(file, idx, allows, &out);
+  check_serde_field_coverage(file, idx, symbols, allows, &out);
   std::sort(out.begin(), out.end());
   return out;
 }
 
 std::vector<Finding> lint_files(const std::vector<FileInput>& files) {
-  const NameTable names = collect_unordered_names(files);
+  const Symbols symbols = collect_symbols(files);
   std::vector<Finding> out;
   for (const auto& f : files) {
-    const auto fs = lint_file(f, names);
+    const auto fs = lint_file(f, symbols);
     out.insert(out.end(), fs.begin(), fs.end());
   }
   std::sort(out.begin(), out.end());

@@ -20,6 +20,22 @@
 //   [bad-allow]         malformed lolint:allow annotation (unknown rule id or
 //                       empty reason).
 //
+// Concurrency-readiness rules (v2, symbol-aware — see symbols.hpp):
+//   [mutable-static]    non-const namespace-scope variable, class-level
+//                       static, or function-local static outside tests/ —
+//                       shared mutable state the parallel DES cannot shard.
+//   [unguarded-field]   a mutable member of a class that declares any
+//                       LO_GUARDED_BY field, written from a (non-ctor)
+//                       method, without its own capability annotation.
+//   [thread-local-protocol] thread_local outside the src/gf// src/obs/
+//                       allowlist (per-thread state needs a documented
+//                       ownership protocol).
+//   [hot-path-alloc]    new/make_unique/make_shared or vector growth
+//                       (push_back/emplace_back/resize/reserve) inside a
+//                       ScopedProfile-instrumented function body.
+//   [serde-field-coverage] a field of a struct with write()/read() wire
+//                       methods that appears in one body but not the other.
+//
 // Allow annotation grammar (suppresses exactly ONE rule, on the annotated
 // line or, when written on a comment-only line, on the next code line):
 //   // lolint:allow(<rule-id>) reason=<non-empty free text to end of line>
@@ -29,6 +45,8 @@
 #include <set>
 #include <string>
 #include <vector>
+
+#include "symbols.hpp"
 
 namespace lolint {
 
@@ -61,22 +79,45 @@ struct NameTable {
   bool contains(const std::string& file, const std::string& name) const;
 };
 
+// Cross-TU symbol knowledge for the v2 rules: which classes exist, their
+// fields (declared in headers), and which fields are written from methods
+// (defined in .cpp files — possibly a different TU than the declaration).
+struct Symbols {
+  struct Class {
+    bool has_guarded = false;  // declares at least one LO_GUARDED_BY field
+    std::vector<FieldSymbol> fields;
+    std::vector<std::string> field_files;  // parallel to fields: declaring file
+    // field name -> first non-ctor method write site ("file", line)
+    std::map<std::string, std::pair<std::string, int>> writes;
+  };
+  NameTable names;
+  std::map<std::string, Class> classes;  // key: ns::...::Class
+};
+
 // All valid rule ids (everything lolint:allow may name).
 const std::vector<std::string>& rule_ids();
 
 // Directory predicates, on repo-relative paths.
 bool is_protocol_path(const std::string& path);
 bool is_rng_exempt_path(const std::string& path);
+// Paths where thread_local is allowed without annotation (gf/obs own the
+// per-thread workspace idiom) and where the concurrency rules stay silent.
+bool is_thread_local_exempt_path(const std::string& path);
+bool is_test_path(const std::string& path);
 
 // Replaces comments and string/char-literal bodies with spaces, preserving
 // the line structure so offsets keep mapping to the same line numbers.
 std::string strip_comments(const std::string& content);
 
-// Pass 1: harvest unordered-container names from every scanned file.
+// Pass 1a: harvest unordered-container names from every scanned file.
 NameTable collect_unordered_names(const std::vector<FileInput>& files);
 
-// Pass 2: lint one file against the table. Findings are sorted.
-std::vector<Finding> lint_file(const FileInput& file, const NameTable& names);
+// Pass 1: full cross-TU symbol harvest (unordered names + class fields +
+// method write sites).
+Symbols collect_symbols(const std::vector<FileInput>& files);
+
+// Pass 2: lint one file against the global symbol table. Findings are sorted.
+std::vector<Finding> lint_file(const FileInput& file, const Symbols& symbols);
 
 // Convenience: both passes over a whole file set.
 std::vector<Finding> lint_files(const std::vector<FileInput>& files);

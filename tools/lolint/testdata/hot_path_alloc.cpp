@@ -1,0 +1,33 @@
+// lolint corpus: allocation inside a ScopedProfile-instrumented function
+// fires [hot-path-alloc] — reserve, push_back growth, make_unique and bare
+// new each count. The identical allocations in an uninstrumented helper stay
+// silent: the rule keys on the profiling scope, not the call names alone.
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+struct ScopedProfile {
+  explicit ScopedProfile(int site);
+};
+
+std::vector<std::uint64_t> decode_hot(std::size_t n) {
+  ScopedProfile prof(1);
+  std::vector<std::uint64_t> out;
+  out.reserve(n);  // fires
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(i);  // fires
+  }
+  auto scratch = std::make_unique<std::uint64_t[]>(n);  // fires
+  auto* raw = new std::uint64_t[n];                     // fires
+  delete[] raw;
+  return out;
+}
+
+std::vector<std::uint64_t> assemble_cold(std::size_t n) {
+  std::vector<std::uint64_t> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(i);
+  }
+  return out;
+}

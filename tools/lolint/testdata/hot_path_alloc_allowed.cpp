@@ -1,0 +1,26 @@
+// lolint corpus: every [hot-path-alloc] site from hot_path_alloc.cpp with an
+// amortization-argument allow attached — lints clean.
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+struct ScopedProfile {
+  explicit ScopedProfile(int site);
+};
+
+std::vector<std::uint64_t> decode_hot(std::size_t n) {
+  ScopedProfile prof(1);
+  std::vector<std::uint64_t> out;
+  // lolint:allow(hot-path-alloc) reason=one sized reserve per call, amortized
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // lolint:allow(hot-path-alloc) reason=appends into the reserved capacity
+    out.push_back(i);
+  }
+  // lolint:allow(hot-path-alloc) reason=scratch allocated once per call by design
+  auto scratch = std::make_unique<std::uint64_t[]>(n);
+  // lolint:allow(hot-path-alloc) reason=scratch allocated once per call by design
+  auto* raw = new std::uint64_t[n];
+  delete[] raw;
+  return out;
+}

@@ -1,0 +1,23 @@
+// lolint corpus: mutable process-global state fires [mutable-static] at
+// namespace scope, for extern declarations, for class-level statics and for
+// function-local statics. Constants stay silent, and thread_local is the
+// business of [thread-local-protocol], not this rule.
+#include <cstdint>
+
+extern std::uint64_t g_total_bytes;  // fires: extern mutable declaration
+std::uint64_t g_total_msgs = 0;      // fires: namespace-scope global
+static int g_retry_budget = 3;       // fires: internal-linkage global
+constexpr int kWindow = 16;          // silent: constant
+const int kDepth = 4;                // silent: constant
+
+struct Telemetry {
+  static std::uint64_t inflight;   // fires: class-level static
+  static constexpr int kMax = 8;   // silent: constant
+  int local_counter = 0;           // silent: plain instance member
+};
+
+int bump() {
+  static int calls = 0;       // fires: function-local mutable static
+  static const int base = 7;  // silent: function-local constant
+  return ++calls + base;
+}

@@ -1,0 +1,47 @@
+// lolint corpus: field-level write()/read() asymmetry fires
+// [serde-field-coverage]. Lopsided emits `spare` in write() but read() never
+// mentions it — one finding, anchored at the read() body. Balanced touches
+// every field on both sides and stays silent.
+#include <cstdint>
+
+struct Writer;
+struct Reader;
+void put(Writer& w, std::uint64_t v);
+std::uint64_t take(Reader& r);
+
+struct Lopsided {
+  std::uint64_t seq = 0;
+  std::uint64_t fee = 0;
+  std::uint64_t spare = 0;
+
+  void write(Writer& w) const;
+  static Lopsided read(Reader& r);
+};
+
+void Lopsided::write(Writer& w) const {
+  put(w, seq);
+  put(w, fee);
+  put(w, spare);  // emitted here, never consumed below
+}
+
+Lopsided Lopsided::read(Reader& r) {
+  Lopsided out;
+  out.seq = take(r);
+  out.fee = take(r);
+  return out;
+}
+
+struct Balanced {
+  std::uint64_t nonce = 0;
+
+  void write(Writer& w) const;
+  static Balanced read(Reader& r);
+};
+
+void Balanced::write(Writer& w) const { put(w, nonce); }
+
+Balanced Balanced::read(Reader& r) {
+  Balanced out;
+  out.nonce = take(r);
+  return out;
+}

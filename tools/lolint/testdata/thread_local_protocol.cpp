@@ -1,0 +1,19 @@
+// lolint corpus: thread_local storage outside the gf/obs workspace allowlist
+// fires [thread-local-protocol] — both the bare form and the combined
+// `static thread_local` spelling (which must produce exactly one finding,
+// not one per storage keyword).
+#include <cstdint>
+
+struct Workspace {
+  std::uint64_t scratch[64];
+};
+
+Workspace& local_workspace() {
+  thread_local Workspace ws;  // fires
+  return ws;
+}
+
+std::uint64_t bump_epoch() {
+  static thread_local std::uint64_t epoch = 0;  // fires exactly once
+  return ++epoch;
+}

@@ -1,0 +1,19 @@
+// lolint corpus: thread_local sites carrying the documented-exception allow —
+// lints clean anywhere in the tree.
+#include <cstdint>
+
+struct Workspace {
+  std::uint64_t scratch[64];
+};
+
+Workspace& local_workspace() {
+  // lolint:allow(thread-local-protocol) reason=per-thread workspace documented in DESIGN.md
+  thread_local Workspace ws;
+  return ws;
+}
+
+std::uint64_t bump_epoch() {
+  // lolint:allow(thread-local-protocol) reason=per-thread workspace documented in DESIGN.md
+  static thread_local std::uint64_t epoch = 0;
+  return ++epoch;
+}

@@ -1,0 +1,36 @@
+// lolint corpus: a class that declares any LO_GUARDED_BY field is a
+// "capability class" — its other mutable members written from methods must
+// either carry an annotation or an explicit ownership allow. Two unannotated
+// written fields fire [unguarded-field]; the guarded field, the mutex itself
+// and a never-written constant stay silent. A class with no annotations at
+// all (Freeform) is out of scope by design.
+#include <cstdint>
+
+struct Mutex {
+  void lock();
+  void unlock();
+};
+
+class Ledger {
+ public:
+  void deposit(std::uint64_t amount) {
+    balance_ += amount;     // guarded field: silent
+    ++unguarded_ops_;       // unannotated field write -> finding at its decl
+    last_amount_ = amount;  // second unannotated write -> finding at its decl
+  }
+
+ private:
+  mutable Mutex mu_;
+  std::uint64_t balance_ LO_GUARDED_BY(mu_) = 0;
+  std::uint64_t unguarded_ops_ = 0;
+  std::uint64_t last_amount_ = 0;
+  const std::uint64_t genesis_ = 7;
+};
+
+class Freeform {
+ public:
+  void tick() { ++count_; }  // no capability declared anywhere: silent
+
+ private:
+  std::uint64_t count_ = 0;
+};

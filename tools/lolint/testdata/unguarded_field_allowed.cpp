@@ -1,0 +1,25 @@
+// lolint corpus: the unguarded_field.cpp capability class with ownership
+// allows attached to both written-but-unannotated members — lints clean.
+#include <cstdint>
+
+struct Mutex {
+  void lock();
+  void unlock();
+};
+
+class Ledger {
+ public:
+  void deposit(std::uint64_t amount) {
+    balance_ += amount;
+    ++unguarded_ops_;
+    last_amount_ = amount;
+  }
+
+ private:
+  mutable Mutex mu_;
+  std::uint64_t balance_ LO_GUARDED_BY(mu_) = 0;
+  // lolint:allow(unguarded-field) reason=single-writer statistic; torn reads acceptable
+  std::uint64_t unguarded_ops_ = 0;
+  // lolint:allow(unguarded-field) reason=single-writer statistic; torn reads acceptable
+  std::uint64_t last_amount_ = 0;
+};

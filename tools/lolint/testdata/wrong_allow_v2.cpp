@@ -1,0 +1,12 @@
+// lolint corpus: a well-formed allow naming a *sibling* concurrency rule does
+// not suppress — the thread_local finding must survive the mutable-static
+// allow, and no bad-allow may appear (the annotation itself is valid).
+struct Workspace {
+  int scratch;
+};
+
+Workspace& local_workspace() {
+  // lolint:allow(mutable-static) reason=names the wrong rule on purpose
+  thread_local Workspace ws;
+  return ws;
+}
