@@ -22,7 +22,7 @@ void FloodNode::admit(const core::Transaction& tx, core::NodeId source) {
   announce_queue_.push_back(tx.id);
   if (!announce_armed_) {
     announce_armed_ = true;
-    sim_.schedule(config_.announce_delay, [this] { flush_announcements(); });
+    sim_.schedule_for(id_, config_.announce_delay, [this] { flush_announcements(); });
   }
 }
 

@@ -20,9 +20,9 @@ NarwhalNode::NarwhalNode(sim::Simulator& sim, core::NodeId id,
 
 void NarwhalNode::on_start() {
   // Stagger batch ticks across nodes.
-  const auto phase = static_cast<sim::Duration>(sim_.rng().next_below(
+  const auto phase = static_cast<sim::Duration>(sim_.node_rng(id_).next_below(
       static_cast<std::uint64_t>(config_.batch_interval)));
-  sim_.schedule(phase, [this] { batch_tick(); });
+  sim_.schedule_for(id_, phase, [this] { batch_tick(); });
 }
 
 void NarwhalNode::submit_transaction(const core::Transaction& tx) {
@@ -69,7 +69,7 @@ void NarwhalNode::batch_tick() {
       sim_.send(id_, n, header);
     }
   }
-  sim_.schedule(config_.batch_interval, [this] { batch_tick(); });
+  sim_.schedule_for(id_, config_.batch_interval, [this] { batch_tick(); });
 }
 
 void NarwhalNode::on_message(core::NodeId from, const sim::PayloadPtr& msg) {

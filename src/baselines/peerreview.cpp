@@ -35,7 +35,7 @@ PeerReviewNode::PeerReviewNode(sim::Simulator& sim, core::NodeId id,
 void PeerReviewNode::on_start() { schedule_audits(); }
 
 void PeerReviewNode::schedule_audits() {
-  sim_.schedule(config_.audit_interval, [this] {
+  sim_.schedule_for(id_, config_.audit_interval, [this] {
     if (universe_ > 1) {
       // This node witnesses the `witnesses` nodes preceding it (equivalently,
       // each node is audited by the `witnesses` ids after it, mod n).
@@ -84,7 +84,7 @@ void PeerReviewNode::admit(const core::Transaction& tx) {
   announce_queue_.push_back(tx.id);
   if (!announce_armed_) {
     announce_armed_ = true;
-    sim_.schedule(config_.announce_delay, [this] { flush_announcements(); });
+    sim_.schedule_for(id_, config_.announce_delay, [this] { flush_announcements(); });
   }
 }
 

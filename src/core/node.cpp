@@ -197,7 +197,7 @@ void LoNode::restart() {
   // Fresh random phase, exactly like a cold start; the pre-crash timers were
   // invalidated by the epoch bump when the simulator marked us down.
   const sim::Duration phase = static_cast<sim::Duration>(
-      sim_.rng().next_below(static_cast<std::uint64_t>(config_.recon_interval)));
+      sim_.node_rng(id_).next_below(static_cast<std::uint64_t>(config_.recon_interval)));
   sim_.schedule_for(id_, phase, [this] { sync_round(); });
   if (config_.rotate_interval > 0 && view_) {
     sim_.schedule_for(id_, config_.rotate_interval, [this] { rotate_neighbors(); });
@@ -229,7 +229,7 @@ void LoNode::init_membership() {
     sim_.schedule_for(id_, delay, std::move(fn));
   };
   cb.rand_below = [this](std::uint64_t bound) {
-    return sim_.rng().next_below(bound);
+    return sim_.node_rng(id_).next_below(bound);
   };
   cb.on_state = [this](NodeId node, membership::MemberState state,
                        std::uint64_t /*incarnation*/) {
@@ -263,7 +263,7 @@ void LoNode::request_missing_content() {
     auto txreq = std::make_shared<TxRequest>();
     txreq->want.assign(missing.begin() + static_cast<std::ptrdiff_t>(off),
                        missing.begin() + static_cast<std::ptrdiff_t>(end));
-    const NodeId peer = neighbors_[sim_.rng().next_below(neighbors_.size())];
+    const NodeId peer = neighbors_[sim_.node_rng(id_).next_below(neighbors_.size())];
     const std::uint64_t rid = register_pending(peer, RequestKind::kContent, txreq);
     txreq->request_id = rid;
     sim_.send(id_, peer, txreq);
@@ -278,14 +278,14 @@ void LoNode::on_start() {
   }
   // Random phase so the network's sync rounds do not beat in lockstep.
   const sim::Duration phase = static_cast<sim::Duration>(
-      sim_.rng().next_below(static_cast<std::uint64_t>(config_.recon_interval)));
+      sim_.node_rng(id_).next_below(static_cast<std::uint64_t>(config_.recon_interval)));
   sim_.schedule_for(id_, phase, [this] { sync_round(); });
 
   init_membership();
 
   if (config_.rotate_interval > 0) {
     view_ = std::make_unique<overlay::BasaltView>(id_, config_.view_size,
-                                                  sim_.rng().next());
+                                                  sim_.node_rng(id_).next());
     for (NodeId n : neighbors_) view_->offer(n);
     sim_.schedule_for(id_, config_.rotate_interval, [this] { rotate_neighbors(); });
   }
@@ -299,7 +299,7 @@ void LoNode::rotate_neighbors() {
   if (view_ && !peer_candidates_.empty()) {
     const std::size_t offers = std::min<std::size_t>(8, peer_candidates_.size());
     for (std::size_t k = 0; k < offers; ++k) {
-      const NodeId c = peer_candidates_[sim_.rng().next_below(
+      const NodeId c = peer_candidates_[sim_.node_rng(id_).next_below(
           peer_candidates_.size())];
       if (!registry_.is_exposed(c) && !registry_.is_suspected(c)) {
         view_->offer(c);
@@ -336,7 +336,7 @@ void LoNode::sync_round() {
       if (swim_ != nullptr && swim_->confirmed_faulty(n)) continue;
       candidates.push_back(n);
     }
-    sim_.rng().shuffle(candidates);
+    sim_.node_rng(id_).shuffle(candidates);
     const std::size_t k = std::min(config_.recon_fanout, candidates.size());
     for (std::size_t i = 0; i < k; ++i) send_sync_request(candidates[i]);
   }
@@ -392,6 +392,13 @@ void LoNode::send_sync_request(NodeId peer) {
 void LoNode::handle_sync_request(NodeId from, const SyncRequest& req) {
   if (behavior_.ignore_requests) return;
   observe_header(from, req.commitment);
+  // The embedded commitment came straight from the peer, so it also answers
+  // any open challenge we hold against it (see handle_challenge_response):
+  // without this, a node that crashed past its reporters' coverage re-probes
+  // stays suspected forever even after a full recovery, because the original
+  // suspicion floods were swallowed by the dead process and are never
+  // re-delivered.
+  handle_challenge_response(from, req.commitment);
   if (registry_.is_exposed(from)) return;
 
   CommitmentLog& use_log = log_for_peer(from);
@@ -430,7 +437,7 @@ void LoNode::handle_sync_request(NodeId from, const SyncRequest& req) {
     const std::size_t offset =
         max_offset == 0
             ? 0
-            : static_cast<std::size_t>(sim_.rng().next_below(max_offset + 1));
+            : static_cast<std::size_t>(sim_.node_rng(id_).next_below(max_offset + 1));
     resp->delta_back.assign(
         order.begin() + static_cast<std::ptrdiff_t>(offset),
         order.begin() + static_cast<std::ptrdiff_t>(offset + window));
@@ -480,6 +487,9 @@ void LoNode::handle_sync_response(NodeId from, const SyncResponse& resp) {
     had_pending = true;
   }
   observe_header(from, resp.commitment);
+  // Direct commitment doubles as a challenge answer (same rule as
+  // handle_sync_request): resolve or re-arm the coverage watch.
+  handle_challenge_response(from, resp.commitment);
   for (const auto& h : resp.gossip) {
     if (h.node != from && h.node != id_) observe_header(from, h);
   }
@@ -1153,7 +1163,7 @@ sim::Duration LoNode::backoff_delay(int attempt) {
   if (config_.backoff_jitter > 0.0) {
     // Deterministic jitter from the sim RNG, uniform in +/- jitter fraction:
     // desynchronizes the retry bursts that fixed intervals would phase-lock.
-    const double u = sim_.rng().next_double() * 2.0 - 1.0;
+    const double u = sim_.node_rng(id_).next_double() * 2.0 - 1.0;
     d *= 1.0 + config_.backoff_jitter * u;
   }
   return std::max<sim::Duration>(1, static_cast<sim::Duration>(d));
@@ -1238,7 +1248,7 @@ void LoNode::flood(const sim::PayloadPtr& msg, NodeId except) {
 std::vector<CommitmentHeader> LoNode::pick_gossip_headers() {
   std::vector<CommitmentHeader> out;
   if (config_.gossip_headers == 0) return out;
-  if (!sim_.rng().next_bool(config_.gossip_probability)) return out;
+  if (!sim_.node_rng(id_).next_bool(config_.gossip_probability)) return out;
   const auto& all = registry_.latest_all();
   if (all.empty()) return out;
   // Reservoir-sample a few stored third-party headers. The selection is
@@ -1255,7 +1265,7 @@ std::vector<CommitmentHeader> LoNode::pick_gossip_headers() {
       out.push_back(header);
     } else {
       const std::size_t j =
-          static_cast<std::size_t>(sim_.rng().next_below(i + 1));
+          static_cast<std::size_t>(sim_.node_rng(id_).next_below(i + 1));
       if (j < out.size()) out[j] = header;
     }
     ++i;

@@ -19,10 +19,10 @@ const char* profile_site_name(ProfileSite s) noexcept {
 
 namespace profile {
 
-// lolint:allow(mutable-static) reason=process-global profile table, single-threaded by design until the parallel DES shards it per worker
+// lolint:allow(mutable-static) reason=process-global profile table; slots are relaxed atomics so worker hits commute and publish() merges settled sums
 bool g_enabled = false;
-// lolint:allow(mutable-static) reason=process-global profile table, single-threaded by design until the parallel DES shards it per worker
-std::array<ProfileCounters, static_cast<std::size_t>(ProfileSite::kCount)>
+// lolint:allow(mutable-static) reason=process-global profile table; slots are relaxed atomics so worker hits commute and publish() merges settled sums
+std::array<AtomicProfileCounters, static_cast<std::size_t>(ProfileSite::kCount)>
     g_counters{};
 
 void set_enabled(bool on) noexcept { g_enabled = on; }
@@ -30,19 +30,26 @@ void set_enabled(bool on) noexcept { g_enabled = on; }
 bool enabled() noexcept { return g_enabled; }
 
 void reset() noexcept {
-  for (auto& c : g_counters) c = ProfileCounters{};
+  for (auto& c : g_counters) {
+    c.calls.store(0, std::memory_order_relaxed);
+    c.items.store(0, std::memory_order_relaxed);
+  }
 }
 
 ProfileCounters counters(ProfileSite s) noexcept {
-  return g_counters[static_cast<std::size_t>(s)];
+  const auto& c = g_counters[static_cast<std::size_t>(s)];
+  return ProfileCounters{c.calls.load(std::memory_order_relaxed),
+                         c.items.load(std::memory_order_relaxed)};
 }
 
 void publish(Registry& reg) {
   for (std::size_t i = 0; i < g_counters.size(); ++i) {
     const auto site = static_cast<ProfileSite>(i);
     const Labels labels{{"site", profile_site_name(site)}};
-    reg.counter("profile.calls", labels) = g_counters[i].calls;
-    reg.counter("profile.items", labels) = g_counters[i].items;
+    reg.counter("profile.calls", labels) =
+        g_counters[i].calls.load(std::memory_order_relaxed);
+    reg.counter("profile.items", labels) =
+        g_counters[i].items.load(std::memory_order_relaxed);
   }
 }
 

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 
 namespace lo::obs {
@@ -40,21 +41,29 @@ struct ProfileCounters {
 
 namespace profile {
 
-// Single-threaded simulator: plain globals, no atomics needed. The parallel
-// DES will shard this table per worker and publish() will merge; until then
-// the mutable globals are a deliberate, documented exception to the
-// concurrency-readiness rules.
-// lolint:allow(mutable-static) reason=process-global profile table, single-threaded by design until the parallel DES shards it per worker
+// Relaxed atomic slots: the instrumented sites (verify, decode, reconcile)
+// run inside worker-sharded simulator events, so several workers may hit the
+// same site concurrently. Counts are pure sums — commutative — so relaxed
+// increments keep the published totals deterministic for a given seed no
+// matter how the workers interleave, and publish() (coordinator-only) reads
+// settled values across the window barrier.
+struct AtomicProfileCounters {
+  std::atomic<std::uint64_t> calls{0};
+  std::atomic<std::uint64_t> items{0};
+};
+
+// lolint:allow(mutable-static) reason=process-global profile table; slots are relaxed atomics so worker hits commute and publish() merges settled sums
 extern bool g_enabled;
-// lolint:allow(mutable-static) reason=process-global profile table, single-threaded by design until the parallel DES shards it per worker
-extern std::array<ProfileCounters, static_cast<std::size_t>(ProfileSite::kCount)>
+// lolint:allow(mutable-static) reason=process-global profile table; slots are relaxed atomics so worker hits commute and publish() merges settled sums
+extern std::array<AtomicProfileCounters,
+                  static_cast<std::size_t>(ProfileSite::kCount)>
     g_counters;
 
 inline void hit(ProfileSite s, std::uint64_t items = 1) noexcept {
   if (!g_enabled) return;  // the entire cost when profiling is off
   auto& c = g_counters[static_cast<std::size_t>(s)];
-  ++c.calls;
-  c.items += items;
+  c.calls.fetch_add(1, std::memory_order_relaxed);
+  c.items.fetch_add(items, std::memory_order_relaxed);
 }
 
 void set_enabled(bool on) noexcept;

@@ -128,8 +128,33 @@ std::uint64_t Tracer::dropped() const {
   return dropped_;
 }
 
+namespace {
+// Shard-worker redirect (see Tracer::ThreadSink). Thread-local by design:
+// each worker thread owns exactly one sink for the duration of a lookahead
+// window, installed and cleared by the simulator around the window body.
+thread_local Tracer::ThreadSink* t_sink = nullptr;
+}  // namespace
+
+void Tracer::set_thread_sink(ThreadSink* sink) noexcept { t_sink = sink; }
+
+Tracer::ThreadSink* Tracer::thread_sink() noexcept { return t_sink; }
+
+void Tracer::append(const TraceEvent& ev) {
+  MutexLock lock(mu_);
+  if (ring_.size() != capacity_) ring_.resize(capacity_);
+  if (count_ < capacity_) {
+    ring_[(head_ + count_) % capacity_] = ev;
+    ++count_;
+  } else {
+    ring_[head_] = ev;  // overwrite the oldest
+    head_ = (head_ + 1) % capacity_;
+    ++dropped_;
+  }
+}
+
 std::uint16_t Tracer::intern(std::string_view s) {
   if (s.empty()) return 0;
+  if (ThreadSink* sink = t_sink) return sink->sink_intern(s);
   MutexLock lock(mu_);
   auto it = intern_.find(s);
   if (it != intern_.end()) return it->second;
@@ -153,8 +178,6 @@ std::vector<std::string> Tracer::names() const {
 
 void Tracer::record(EventKind kind, std::uint32_t node, std::uint32_t peer,
                     std::uint64_t a, std::uint64_t b, std::uint16_t name) {
-  MutexLock lock(mu_);
-  if (ring_.size() != capacity_) ring_.resize(capacity_);
   TraceEvent ev;
   ev.at = clock_ != nullptr ? *clock_ : 0;
   ev.kind = static_cast<std::uint16_t>(kind);
@@ -163,14 +186,7 @@ void Tracer::record(EventKind kind, std::uint32_t node, std::uint32_t peer,
   ev.peer = peer;
   ev.a = a;
   ev.b = b;
-  if (count_ < capacity_) {
-    ring_[(head_ + count_) % capacity_] = ev;
-    ++count_;
-  } else {
-    ring_[head_] = ev;  // overwrite the oldest
-    head_ = (head_ + 1) % capacity_;
-    ++dropped_;
-  }
+  append(ev);
 }
 
 std::vector<TraceEvent> Tracer::events_locked() const {

@@ -131,9 +131,33 @@ class Tracer {
   void set_capacity(std::size_t capacity);
   std::size_t capacity() const;
 
+  // Per-thread redirect for the sharded parallel simulator. While a sink is
+  // installed on a thread, emit() and intern() on that thread route to the
+  // sink instead of the shared ring/intern table: workers record into
+  // shard-local buffers (with shard-local intern ids) and the simulator
+  // merges them into this tracer at the window barrier, in deterministic
+  // event-key order, remapping names through the canonical intern(). The
+  // registration is thread-local, so installing a sink never perturbs other
+  // threads or other tracers.
+  class ThreadSink {
+   public:
+    virtual ~ThreadSink() = default;
+    virtual void sink_event(EventKind kind, std::uint32_t node,
+                            std::uint32_t peer, std::uint64_t a,
+                            std::uint64_t b, std::uint16_t name) = 0;
+    virtual std::uint16_t sink_intern(std::string_view s) = 0;
+  };
+  static void set_thread_sink(ThreadSink* sink) noexcept;
+  static ThreadSink* thread_sink() noexcept;
+
+  // Appends a fully-formed event (timestamp already stamped by the caller)
+  // under the normal ring/overflow policy — the barrier merge path.
+  void append(const TraceEvent& ev);
+
   // Interns a string, returning its stable id. Ids are assigned in first-use
   // order (deterministic given deterministic call order); id 0 is "". Throws
-  // std::length_error past 65535 distinct strings.
+  // std::length_error past 65535 distinct strings. Routed through the
+  // thread sink when one is installed on the calling thread.
   std::uint16_t intern(std::string_view s);
   std::string name(std::uint16_t id) const;
   std::vector<std::string> names() const;
@@ -146,6 +170,10 @@ class Tracer {
   void emit(EventKind kind, std::uint32_t node, std::uint32_t peer = 0,
             std::uint64_t a = 0, std::uint64_t b = 0, std::uint16_t name = 0) {
     if (!enabled_) return;
+    if (ThreadSink* sink = thread_sink()) {
+      sink->sink_event(kind, node, peer, a, b, name);
+      return;
+    }
     record(kind, node, peer, a, b, name);
   }
 

@@ -36,6 +36,19 @@ class Rng {
     for (auto& s : state_) s = splitmix64(sm);
   }
 
+  // Derives an independent sub-stream from (seed, stream): the stream id is
+  // folded through two SplitMix64 rounds before the xoshiro state expansion,
+  // so stream k and stream k+1 share no prefix structure. This is how the
+  // simulator gives every node its own generator — draws on one stream are
+  // independent of how many draws other streams made, which is what lets
+  // sharded workers draw without any scheduling-order coupling.
+  static Rng for_stream(std::uint64_t seed, std::uint64_t stream) noexcept {
+    std::uint64_t sm = stream;
+    std::uint64_t mixed = seed ^ splitmix64(sm);
+    mixed ^= splitmix64(sm) << 1;
+    return Rng(mixed);
+  }
+
   static constexpr result_type min() noexcept { return 0; }
   static constexpr result_type max() noexcept {
     return std::numeric_limits<std::uint64_t>::max();

@@ -110,11 +110,12 @@ std::string lo_trace_digest(harness::LoNetwork& net) {
 
 // One full LØ run: malicious minority (silent censors) so that the digest
 // also covers the suspicion/exposure machinery, not just happy-path sync.
-std::string run_lo(std::uint64_t seed) {
+std::string run_lo(std::uint64_t seed, unsigned workers = 1) {
   auto cfg = test::net_cfg(16, seed, /*malicious_fraction=*/0.125);
   cfg.trace = true;  // digest the full event trace, not just the summaries
   cfg.malicious.ignore_requests = true;
   cfg.malicious.censor_txs = true;
+  cfg.workers = workers;
   harness::LoNetwork net(cfg);
   net.start_workload(test::load_cfg(20.0, seed + 1000));
   net.run_for(15.0);
@@ -136,16 +137,32 @@ TEST(Determinism, LoDifferentSeedDifferentTrace) {
   EXPECT_NE(run_lo(42), run_lo(43));
 }
 
+// ------------------------------------------- parallel engine equivalence ----
+
+// The tentpole property of the parallel engine (DESIGN.md §4e): a run is
+// defined by (seed), not (seed, workers). The digest covers commitment-log
+// heads, blame state, every event feed, the full binary trace (string table
+// included) and the registry JSON — so "equal digest" means byte-identical
+// observable output, not merely matching summaries.
+TEST(Determinism, LoParallelWorkersMatchSerial) {
+  const std::string serial = run_lo(42, /*workers=*/1);
+  for (unsigned w : {2u, 4u, 8u}) {
+    EXPECT_EQ(serial, run_lo(42, w))
+        << "parallel LO run diverged from serial at workers=" << w;
+  }
+}
+
 // --------------------------------------------------- LØ with membership ----
 
 // A membership-enabled run under churn: SWIM probes, suspicion deadlines,
 // incarnation-bump refutations and the rejoin path all ride the same seeded
 // RNG and epoch-scoped timers, so the full detector state and the member
 // event feed must replay bit-for-bit too.
-std::string run_lo_membership(std::uint64_t seed) {
+std::string run_lo_membership(std::uint64_t seed, unsigned workers = 1) {
   auto cfg = test::net_cfg(12, seed);
   cfg.trace = true;
   cfg.city_latency = false;
+  cfg.workers = workers;
   cfg.node.membership.enabled = true;
   cfg.node.membership.protocol_period = 500 * sim::kMillisecond;
   cfg.node.membership.ping_timeout = 120 * sim::kMillisecond;
@@ -188,16 +205,24 @@ TEST(Determinism, LoMembershipSameSeedSameTrace) {
   EXPECT_EQ(a, b) << "membership-enabled LO runs diverged under seed replay";
 }
 
+TEST(Determinism, LoMembershipParallelMatchesSerial) {
+  // Membership adds SWIM probes, churn and epoch-scoped timers on top of the
+  // sync protocol — the hardest scheduling surface we have.
+  EXPECT_EQ(run_lo_membership(77, /*workers=*/1),
+            run_lo_membership(77, /*workers=*/4));
+}
+
 // -------------------------------------------------------------- baselines ----
 
 template <typename NodeT>
 std::string run_baseline(const typename NodeT::Config& node_cfg,
-                         std::uint64_t seed) {
+                         std::uint64_t seed, unsigned workers = 1) {
   baselines::BaselineNetConfig cfg;
   cfg.num_nodes = 12;
   cfg.seed = seed;
   cfg.city_latency = true;
   cfg.trace = true;
+  cfg.workers = workers;
   baselines::BaselineNetwork<NodeT> net(cfg, node_cfg);
   net.start_workload(test::load_cfg(20.0, seed + 1000));
   net.run_for(10.0);
@@ -239,6 +264,37 @@ TEST(Determinism, NarwhalSameSeedSameTrace) {
   cfg.prevalidation.sig_mode = test::kFastSig;
   EXPECT_EQ(run_baseline<baselines::NarwhalNode>(cfg, 7),
             run_baseline<baselines::NarwhalNode>(cfg, 7));
+}
+
+TEST(Determinism, FloodParallelWorkersMatchSerial) {
+  baselines::FloodNode::Config cfg;
+  cfg.prevalidation.sig_mode = test::kFastSig;
+  const std::string serial = run_baseline<baselines::FloodNode>(cfg, 7, 1);
+  for (unsigned w : {2u, 4u, 8u}) {
+    EXPECT_EQ(serial, run_baseline<baselines::FloodNode>(cfg, 7, w))
+        << "flood baseline diverged at workers=" << w;
+  }
+}
+
+TEST(Determinism, PeerReviewParallelWorkersMatchSerial) {
+  baselines::PeerReviewNode::Config cfg;
+  cfg.prevalidation.sig_mode = test::kFastSig;
+  const std::string serial =
+      run_baseline<baselines::PeerReviewNode>(cfg, 7, 1);
+  for (unsigned w : {2u, 4u, 8u}) {
+    EXPECT_EQ(serial, run_baseline<baselines::PeerReviewNode>(cfg, 7, w))
+        << "peerreview baseline diverged at workers=" << w;
+  }
+}
+
+TEST(Determinism, NarwhalParallelWorkersMatchSerial) {
+  baselines::NarwhalNode::Config cfg;
+  cfg.prevalidation.sig_mode = test::kFastSig;
+  const std::string serial = run_baseline<baselines::NarwhalNode>(cfg, 7, 1);
+  for (unsigned w : {2u, 4u, 8u}) {
+    EXPECT_EQ(serial, run_baseline<baselines::NarwhalNode>(cfg, 7, w))
+        << "narwhal baseline diverged at workers=" << w;
+  }
 }
 
 // -------------------------------------------------------- negative control ----

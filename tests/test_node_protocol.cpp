@@ -251,12 +251,20 @@ TEST(NodeProtocol, RotationDropsExposedPeers) {
   cfg.malicious_fraction = 0.1;  // one equivocator
   cfg.malicious.equivocate = true;
   harness::LoNetwork net(cfg);
-  for (std::uint64_t n = 1; n <= 20; ++n) {
-    net.node(0).behavior().equivocate;  // no-op; keep mask-driven behavior
-    std::size_t target = n % 12;
-    if (!net.malicious_mask()[target]) net.node(target).submit_transaction(make_tx(n));
+  // Feed traffic in waves so every rotation epoch carries fresh divergent
+  // commitments past the equivocator's even- and odd-id peers; a single
+  // upfront burst can settle before the fork ever crosses an auditor pair.
+  for (std::uint64_t wave = 0; wave < 4; ++wave) {
+    for (std::uint64_t k = 1; k <= 10; ++k) {
+      const std::uint64_t n = wave * 10 + k;
+      std::size_t target = n % 12;
+      if (!net.malicious_mask()[target]) {
+        net.node(target).submit_transaction(make_tx(n));
+      }
+    }
+    net.run_for(10.0);
   }
-  net.run_for(30.0);
+  net.run_for(20.0);
   std::size_t bad = 0;
   for (std::size_t i = 0; i < net.size(); ++i) {
     if (net.malicious_mask()[i]) bad = i;

@@ -1,0 +1,297 @@
+// Parallel simulation engine tests (DESIGN.md §4e): lookahead bounds,
+// per-node RNG streams, window/barrier mechanics, the cross-shard causality
+// guard, and — the core property — byte-identical output between the serial
+// engine and the sharded parallel engine at the same seed, including under
+// chaos (crashes, partitions, flaky links) on the full LØ stack.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sim/faults.hpp"
+#include "sim/simulator.hpp"
+#include "test_net_util.hpp"
+#include "util/rng.hpp"
+
+namespace lo::sim {
+namespace {
+
+struct TestPayload final : Payload {
+  explicit TestPayload(std::size_t size = 64, int tag = 0)
+      : size_(size), tag_(tag) {}
+  const char* type_name() const noexcept override { return "test.gossip"; }
+  std::size_t wire_size() const noexcept override { return size_; }
+  std::size_t size_;
+  int tag_;
+};
+
+// ------------------------------------------------------- lookahead bounds ----
+
+TEST(ParallelSim, ConstantLatencyLookaheadIsTheConstant) {
+  ConstantLatency model(1234);
+  EXPECT_EQ(model.min_latency_us(), 1234);
+}
+
+TEST(ParallelSim, CityLatencyLookaheadBounds) {
+  // With jitter the lognormal multiplier has no positive lower bound, so the
+  // only safe lookahead is the 200 us clamp latency_us() enforces.
+  CityLatencyModel jittered(0.05);
+  EXPECT_EQ(jittered.min_latency_us(), 200);
+  // Without jitter the bound is the matrix minimum — at least the clamp,
+  // at most the same-city last-mile hop.
+  CityLatencyModel flat(0.0);
+  const std::int64_t m = flat.min_latency_us();
+  EXPECT_GE(m, 200);
+  EXPECT_LE(m, flat.base_us(0, 0));
+  // The bound must actually bound: sample a few pairs.
+  util::Rng rng(9);
+  for (std::uint32_t a = 0; a < 8; ++a) {
+    for (std::uint32_t b = 0; b < 8; ++b) {
+      EXPECT_GE(flat.latency_us(a, b, rng), m);
+    }
+  }
+}
+
+TEST(ParallelSim, DefaultLookaheadDegradesToSerial) {
+  // A model without a declared bound must report 0 (parallel mode disabled),
+  // never a positive guess.
+  struct NoBound final : LatencyModel {
+    std::int64_t latency_us(std::uint32_t, std::uint32_t,
+                            util::Rng&) override {
+      return 5;
+    }
+  };
+  NoBound model;
+  EXPECT_EQ(model.min_latency_us(), 0);
+}
+
+// -------------------------------------------------------- per-node streams ----
+
+TEST(ParallelSim, NodeRngStreamsAreIndependentAndStable) {
+  // Streams derive from (seed, node id) alone: re-creating the simulator
+  // reproduces them, distinct nodes get distinct streams, and drawing from
+  // one stream never perturbs another.
+  Simulator sim_a(5), sim_b(5);
+  struct Nop final : INode {
+    void on_message(NodeId, const PayloadPtr&) override {}
+  } nop;
+  for (int i = 0; i < 3; ++i) {
+    sim_a.add_node(&nop);
+    sim_b.add_node(&nop);
+  }
+  // Interleave draws in a, draw straight in b: per-node sequences match.
+  std::vector<std::uint64_t> a0, a1, b0, b1;
+  for (int i = 0; i < 4; ++i) {
+    a0.push_back(sim_a.node_rng(0).next());
+    a1.push_back(sim_a.node_rng(1).next());
+  }
+  for (int i = 0; i < 4; ++i) b0.push_back(sim_b.node_rng(0).next());
+  for (int i = 0; i < 4; ++i) b1.push_back(sim_b.node_rng(1).next());
+  EXPECT_EQ(a0, b0);
+  EXPECT_EQ(a1, b1);
+  EXPECT_NE(a0, a1) << "distinct nodes must not share a stream";
+  EXPECT_THROW(sim_a.node_rng(99), std::out_of_range);
+}
+
+// ------------------------------------------------- sim-level equivalence ----
+
+// A gossip storm exercising every engine surface: epoch-pinned periodic
+// timers, per-node RNG draws, dense cross-shard sends, random message loss
+// (sender-stream coins), a mid-run coordinator crash/restart (exercising the
+// serialize-at-timestamp path, the receiver-down drop counter and timer
+// suppression), and the tracer.
+struct GossipNode final : INode {
+  GossipNode(Simulator& sim, NodeId id, std::size_t n)
+      : sim_(&sim), id_(id), n_(n) {}
+
+  void on_start() override { arm(); }
+
+  void arm() {
+    const auto jitter = static_cast<Duration>(
+        sim_->node_rng(id_).next_below(2 * kMillisecond));
+    sim_->schedule_for(id_, 5 * kMillisecond + jitter, [this] { tick(); });
+  }
+
+  void tick() {
+    ++ticks;
+    const auto peer = static_cast<NodeId>(sim_->node_rng(id_).next_below(n_));
+    if (peer != id_) {
+      sim_->send(id_, peer, std::make_shared<TestPayload>(64, 0));
+    }
+    sim_->send(id_, static_cast<NodeId>((id_ + 1) % n_),
+               std::make_shared<TestPayload>(48, 1));
+    arm();
+  }
+
+  void on_message(NodeId from, const PayloadPtr& msg) override {
+    ++received;
+    const auto& p = dynamic_cast<const TestPayload&>(*msg);
+    if (p.tag_ == 1) {
+      // One bounded reply hop so deliveries themselves generate cross-shard
+      // traffic from worker context.
+      sim_->send(id_, from, std::make_shared<TestPayload>(32, 2));
+    }
+  }
+
+  Simulator* sim_;
+  NodeId id_;
+  std::size_t n_;
+  std::uint64_t ticks = 0;
+  std::uint64_t received = 0;
+};
+
+std::string run_storm(std::uint64_t seed, unsigned workers,
+                      unsigned mid_run_workers = 0) {
+  constexpr std::size_t kNodes = 24;
+  Simulator sim(seed);
+  sim.obs().tracer.enable(true);
+  sim.set_workers(workers);
+  sim.set_latency_model(std::make_shared<ConstantLatency>(3 * kMillisecond));
+  sim.set_drop_probability(0.05);
+  std::vector<std::unique_ptr<GossipNode>> nodes;
+  for (std::size_t i = 0; i < kNodes; ++i) {
+    nodes.push_back(
+        std::make_unique<GossipNode>(sim, static_cast<NodeId>(i), kNodes));
+    sim.add_node(nodes.back().get());
+  }
+  // Coordinator-scripted crash/restart right in the middle of the storm:
+  // node 3 loses its in-flight traffic and its pinned timers for 80 ms.
+  sim.schedule(200 * kMillisecond, [&sim] { sim.set_node_up(3, false); });
+  sim.schedule(280 * kMillisecond, [&sim, &nodes] {
+    sim.set_node_up(3, true);
+    nodes[3]->arm();  // restart re-arms under the new epoch
+  });
+  sim.run_until(250 * kMillisecond);
+  if (mid_run_workers != 0) sim.set_workers(mid_run_workers);
+  sim.run_until(500 * kMillisecond);
+
+  std::ostringstream out;
+  out << sim.now() << '|';
+  for (const auto& n : nodes) out << n->ticks << ',' << n->received << ';';
+  out << '|' << sim.bandwidth().total_messages() << ','
+      << sim.bandwidth().total_bytes();
+  const auto fc = sim.fault_counters();
+  out << '|' << fc.dropped_sender_down << ',' << fc.dropped_receiver_down
+      << ',' << fc.suppressed_callbacks << ',' << fc.dropped_by_fault_filter;
+  const auto trace = sim.obs().tracer.bytes();
+  out << '|' << trace.size() << '|';
+  // Cheap rolling hash over the canonical trace bytes — byte-identical
+  // streams or bust.
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::uint8_t b : trace) h = (h ^ b) * 1099511628211ull;
+  out << h;
+  out << '|' << sim.obs().registry.to_json("storm");
+  return out.str();
+}
+
+TEST(ParallelSim, StormMatchesSerialAcrossWorkerCounts) {
+  const std::string serial = run_storm(11, 1);
+  for (unsigned w : {2u, 4u, 8u}) {
+    EXPECT_EQ(serial, run_storm(11, w)) << "diverged at workers=" << w;
+  }
+}
+
+TEST(ParallelSim, MidRunWorkerChangeIsTransparent) {
+  // set_workers() re-buckets pending events without touching their keys, so
+  // switching engine shapes mid-run must not change the run.
+  const std::string serial = run_storm(13, 1);
+  EXPECT_EQ(serial, run_storm(13, 4, /*mid_run_workers=*/2));
+  EXPECT_EQ(serial, run_storm(13, 2, /*mid_run_workers=*/8));
+}
+
+// ----------------------------------------------------------- causality guard ----
+
+TEST(ParallelSim, ShaperBelowLookaheadThrowsUnderParallel) {
+  // A latency shaper that undercuts min_latency_us() breaks the conservative
+  // synchronization contract; the engine must fail loudly (cross-shard event
+  // below the open window), not deliver into a shard's past.
+  Simulator sim(3);
+  sim.set_workers(4);
+  sim.set_latency_model(std::make_shared<ConstantLatency>(10 * kMillisecond));
+  sim.set_latency_shaper(
+      [](NodeId, NodeId, Duration) -> Duration { return 5; });
+  struct Chatty final : INode {
+    Simulator* sim = nullptr;
+    NodeId id = 0;
+    std::size_t n = 0;
+    void on_start() override {
+      sim->schedule_for(id, 1 * kMillisecond, [this] {
+        sim->send(id, static_cast<NodeId>((id + 1) % n),
+                  std::make_shared<TestPayload>());
+      });
+    }
+    void on_message(NodeId, const PayloadPtr&) override {}
+  };
+  std::vector<std::unique_ptr<Chatty>> nodes;
+  for (std::size_t i = 0; i < 8; ++i) {
+    auto node = std::make_unique<Chatty>();
+    node->sim = &sim;
+    node->n = 8;
+    node->id = sim.add_node(node.get());
+    nodes.push_back(std::move(node));
+  }
+  EXPECT_THROW(sim.run_until(kSecond), std::logic_error);
+}
+
+// ----------------------------------------------------- chaos on the LØ stack ----
+
+// Full-stack chaos under the parallel engine: crashes with mempool wipes,
+// a scripted partition-ish flaky-link mesh, a latency spike, churn — with the
+// accountability invariant checker armed fail-fast the whole time. The run
+// must (a) keep every invariant and (b) be byte-identical to the serial
+// engine's run.
+std::string run_chaos(std::uint64_t seed, unsigned workers) {
+  auto cfg = test::net_cfg(14, seed);
+  cfg.trace = true;
+  cfg.city_latency = false;
+  cfg.constant_latency = 20 * kMillisecond;
+  cfg.workers = workers;
+  harness::LoNetwork net(cfg);
+  net.start_invariant_checker(500 * kMillisecond, /*fail_fast=*/true);
+  net.start_workload(test::load_cfg(15.0, seed + 1000));
+
+  auto& faults = net.faults();
+  faults.crash_at(from_seconds(2.0), 2, from_seconds(1.5),
+                  /*wipe_mempool=*/true);
+  faults.crash_at(from_seconds(3.0), 7, from_seconds(2.0));
+  // Flaky mesh around node 5 — a soft partition for a while.
+  for (NodeId peer : {0u, 1u, 3u, 4u}) {
+    faults.flaky_link(5, peer, from_seconds(1.0), from_seconds(5.0), 0.6);
+  }
+  faults.latency_spike(from_seconds(4.0), from_seconds(6.0), 3.0);
+  ChurnConfig churn;
+  churn.mean_gap = 3 * kSecond;
+  churn.max_concurrent_down = 1;
+  net.start_churn(churn);
+  net.run_for(8.0);
+  net.stop_churn();
+  net.run_for(4.0);
+
+  EXPECT_TRUE(net.invariant_violations().empty());
+
+  std::ostringstream out;
+  out << net.txs_injected() << '|' << net.sim().now() << '|';
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    out << net.node(i).log().seqno() << ',' << net.node(i).mempool_size()
+        << ';';
+  }
+  out << '|' << faults.crashes_injected() << ',' << faults.restarts_injected()
+      << ',' << faults.link_drops();
+  const auto trace = net.sim().obs().tracer.bytes();
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::uint8_t b : trace) h = (h ^ b) * 1099511628211ull;
+  out << '|' << trace.size() << ':' << h;
+  net.publish_metrics();
+  out << '|' << net.sim().obs().registry.to_json("chaos");
+  return out.str();
+}
+
+TEST(ParallelSim, ChaosScenarioMatchesSerial) {
+  EXPECT_EQ(run_chaos(21, 1), run_chaos(21, 4))
+      << "parallel chaos run diverged from serial";
+}
+
+}  // namespace
+}  // namespace lo::sim

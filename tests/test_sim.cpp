@@ -327,7 +327,11 @@ TEST(Simulator, NodeUpQueriesAndDownCount) {
   const NodeId ida = sim.add_node(&a);
   sim.add_node(&b);
   EXPECT_TRUE(sim.node_up(ida));
-  EXPECT_TRUE(sim.node_up(999)) << "unregistered ids default to up";
+  // Read side matches the write side: unknown ids throw instead of being
+  // presumed up/epoch-0 (regression — out-of-range senders used to pass the
+  // liveness check).
+  EXPECT_THROW(sim.node_up(999), std::out_of_range);
+  EXPECT_THROW(sim.node_epoch(999), std::out_of_range);
   EXPECT_EQ(sim.down_count(), 0u);
   sim.set_node_up(ida, false);
   EXPECT_FALSE(sim.node_up(ida));
@@ -339,6 +343,76 @@ TEST(Simulator, NodeUpQueriesAndDownCount) {
   EXPECT_EQ(sim.down_count(), 0u);
   EXPECT_EQ(sim.node_epoch(ida), 1u) << "epoch bumps on up->down only";
   EXPECT_THROW(sim.set_node_up(999, false), std::out_of_range);
+}
+
+TEST(Simulator, SendFromUnknownSenderThrows) {
+  // Regression: send() validated `to` but not `from`, so an out-of-range
+  // sender slipped past the liveness check into the bandwidth table.
+  Simulator sim(1);
+  RecordingNode a;
+  const NodeId ida = sim.add_node(&a);
+  EXPECT_THROW(sim.send(99, ida, std::make_shared<TestPayload>()),
+               std::out_of_range);
+  EXPECT_EQ(sim.bandwidth().total_bytes(), 0u);
+}
+
+TEST(Simulator, ScheduleForUnknownOwnerThrows) {
+  // Regression: an out-of-range owner used to silently degrade to an
+  // unpinned plain schedule() — a timer that would survive any crash.
+  Simulator sim(1);
+  RecordingNode a;
+  sim.add_node(&a);
+  EXPECT_THROW(sim.schedule_for(99, 10, [] {}), std::out_of_range);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(Simulator, RunUntilPastHorizonIsNoOp) {
+  Simulator sim(1);
+  std::size_t fired = 0;
+  sim.schedule(100, [&] { ++fired; });
+  sim.run_until(1000);
+  EXPECT_EQ(fired, 1u);
+  EXPECT_EQ(sim.now(), 1000);
+  // A horizon in the past executes nothing and never rewinds the clock.
+  sim.schedule(50, [&] { ++fired; });  // at t=1050, beyond the past horizon
+  EXPECT_EQ(sim.run_until(500), 0u);
+  EXPECT_EQ(fired, 1u);
+  EXPECT_EQ(sim.now(), 1000);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  // The event is still intact and fires once the horizon really advances.
+  sim.run_until(2000);
+  EXPECT_EQ(fired, 2u);
+  EXPECT_EQ(sim.now(), 2000);
+}
+
+TEST(Simulator, StepMatchesRunUntil) {
+  // Stepping one event at a time traverses exactly the order run_until uses.
+  auto drive = [](bool use_step) {
+    Simulator sim(7);
+    sim.set_latency_model(std::make_shared<ConstantLatency>(75));
+    RecordingNode a, b;
+    const NodeId ida = sim.add_node(&a);
+    const NodeId idb = sim.add_node(&b);
+    sim.start();
+    for (int i = 0; i < 5; ++i) {
+      sim.send(ida, idb, std::make_shared<TestPayload>(32, i));
+      sim.send(idb, ida, std::make_shared<TestPayload>(32, 100 + i));
+      sim.schedule(50 * (i + 1), [] {});
+    }
+    std::size_t processed = 0;
+    if (use_step) {
+      while (sim.step()) ++processed;
+    } else {
+      processed = sim.run_until(10 * kSecond);
+    }
+    std::vector<int> tags = a.tags;
+    tags.insert(tags.end(), b.tags.begin(), b.tags.end());
+    return std::make_pair(processed, tags);
+  };
+  const auto stepped = drive(true);
+  const auto ran = drive(false);
+  EXPECT_EQ(stepped.first, ran.first);
+  EXPECT_EQ(stepped.second, ran.second);
 }
 
 // ------------------------------------------------------------- latency ----
