@@ -24,4 +24,12 @@ std::uint32_t LeaderSchedule::next_leader(const std::vector<bool>* eligible) {
   return 0;
 }
 
+std::vector<std::uint32_t> LeaderSchedule::next_leaders(
+    std::uint32_t count, const std::vector<bool>* eligible) {
+  std::vector<std::uint32_t> out;
+  out.reserve(count);
+  for (std::uint32_t s = 0; s < count; ++s) out.push_back(next_leader(eligible));
+  return out;
+}
+
 }  // namespace lo::consensus

@@ -31,6 +31,12 @@ class LeaderSchedule {
   // Uniformly random leader; `eligible` (optional) restricts the choice.
   std::uint32_t next_leader(const std::vector<bool>* eligible = nullptr);
 
+  // One independent leader draw per shard, in ascending shard order (the
+  // sharded pipeline's per-slot proposer set, DESIGN.md §7). count = 1 is
+  // exactly one next_leader() call, so the unsharded RNG stream is unchanged.
+  std::vector<std::uint32_t> next_leaders(
+      std::uint32_t count, const std::vector<bool>* eligible = nullptr);
+
  private:
   std::size_t num_nodes_;
   LeaderConfig config_;

@@ -7,9 +7,12 @@ std::optional<EquivocationEvidence> AccountabilityRegistry::observe_commitment(
   if (used_decode != nullptr) *used_decode = false;
   if (verify_signatures_ && !header.verify(mode_, verify_cache_)) return std::nullopt;
 
-  auto it = latest_.find(header.node);
+  // Commitments are tracked per (node, shard): shard logs are disjoint
+  // append-only histories, so only same-shard pairs can conflict. Exposure,
+  // in contrast, composes globally — see expose().
+  auto it = latest_.find(key(header.node, header.shard));
   if (it == latest_.end()) {
-    latest_.emplace(header.node, header);
+    latest_.emplace(key(header.node, header.shard), header);
     return std::nullopt;
   }
   CommitmentHeader& stored = it->second;
@@ -41,8 +44,9 @@ std::optional<EquivocationEvidence> AccountabilityRegistry::observe_commitment(
   return std::nullopt;
 }
 
-const CommitmentHeader* AccountabilityRegistry::latest(NodeId node) const {
-  auto it = latest_.find(node);
+const CommitmentHeader* AccountabilityRegistry::latest(
+    NodeId node, std::uint32_t shard) const {
+  auto it = latest_.find(key(node, shard));
   return it == latest_.end() ? nullptr : &it->second;
 }
 

@@ -46,11 +46,22 @@ class AccountabilityRegistry {
   std::optional<EquivocationEvidence> observe_commitment(
       const CommitmentHeader& header, bool* used_decode = nullptr);
 
-  // The freshest commitment seen from `node`, if any.
-  const CommitmentHeader* latest(NodeId node) const;
+  // Per-(node, shard) storage key (DESIGN.md §7): commitments of different
+  // shards describe disjoint logs and are never consistency-checked against
+  // each other. Shard ids fit in one byte (LoConfig caps mempool_shards at
+  // 64), so the key packs losslessly.
+  static std::uint64_t key(NodeId node, std::uint32_t shard) noexcept {
+    return (static_cast<std::uint64_t>(node) << 8) |
+           static_cast<std::uint64_t>(shard & 0xff);
+  }
 
-  // All stored latest commitments (used for commitment gossip).
-  const std::unordered_map<NodeId, CommitmentHeader>& latest_all() const noexcept {
+  // The freshest commitment seen from `node` for `shard`, if any.
+  const CommitmentHeader* latest(NodeId node, std::uint32_t shard = 0) const;
+
+  // All stored latest commitments keyed by key(node, shard) (used for
+  // commitment gossip).
+  const std::unordered_map<std::uint64_t, CommitmentHeader>& latest_all()
+      const noexcept {
     return latest_;
   }
 
@@ -82,7 +93,7 @@ class AccountabilityRegistry {
   bool verify_signatures_;
   bool two_stage_checks_;
   crypto::VerifyCache* verify_cache_ = nullptr;
-  std::unordered_map<NodeId, CommitmentHeader> latest_;
+  std::unordered_map<std::uint64_t, CommitmentHeader> latest_;
   std::unordered_set<NodeId> suspected_;
   std::unordered_set<NodeId> exposed_;
 };

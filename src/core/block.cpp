@@ -12,6 +12,12 @@ std::vector<std::uint8_t> Block::signing_bytes() const {
   util::Writer w;
   w.str("lo-block");
   w.u32(creator);
+  // As with commitments, the shard id is signed only in sharded deployments
+  // so k = 1 block signatures match the unsharded protocol byte for byte.
+  if (shards > 1) {
+    w.str("shard");
+    w.u32(shard);
+  }
   w.u64(height);
   w.fixed(prev_hash);
   w.u64(commit_seqno);
@@ -55,13 +61,15 @@ std::vector<TxId> Block::flat_txids() const {
 }
 
 std::size_t Block::wire_size() const noexcept {
-  std::size_t sz = 4 + 8 + 32 + 8 + 4 + 32 + 64;  // header fields + key + sig
+  // header fields + [shard] + key + sig
+  std::size_t sz = 4 + (shards > 1 ? 4 : 0) + 8 + 32 + 8 + 4 + 32 + 64;
   for (const auto& s : segments) sz += 8 + 4 + 32 * s.txids.size();
   return sz;
 }
 
 void Block::write(util::Writer& w) const {
   w.u32(creator);
+  if (shards > 1) w.u32(shard);
   w.u64(height);
   w.fixed(prev_hash);
   w.u64(commit_seqno);
@@ -81,10 +89,15 @@ std::vector<std::uint8_t> Block::serialize() const {
   return w.take_u8();
 }
 
-std::optional<Block> Block::read(util::Reader& r) {
+std::optional<Block> Block::read(util::Reader& r, std::uint32_t shards) {
   try {
     Block b;
+    b.shards = shards == 0 ? 1 : shards;
     b.creator = r.u32();
+    if (shards > 1) {
+      b.shard = r.u32();
+      if (b.shard >= shards) return std::nullopt;
+    }
     b.height = r.u64();
     b.prev_hash = r.fixed<32>();
     b.commit_seqno = r.u64();
@@ -110,9 +123,10 @@ std::optional<Block> Block::read(util::Reader& r) {
   }
 }
 
-std::optional<Block> Block::deserialize(std::span<const std::uint8_t> data) {
+std::optional<Block> Block::deserialize(std::span<const std::uint8_t> data,
+                                        std::uint32_t shards) {
   util::Reader r(data);
-  auto b = read(r);
+  auto b = read(r, shards);
   if (!b || !r.done()) return std::nullopt;
   return b;
 }
@@ -155,6 +169,8 @@ Block build_block(const CommitmentLog& log, const crypto::Signer& signer,
                   const std::function<bool(const TxId&)>& include) {
   Block b;
   b.creator = log.self();
+  b.shard = log.shard();
+  b.shards = log.params().shards == 0 ? 1 : log.params().shards;
   b.height = height;
   b.prev_hash = prev_hash;
   b.commit_seqno = log.seqno();

@@ -30,6 +30,10 @@ struct Block {
   std::uint64_t height = 0;
   crypto::Digest256 prev_hash{};
   std::uint64_t commit_seqno = 0;  // creator's commitment counter at build time
+  // Shard whose log this block drains (DESIGN.md §7). Signed and serialized
+  // only when shards > 1; k = 1 blocks keep the pre-sharding byte format.
+  std::uint32_t shard = 0;
+  std::uint32_t shards = 1;
 
   struct Segment {
     std::uint64_t seqno = 0;
@@ -49,9 +53,10 @@ struct Block {
   std::vector<TxId> flat_txids() const;
   std::size_t wire_size() const noexcept;
   std::vector<std::uint8_t> serialize() const;
-  static std::optional<Block> deserialize(std::span<const std::uint8_t> data);
+  static std::optional<Block> deserialize(std::span<const std::uint8_t> data,
+                                          std::uint32_t shards = 1);
   void write(util::Writer& w) const;
-  static std::optional<Block> read(util::Reader& r);
+  static std::optional<Block> read(util::Reader& r, std::uint32_t shards = 1);
 };
 
 // The canonical intra-bundle permutation: Fisher–Yates keyed by

@@ -11,6 +11,13 @@ std::vector<std::uint8_t> CommitmentHeader::signing_bytes() const {
   util::Writer w;
   w.str("lo-commit");
   w.u32(node);
+  // The shard id enters the signed bytes only in sharded deployments: k = 1
+  // signatures stay byte-identical to the unsharded protocol, while at k > 1
+  // a commitment signed for one shard cannot be replayed as another shard's.
+  if (shards > 1) {
+    w.str("shard");
+    w.u32(shard);
+  }
   w.u64(seqno);
   w.u64(count);
   w.fixed(chain_hash);
@@ -30,14 +37,15 @@ bool CommitmentHeader::verify(crypto::SignatureMode mode,
 }
 
 std::size_t CommitmentHeader::wire_size() const noexcept {
-  // node + seqno + count + chain_hash + clock + sketch capacity + sketch
-  // + key + sig.
-  return 4 + 8 + 8 + 32 + clock.serialized_size() + 2 +
+  // node + [shard] + seqno + count + chain_hash + clock + sketch capacity +
+  // sketch + key + sig.
+  return 4 + (shards > 1 ? 4 : 0) + 8 + 8 + 32 + clock.serialized_size() + 2 +
          sketch.serialized_size() + 32 + 64;
 }
 
 void CommitmentHeader::write(util::Writer& w) const {
   w.u32(node);
+  if (shards > 1) w.u32(shard);
   w.u64(seqno);
   w.u64(count);
   w.fixed(chain_hash);
@@ -61,6 +69,10 @@ std::optional<CommitmentHeader> CommitmentHeader::read(
   try {
     CommitmentHeader h(params);
     h.node = r.u32();
+    if (params.shards > 1) {
+      h.shard = r.u32();
+      if (h.shard >= params.shards) return std::nullopt;
+    }
     h.seqno = r.u64();
     h.count = r.u64();
     h.chain_hash = r.fixed<32>();

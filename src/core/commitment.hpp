@@ -39,6 +39,11 @@ struct CommitmentParams {
   std::size_t sketch_capacity = 128;  // paper: 1000-byte sketch, <=100 diffs
   std::size_t clock_cells = 32;       // paper: 32 cells, 68 bytes
   unsigned clock_hashes = 1;
+  // Shard count of the sharded commitment pipeline (LoConfig::mempool_shards,
+  // folded in by LoNode). Headers carry their shard id on the wire — and
+  // under the signature — only when shards > 1, so single-shard deployments
+  // keep the exact pre-sharding byte format and digests.
+  std::uint32_t shards = 1;
 
   bool operator==(const CommitmentParams&) const = default;
 };
@@ -47,6 +52,12 @@ struct CommitmentHeader {
   NodeId node = 0;
   std::uint64_t seqno = 0;
   std::uint64_t count = 0;
+  // Which shard's log this commitment covers, and the pipeline's shard count
+  // (from CommitmentParams). The shard id is signed and serialized only when
+  // shards > 1: commitments cannot be replayed across shards, yet the k = 1
+  // wire format is byte-identical to the unsharded protocol.
+  std::uint32_t shard = 0;
+  std::uint32_t shards = 1;
   crypto::Digest256 chain_hash{};
   bloom::BloomClock clock;
   sketch::Sketch sketch;
@@ -57,7 +68,8 @@ struct CommitmentHeader {
       : clock(CommitmentParams{}.clock_cells, CommitmentParams{}.clock_hashes),
         sketch(CommitmentParams{}.sketch_bits, CommitmentParams{}.sketch_capacity) {}
   CommitmentHeader(const CommitmentParams& p)
-      : clock(p.clock_cells, p.clock_hashes),
+      : shards(p.shards == 0 ? 1 : p.shards),
+        clock(p.clock_cells, p.clock_hashes),
         sketch(p.sketch_bits, p.sketch_capacity) {}
 
   // Everything covered by the miner signature.

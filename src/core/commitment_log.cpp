@@ -2,9 +2,11 @@
 
 namespace lo::core {
 
-CommitmentLog::CommitmentLog(NodeId self, const CommitmentParams& params)
+CommitmentLog::CommitmentLog(NodeId self, const CommitmentParams& params,
+                             std::uint32_t shard)
     : self_(self),
       params_(params),
+      shard_(shard),
       clock_(params.clock_cells, params.clock_hashes),
       sketch_(params.sketch_bits, params.sketch_capacity) {}
 
@@ -39,6 +41,7 @@ CommitmentHeader CommitmentLog::make_header(const crypto::Signer& signer,
                                             std::size_t wire_capacity) const {
   CommitmentHeader h(params_);
   h.node = self_;
+  h.shard = shard_;
   h.seqno = seqno_;
   h.count = order_.size();
   h.chain_hash = chain_hash_;

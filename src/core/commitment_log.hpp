@@ -29,9 +29,14 @@ class CommitmentLog {
     std::vector<TxId> txids;  // in committed order
   };
 
-  CommitmentLog(NodeId self, const CommitmentParams& params);
+  // `shard` is the shard id this log covers in a sharded pipeline
+  // (DESIGN.md §7); headers minted by make_header() carry it. 0 for the
+  // single-shard protocol.
+  CommitmentLog(NodeId self, const CommitmentParams& params,
+                std::uint32_t shard = 0);
 
   NodeId self() const noexcept { return self_; }
+  std::uint32_t shard() const noexcept { return shard_; }
   std::uint64_t seqno() const noexcept { return seqno_; }
   std::uint64_t count() const noexcept { return order_.size(); }
   const crypto::Digest256& chain_hash() const noexcept { return chain_hash_; }
@@ -81,6 +86,7 @@ class CommitmentLog {
  private:
   NodeId self_;
   CommitmentParams params_;
+  std::uint32_t shard_ = 0;
   std::uint64_t seqno_ = 0;
   std::vector<TxId> order_;
   std::vector<Bundle> bundles_;

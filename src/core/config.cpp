@@ -14,6 +14,18 @@ namespace {
 }  // namespace
 
 void LoConfig::validate() const {
+  if (mempool_shards < 1 || mempool_shards > 64) {
+    fail("mempool_shards must lie in [1, 64] (got " +
+         std::to_string(mempool_shards) +
+         "); shard ids are packed into one byte of per-peer keys and more "
+         "shards than that only fragments the sketch streams");
+  }
+  if (commitment.shards != 1 &&
+      commitment.shards != static_cast<std::uint32_t>(mempool_shards)) {
+    fail("commitment.shards (" + std::to_string(commitment.shards) +
+         ") disagrees with mempool_shards (" + std::to_string(mempool_shards) +
+         "); set only mempool_shards — LoNode folds it into the wire params");
+  }
   if (request_timeout <= 0) {
     fail("request_timeout must be positive (got " +
          std::to_string(request_timeout) + " us); a zero timeout spins the "

@@ -13,6 +13,15 @@ namespace lo::core {
 struct LoConfig {
   CommitmentParams commitment;
 
+  // Sedna-style sharded commitment pipeline: the transaction space is
+  // partitioned by content hash (txid_short % mempool_shards) into this many
+  // shards, each with its own commitment log, Bloom-clock estimate and
+  // reconciliation stream, and its own proposer per consensus round. 1 (the
+  // default) is the paper's single-pipeline protocol — same bytes, same
+  // digests. LoNode folds this value into commitment.shards so every wire
+  // codec sees it. See DESIGN.md §7.
+  std::size_t mempool_shards = 1;
+
   // Reconciliation cadence: every node reconciles with `recon_fanout` random
   // neighbors every `recon_interval` (paper: 3 neighbors, every second).
   sim::Duration recon_interval = sim::kSecond;
@@ -104,10 +113,21 @@ struct MaliciousBehavior {
   bool inject_uncommitted = false;  // slip an uncommitted tx ahead of committed ones
   bool censor_blockspace = false;   // drop committed valid txs from own blocks
   bool drop_gossip = false;         // do not forward blame/blocks/commitments
+  // Cross-shard censorship (DESIGN.md §7): censor foreign txs of exactly this
+  // shard while behaving honestly in every other shard. -1 disables. Only
+  // meaningful when mempool_shards > 1; detection must converge per shard.
+  std::int32_t censor_shard = -1;
+
+  bool censors(std::uint64_t short_id, std::size_t shards) const noexcept {
+    if (censor_txs) return true;
+    return censor_shard >= 0 && shards > 1 &&
+           short_id % shards == static_cast<std::uint64_t>(censor_shard);
+  }
 
   bool any() const noexcept {
     return censor_txs || ignore_requests || equivocate || reorder_block ||
-           inject_uncommitted || censor_blockspace || drop_gossip;
+           inject_uncommitted || censor_blockspace || drop_gossip ||
+           censor_shard >= 0;
   }
 };
 

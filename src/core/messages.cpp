@@ -10,6 +10,12 @@ std::vector<std::uint8_t> SignedBundle::signing_bytes() const {
   util::Writer w;
   w.str("lo-bundle");
   w.u32(owner);
+  // Shard id under the signature only at k > 1: single-shard bundles keep the
+  // pre-sharding bytes, sharded ones cannot be replayed across shards.
+  if (shards > 1) {
+    w.str("shard");
+    w.u32(shard);
+  }
   w.u64(seqno);
   w.u32(static_cast<std::uint32_t>(txids.size()));
   for (const auto& id : txids) w.fixed(id);
@@ -212,6 +218,7 @@ std::optional<SuspicionMsg> SuspicionMsg::deserialize(
 
 void SignedBundle::write(util::Writer& w) const {
   w.u32(owner);
+  if (shards > 1) w.u32(shard);
   w.u64(seqno);
   w.u32(static_cast<std::uint32_t>(txids.size()));
   for (const auto& id : txids) w.fixed(id);
@@ -219,10 +226,16 @@ void SignedBundle::write(util::Writer& w) const {
   w.fixed(sig);
 }
 
-std::optional<SignedBundle> SignedBundle::read(util::Reader& r) {
+std::optional<SignedBundle> SignedBundle::read(util::Reader& r,
+                                               std::uint32_t shards) {
   try {
     SignedBundle sb;
+    sb.shards = shards == 0 ? 1 : shards;
     sb.owner = r.u32();
+    if (shards > 1) {
+      sb.shard = r.u32();
+      if (sb.shard >= shards) return std::nullopt;
+    }
     sb.seqno = r.u64();
     const std::uint32_t n = r.u32();
     for (std::uint32_t i = 0; i < n; ++i) sb.txids.push_back(r.fixed<32>());
@@ -241,16 +254,17 @@ void BlockEvidence::write(util::Writer& w) const {
   for (const auto& b : bundles) b.write(w);
 }
 
-std::optional<BlockEvidence> BlockEvidence::read(util::Reader& r) {
+std::optional<BlockEvidence> BlockEvidence::read(util::Reader& r,
+                                                 std::uint32_t shards) {
   try {
     BlockEvidence ev;
     ev.accused = r.u32();
     const std::uint16_t n = r.u16();
-    auto b = Block::read(r);
+    auto b = Block::read(r, shards);
     if (!b) return std::nullopt;
     ev.block = *b;
     for (std::uint16_t i = 0; i < n; ++i) {
-      auto sb = SignedBundle::read(r);
+      auto sb = SignedBundle::read(r, shards);
       if (!sb) return std::nullopt;
       ev.bundles.push_back(*sb);
     }
@@ -295,7 +309,7 @@ std::optional<ExposureMsg> ExposureMsg::deserialize(
       m.equivocation = std::move(eq);
     }
     if (has_be) {
-      auto be = BlockEvidence::read(r);
+      auto be = BlockEvidence::read(r, params.shards);
       if (!be) return std::nullopt;
       m.block_evidence = std::move(*be);
     }
@@ -307,8 +321,8 @@ std::optional<ExposureMsg> ExposureMsg::deserialize(
 }
 
 std::optional<BlockMsg> BlockMsg::deserialize(
-    std::span<const std::uint8_t> data) {
-  auto b = Block::deserialize(data);
+    std::span<const std::uint8_t> data, std::uint32_t shards) {
+  auto b = Block::deserialize(data, shards);
   if (!b) return std::nullopt;
   BlockMsg m;
   m.block = std::move(*b);
@@ -318,6 +332,7 @@ std::optional<BlockMsg> BlockMsg::deserialize(
 std::vector<std::uint8_t> BundleRequest::serialize() const {
   util::Writer w;
   w.u32(creator);
+  if (shards > 1) w.u32(shard);
   w.u32(static_cast<std::uint32_t>(seqnos.size()));
   for (auto s : seqnos) w.u64(s);
   w.u64(request_id);
@@ -325,11 +340,16 @@ std::vector<std::uint8_t> BundleRequest::serialize() const {
 }
 
 std::optional<BundleRequest> BundleRequest::deserialize(
-    std::span<const std::uint8_t> data) {
+    std::span<const std::uint8_t> data, std::uint32_t shards) {
   try {
     util::Reader r(data);
     BundleRequest m;
+    m.shards = shards == 0 ? 1 : shards;
     m.creator = r.u32();
+    if (shards > 1) {
+      m.shard = r.u32();
+      if (m.shard >= shards) return std::nullopt;
+    }
     const std::uint32_t n = r.u32();
     for (std::uint32_t i = 0; i < n; ++i) m.seqnos.push_back(r.u64());
     m.request_id = r.u64();
@@ -349,14 +369,14 @@ std::vector<std::uint8_t> BundleResponse::serialize() const {
 }
 
 std::optional<BundleResponse> BundleResponse::deserialize(
-    std::span<const std::uint8_t> data) {
+    std::span<const std::uint8_t> data, std::uint32_t shards) {
   try {
     util::Reader r(data);
     BundleResponse m;
     const std::uint32_t n = r.u32();
     m.request_id = r.u64();
     for (std::uint32_t i = 0; i < n; ++i) {
-      auto sb = SignedBundle::read(r);
+      auto sb = SignedBundle::read(r, shards);
       if (!sb) return std::nullopt;
       m.bundles.push_back(*sb);
     }

@@ -134,6 +134,9 @@ struct EquivocationEvidence {
   bool verify(crypto::SignatureMode mode,
               crypto::VerifyCache* cache = nullptr) const {
     if (first.node != accused || second.node != accused) return false;
+    // Commitments of different shards describe disjoint logs: a cross-shard
+    // pair can never prove equivocation (DESIGN.md §7).
+    if (first.shard != second.shard) return false;
     if (!(first.key == second.key)) return false;
     if (!first.verify(mode, cache) || !second.verify(mode, cache)) return false;
     return check_consistency(first, second) == Consistency::kEquivocation;
@@ -148,6 +151,10 @@ struct EquivocationEvidence {
 struct SignedBundle {
   NodeId owner = 0;
   std::uint64_t seqno = 0;
+  // Shard the bundle belongs to; signed and serialized only when shards > 1
+  // so the k = 1 wire format stays byte-identical (DESIGN.md §7).
+  std::uint32_t shard = 0;
+  std::uint32_t shards = 1;
   std::vector<TxId> txids;
   crypto::PublicKey key{};
   crypto::Signature sig{};
@@ -156,10 +163,12 @@ struct SignedBundle {
   bool verify(crypto::SignatureMode mode,
               crypto::VerifyCache* cache = nullptr) const;
   std::size_t wire_size() const noexcept {
-    return 4 + 8 + 4 + kTxIdWire * txids.size() + 32 + 64;
+    return 4 + (shards > 1 ? 4 : 0) + 8 + 4 + kTxIdWire * txids.size() + 32 +
+           64;
   }
   void write(util::Writer& w) const;
-  static std::optional<SignedBundle> read(util::Reader& r);
+  static std::optional<SignedBundle> read(util::Reader& r,
+                                          std::uint32_t shards = 1);
 };
 
 // Block-level violation evidence: the signed block plus the creator-signed
@@ -178,7 +187,8 @@ struct BlockEvidence {
     return sz;
   }
   void write(util::Writer& w) const;
-  static std::optional<BlockEvidence> read(util::Reader& r);
+  static std::optional<BlockEvidence> read(util::Reader& r,
+                                           std::uint32_t shards = 1);
 };
 
 struct ExposureMsg final : sim::Payload {
@@ -206,21 +216,25 @@ struct BlockMsg final : sim::Payload {
   const char* type_name() const noexcept override { return "lo.block"; }
   std::size_t wire_size() const noexcept override { return block.wire_size(); }
   std::vector<std::uint8_t> serialize() const { return block.serialize(); }
-  static std::optional<BlockMsg> deserialize(std::span<const std::uint8_t> data);
+  static std::optional<BlockMsg> deserialize(std::span<const std::uint8_t> data,
+                                             std::uint32_t shards = 1);
 };
 
 struct BundleRequest final : sim::Payload {
   NodeId creator = 0;
+  // Shard whose bundles are requested; on the wire only when shards > 1.
+  std::uint32_t shard = 0;
+  std::uint32_t shards = 1;
   std::vector<std::uint64_t> seqnos;
   std::uint64_t request_id = 0;
 
   const char* type_name() const noexcept override { return "lo.bundle_req"; }
   std::size_t wire_size() const noexcept override {
-    return 4 + 4 + 8 * seqnos.size() + 8;
+    return 4 + (shards > 1 ? 4 : 0) + 4 + 8 * seqnos.size() + 8;
   }
   std::vector<std::uint8_t> serialize() const;
   static std::optional<BundleRequest> deserialize(
-      std::span<const std::uint8_t> data);
+      std::span<const std::uint8_t> data, std::uint32_t shards = 1);
 };
 
 struct BundleResponse final : sim::Payload {
@@ -235,7 +249,7 @@ struct BundleResponse final : sim::Payload {
   }
   std::vector<std::uint8_t> serialize() const;
   static std::optional<BundleResponse> deserialize(
-      std::span<const std::uint8_t> data);
+      std::span<const std::uint8_t> data, std::uint32_t shards = 1);
 };
 
 // Periodic relay of the most recent third-party commitments.

@@ -15,6 +15,11 @@ std::uint64_t suspicion_key(NodeId reporter, std::uint64_t epoch) {
   return (static_cast<std::uint64_t>(reporter) << 32) ^ (epoch & 0xffffffffULL);
 }
 
+// Per-(peer, shard) map key — same packing as the registry's commitment key.
+std::uint64_t ps_key(NodeId peer, std::uint32_t shard) {
+  return AccountabilityRegistry::key(peer, shard);
+}
+
 }  // namespace
 
 LoNode::LoNode(sim::Simulator& sim, NodeId id, const LoConfig& config,
@@ -24,13 +29,23 @@ LoNode::LoNode(sim::Simulator& sim, NodeId id, const LoConfig& config,
       config_(config),
       signer_(keys, config.sig_mode),
       hooks_(hooks),
-      log_(id, config.commitment),
-      content_clock_(config.commitment.clock_cells, config.commitment.clock_hashes),
       registry_(config.sig_mode, config.verify_signatures,
                 config.two_stage_checks) {
+  // Fold the shard count into the commitment params so every wire codec
+  // (headers, bundles, blocks) sees it; at k=1 nothing changes on the wire.
+  k_ = static_cast<std::uint32_t>(
+      config_.mempool_shards == 0 ? 1 : config_.mempool_shards);
+  config_.commitment.shards = k_;
   // Fail fast on configs that would silently break retry/backoff or the
   // membership timing; no node may be built on a nonsensical config.
-  config.validate();
+  config_.validate();
+  logs_.reserve(k_);
+  content_clocks_.reserve(k_);
+  for (std::uint32_t s = 0; s < k_; ++s) {
+    logs_.emplace_back(id_, config_.commitment, s);
+    content_clocks_.emplace_back(config_.commitment.clock_cells,
+                                 config_.commitment.clock_hashes);
+  }
   registry_.set_verify_cache(&verify_cache_);
   // Observability: mechanism counters live in the simulator's registry as
   // per-node labeled cells; protocol events go to the shared tracer.
@@ -68,9 +83,9 @@ const Transaction* LoNode::get_tx(const TxId& id) const {
   return it == store_.end() ? nullptr : &it->second;
 }
 
-BundleMap LoNode::mirror_of(NodeId creator) const {
+BundleMap LoNode::mirror_of(NodeId creator, std::uint32_t shard) const {
   BundleMap out;
-  auto it = mirrors_.find(creator);
+  auto it = mirrors_.find(ps_key(creator, shard));
   if (it == mirrors_.end()) return out;
   // lolint:allow(unordered-iter) reason=copies map-to-map; the result's content is order-independent and callers never observe insertion order
   for (const auto& [seqno, sb] : it->second) out[seqno] = sb.txids;
@@ -80,13 +95,13 @@ BundleMap LoNode::mirror_of(NodeId creator) const {
 std::size_t LoNode::accountability_memory_bytes() const noexcept {
   std::size_t sum = registry_.memory_bytes();
   // lolint:allow(unordered-iter) reason=commutative byte-count fold; the sum is order-independent and never leaves local metrics
-  for (const auto& [node, bundles] : mirrors_) {
-    sum += sizeof(node);
+  for (const auto& [key, bundles] : mirrors_) {
+    sum += sizeof(key);
     // lolint:allow(unordered-iter) reason=commutative byte-count fold over the inner map; order cannot escape a sum
     for (const auto& [seqno, sb] : bundles) sum += 8 + sb.wire_size();
   }
   // Commitment-log bookkeeping beyond the plain mempool contents.
-  sum += log_.memory_bytes();
+  for (const auto& l : logs_) sum += l.memory_bytes();
   return sum;
 }
 
@@ -114,34 +129,42 @@ void LoNode::admit_transaction(const Transaction& tx, NodeId source) {
     invalid_.insert(tx.id);
     return;
   }
+  const std::uint32_t shard = shard_of(tx.id);
   // Mempool censorship: a censoring miner silently refuses foreign txs
   // (Sec. 2.2 "Mempool Censorship" — it neither commits nor relays them).
-  if (behavior_.censor_txs && source != id_) return;
+  // The cross-shard variant censors only one shard's foreign txs.
+  if (censors_shard(shard) && source != id_) return;
 
   store_.emplace(tx.id, tx);
   valid_.insert(tx.id);
-  content_clock_.add(txid_short(tx.id));
-  commit_batch({tx.id}, source);
+  content_clocks_[shard].add(txid_short(tx.id));
+  commit_batch({tx.id}, source, shard);
   tracer_->emit(obs::EventKind::kTxAdmit, id_, source, txid_short(tx.id),
-                log_.seqno());
+                logs_[shard].seqno());
   if (hooks_ && hooks_->on_mempool_admit) {
     hooks_->on_mempool_admit(id_, tx, sim_.now());
   }
 }
 
-void LoNode::commit_batch(const std::vector<TxId>& ids, NodeId source) {
+void LoNode::commit_batch(const std::vector<TxId>& ids, NodeId source,
+                          std::uint32_t shard) {
   if (ids.empty()) return;
-  log_.append(ids, source);
+  logs_[shard].append(ids, source);
   tracer_->emit(obs::EventKind::kCommitCreate, id_, source, ids.size(),
-                log_.seqno());
-  if (fork_log_) {
+                logs_[shard].seqno());
+  if (!fork_logs_.empty()) {
     // The fork tells a censored story: ids with an even short hash vanish
     // (own transactions are always kept — the fork must stay plausible).
+    // At k>1 the parity is taken after dividing out the shard factor:
+    // within a shard txid_short % k is constant, so the raw parity would
+    // censor everything or nothing for even k.
     std::vector<TxId> fork_part;
     for (const auto& id : ids) {
-      if (source == id_ || txid_short(id) % 2 != 0) fork_part.push_back(id);
+      const std::uint64_t raw = txid_short(id);
+      const std::uint64_t parity = k_ > 1 ? (raw / k_) % 2 : raw % 2;
+      if (source == id_ || parity != 0) fork_part.push_back(id);
     }
-    fork_log_->append(fork_part, source);
+    fork_logs_[shard].append(fork_part, source);
   }
 }
 
@@ -181,13 +204,17 @@ void LoNode::crash(bool wipe_mempool) {
     store_.clear();
     valid_.clear();
   }
-  // The content clock describes the content we can actually serve — rebuild
-  // it from what survived (BloomClock addition commutes, so iteration order
-  // of the unordered map cannot affect the result).
-  content_clock_ = bloom::BloomClock(config_.commitment.clock_cells,
-                                     config_.commitment.clock_hashes);
-  // lolint:allow(unordered-iter) reason=BloomClock::add is a commutative counter increment; the rebuilt clock is identical for any visit order
-  for (const auto& [id, tx] : store_) content_clock_.add(txid_short(id));
+  // The content clocks describe the content we can actually serve — rebuild
+  // them per shard from what survived (BloomClock addition commutes, so
+  // iteration order of the unordered map cannot affect the result).
+  for (std::uint32_t s = 0; s < k_; ++s) {
+    content_clocks_[s] = bloom::BloomClock(config_.commitment.clock_cells,
+                                           config_.commitment.clock_hashes);
+  }
+  // lolint:allow(unordered-iter) reason=BloomClock::add is a commutative counter increment; the rebuilt clocks are identical for any visit order
+  for (const auto& [id, tx] : store_) {
+    content_clocks_[shard_of(id)].add(txid_short(id));
+  }
 }
 
 void LoNode::restart() {
@@ -254,8 +281,10 @@ bool LoNode::presumed_live(NodeId peer) const {
 
 void LoNode::request_missing_content() {
   std::vector<TxId> missing;
-  for (const auto& id : log_.order()) {
-    if (store_.count(id) == 0 && invalid_.count(id) == 0) missing.push_back(id);
+  for (const auto& l : logs_) {
+    for (const auto& id : l.order()) {
+      if (store_.count(id) == 0 && invalid_.count(id) == 0) missing.push_back(id);
+    }
   }
   if (missing.empty() || neighbors_.empty()) return;
   for (std::size_t off = 0; off < missing.size(); off += config_.max_delta) {
@@ -273,8 +302,11 @@ void LoNode::request_missing_content() {
 // --------------------------------------------------------- reconciliation ----
 
 void LoNode::on_start() {
-  if (behavior_.equivocate && !fork_log_) {
-    fork_log_ = std::make_unique<CommitmentLog>(id_, config_.commitment);
+  if (behavior_.equivocate && fork_logs_.empty()) {
+    fork_logs_.reserve(k_);
+    for (std::uint32_t s = 0; s < k_; ++s) {
+      fork_logs_.emplace_back(id_, config_.commitment, s);
+    }
   }
   // Random phase so the network's sync rounds do not beat in lockstep.
   const sim::Duration phase = static_cast<sim::Duration>(
@@ -337,16 +369,25 @@ void LoNode::sync_round() {
       candidates.push_back(n);
     }
     sim_.node_rng(id_).shuffle(candidates);
-    const std::size_t k = std::min(config_.recon_fanout, candidates.size());
-    for (std::size_t i = 0; i < k; ++i) send_sync_request(candidates[i]);
+    const std::size_t fanout = std::min(config_.recon_fanout, candidates.size());
+    // One candidate shuffle per round regardless of k (identical RNG stream
+    // at every shard count); each chosen peer reconciles every shard, and the
+    // per-shard in-sync check inside send_sync_request skips settled ones.
+    for (std::size_t i = 0; i < fanout; ++i) {
+      for (std::uint32_t s = 0; s < k_; ++s) {
+        send_sync_request(candidates[i], s);
+      }
+    }
   }
   schedule_sync();
 }
 
-CommitmentLog& LoNode::log_for_peer(NodeId peer) {
+CommitmentLog& LoNode::log_for_peer(NodeId peer, std::uint32_t shard) {
   // Equivocators show the censored fork to every even peer id.
-  if (behavior_.equivocate && fork_log_ && (peer % 2 == 0)) return *fork_log_;
-  return log_;
+  if (behavior_.equivocate && !fork_logs_.empty() && (peer % 2 == 0)) {
+    return fork_logs_[shard];
+  }
+  return logs_[shard];
 }
 
 std::size_t LoNode::wire_capacity_for(NodeId peer, const CommitmentLog& log,
@@ -358,7 +399,10 @@ std::size_t LoNode::wire_capacity_for(NodeId peer, const CommitmentLog& log,
   // the upper bound.
   if (!config_.adaptive_wire_sketch) return config_.commitment.sketch_capacity;
   std::size_t estimate = 24;
-  if (const auto* h = registry_.latest(peer)) {
+  // Per-shard estimate: the Bloom-clock distance is taken against the peer's
+  // commitment for THIS log's shard, so small shards transmit small sketch
+  // prefixes instead of paying for the global backlog.
+  if (const auto* h = registry_.latest(peer, log.shard())) {
     estimate =
         static_cast<std::size_t>(log.clock().estimate_difference(h->clock));
   }
@@ -366,31 +410,37 @@ std::size_t LoNode::wire_capacity_for(NodeId peer, const CommitmentLog& log,
   return sketch::adaptive_capacity(estimate, config_.commitment.sketch_capacity);
 }
 
-void LoNode::send_sync_request(NodeId peer) {
-  CommitmentLog& use_log = log_for_peer(peer);
+void LoNode::send_sync_request(NodeId peer, std::uint32_t shard) {
+  CommitmentLog& use_log = log_for_peer(peer, shard);
   // Alg. 1 line 13: request only while the sets differ. Count and clock
   // equality alone can be fooled by cell collisions, so the sketch prefix is
   // compared too; any mismatch means C_i \ C_j or C_j \ C_i is non-empty.
-  if (const auto* ph = registry_.latest(peer)) {
+  if (const auto* ph = registry_.latest(peer, shard)) {
     if (ph->count == use_log.count() && ph->clock == use_log.clock()) {
       const auto trunc = use_log.sketch().truncated(ph->sketch.capacity());
       if (trunc.syndromes() == ph->sketch.syndromes()) return;  // in sync
     }
   }
-  if (outstanding_sync_.count(peer) != 0) return;  // one in flight per peer
+  // One in flight per (peer, shard) pair.
+  if (outstanding_sync_.count(ps_key(peer, shard)) != 0) return;
 
   auto req = std::make_shared<SyncRequest>();
   req->commitment =
       use_log.make_header(signer_, wire_capacity_for(peer, use_log, 0));
   const std::uint64_t rid = register_pending(peer, RequestKind::kSync, req);
-  pending_.at(rid).snapshot_clock = content_clock_;
-  outstanding_sync_.insert(peer);
+  pending_.at(rid).shard = shard;
+  pending_.at(rid).snapshot_clock = content_clocks_[shard];
+  outstanding_sync_.insert(ps_key(peer, shard));
   req->request_id = rid;
   sim_.send(id_, peer, req);
 }
 
 void LoNode::handle_sync_request(NodeId from, const SyncRequest& req) {
   if (behavior_.ignore_requests) return;
+  // The shard rides inside the embedded commitment; reject out-of-range ids
+  // (a malicious peer could address a shard pipeline we do not run).
+  const std::uint32_t shard = req.commitment.shard;
+  if (shard >= k_) return;
   observe_header(from, req.commitment);
   // The embedded commitment came straight from the peer, so it also answers
   // any open challenge we hold against it (see handle_challenge_response):
@@ -401,7 +451,9 @@ void LoNode::handle_sync_request(NodeId from, const SyncRequest& req) {
   handle_challenge_response(from, req.commitment);
   if (registry_.is_exposed(from)) return;
 
-  CommitmentLog& use_log = log_for_peer(from);
+  CommitmentLog& use_log = log_for_peer(from, shard);
+  // Full mempool censorship, or the cross-shard attack on this shard.
+  const bool censoring = censors_shard(shard);
 
   // Set reconciliation: our sketch (truncated to the request's capacity)
   // XOR theirs encodes the exact symmetric difference.
@@ -449,7 +501,7 @@ void LoNode::handle_sync_request(NodeId from, const SyncRequest& req) {
     for (const auto elem : *diff) {
       if (auto id = use_log.resolve_element(elem)) {
         ours.push_back(*id);
-      } else if (!behavior_.censor_txs) {
+      } else if (!censoring) {
         resp->want_short.push_back(elem);
       }
     }
@@ -466,7 +518,7 @@ void LoNode::handle_sync_request(NodeId from, const SyncRequest& req) {
   // Eager content push: ship the bodies of the delta_back ids we hold right
   // away instead of waiting for a TxRequest round trip (Bitcoin-style tx
   // push; same bytes, one RTT less).
-  if (!resp->delta_back.empty() && !behavior_.censor_txs) {
+  if (!resp->delta_back.empty() && !censoring) {
     auto bundle = std::make_shared<TxBundleMsg>();
     for (const auto& id : resp->delta_back) {
       auto it2 = store_.find(id);
@@ -477,13 +529,15 @@ void LoNode::handle_sync_request(NodeId from, const SyncRequest& req) {
 }
 
 void LoNode::handle_sync_response(NodeId from, const SyncResponse& resp) {
+  const std::uint32_t shard = resp.commitment.shard;
+  if (shard >= k_) return;
   auto it = pending_.find(resp.request_id);
   Pending pending;
   bool had_pending = false;
   if (it != pending_.end() && it->second.peer == from) {
     pending = it->second;
     pending_.erase(it);
-    outstanding_sync_.erase(from);
+    outstanding_sync_.erase(ps_key(from, pending.shard));
     had_pending = true;
   }
   observe_header(from, resp.commitment);
@@ -495,31 +549,35 @@ void LoNode::handle_sync_response(NodeId from, const SyncResponse& resp) {
   }
   if (registry_.is_exposed(from)) return;
 
-  CommitmentLog& use_log = log_for_peer(from);
+  CommitmentLog& use_log = log_for_peer(from, shard);
+  const bool censoring = censors_shard(shard);
 
   // 1. Ship the transactions the responder asked for. Once it has them, it
   //    owes us a commitment covering our snapshot (coverage watch).
-  if (!behavior_.censor_txs && !behavior_.ignore_requests) {
-    serve_elements(from, resp.want_short, resp.request_id);
+  if (!censoring && !behavior_.ignore_requests) {
+    serve_elements(from, shard, resp.want_short, resp.request_id);
   }
   if (had_pending && !resp.decode_failed && pending.snapshot_clock) {
-    register_coverage(from, *pending.snapshot_clock);
+    register_coverage(from, pending.shard, *pending.snapshot_clock);
   }
 
   // 2. Commit to the ids the responder says we lack — one bundle, in the
   //    responder's order ("Transaction Selection in Received Order") — and
-  //    fetch the content.
+  //    fetch the content. Ids outside the response's shard are dropped: the
+  //    partition invariant (log s holds only shard-s ids) must hold even
+  //    against a malicious responder.
   std::vector<TxId> fresh;
   for (const auto& id : resp.delta_back) {
     if (invalid_.count(id) != 0) continue;
-    if (behavior_.censor_txs) continue;
-    if (!log_.contains(id) &&
+    if (censoring) continue;
+    if (shard_of(id) != shard) continue;
+    if (!logs_[shard].contains(id) &&
         std::find(fresh.begin(), fresh.end(), id) == fresh.end()) {
       fresh.push_back(id);
     }
   }
   if (!fresh.empty()) {
-    commit_batch(fresh, from);
+    commit_batch(fresh, from, shard);
     std::vector<TxId> want;
     for (const auto& id : fresh) {
       if (store_.count(id) == 0) want.push_back(id);
@@ -564,8 +622,8 @@ void LoNode::handle_sync_response(NodeId from, const SyncResponse& resp) {
           theirs.push_back(elem);
         }
       }
-      if (!behavior_.censor_txs) {
-        serve_elements(from, ours, 0);
+      if (!censoring) {
+        serve_elements(from, shard, ours, 0);
         if (!theirs.empty()) {
           auto txreq = std::make_shared<TxRequest>();
           txreq->want_short = std::move(theirs);
@@ -581,11 +639,11 @@ void LoNode::handle_sync_response(NodeId from, const SyncResponse& resp) {
   }
 }
 
-void LoNode::serve_elements(NodeId to,
+void LoNode::serve_elements(NodeId to, std::uint32_t shard,
                             const std::vector<std::uint64_t>& elements,
                             std::uint64_t request_id) {
   if (elements.empty()) return;
-  CommitmentLog& use_log = log_for_peer(to);
+  CommitmentLog& use_log = log_for_peer(to, shard);
   std::vector<TxId> ids;
   for (const auto elem : elements) {
     if (auto id = use_log.resolve_element(elem)) {
@@ -606,19 +664,28 @@ void LoNode::handle_tx_request(NodeId from, const TxRequest& req) {
   auto bundle = std::make_shared<TxBundleMsg>();
   bundle->request_id = req.request_id;
   for (const auto& id : req.want) {
+    if (behavior_.censors(txid_short(id), k_)) continue;
     auto s = store_.find(id);
     if (s != store_.end()) bundle->txs.push_back(s->second);
   }
+  // TxRequest stays shard-free on the wire: sketch elements are resolved
+  // against every shard log (ascending shard order, so the reply order is
+  // deterministic — shard first, then commitment position).
   std::vector<TxId> resolved;
-  for (const auto elem : req.want_short) {
-    if (auto id = log_.resolve_element(elem)) {
-      if (store_.count(*id) != 0) resolved.push_back(*id);
+  for (std::uint32_t s = 0; s < k_; ++s) {
+    if (censors_shard(s)) continue;
+    std::vector<TxId> in_shard;
+    for (const auto elem : req.want_short) {
+      if (auto id = logs_[s].resolve_element(elem)) {
+        if (store_.count(*id) != 0) in_shard.push_back(*id);
+      }
     }
+    std::sort(in_shard.begin(), in_shard.end(),
+              [this, s](const TxId& a, const TxId& b) {
+                return logs_[s].position_of(a) < logs_[s].position_of(b);
+              });
+    resolved.insert(resolved.end(), in_shard.begin(), in_shard.end());
   }
-  std::sort(resolved.begin(), resolved.end(),
-            [this](const TxId& a, const TxId& b) {
-              return log_.position_of(a) < log_.position_of(b);
-            });
   for (const auto& id : resolved) bundle->txs.push_back(store_.at(id));
   // An empty bundle is still sent: it acknowledges liveness so the requester
   // keeps polling instead of suspecting a peer that is itself waiting for
@@ -627,10 +694,13 @@ void LoNode::handle_tx_request(NodeId from, const TxRequest& req) {
 }
 
 void LoNode::handle_tx_bundle(NodeId from, const TxBundleMsg& msg) {
-  // Admit content and commit all new valid ids as ONE bundle in the received
-  // order — this is the "transaction bundle" of Sec. 4.1 whose intra-bundle
-  // order the canonical shuffle later randomizes.
-  std::vector<TxId> batch;
+  // Admit content and commit all new valid ids of a shard as ONE bundle in
+  // the received order — this is the "transaction bundle" of Sec. 4.1 whose
+  // intra-bundle order the canonical shuffle later randomizes. At k>1 the
+  // bundle may span shards, so the batch splits per shard (still one bundle
+  // per shard, received order preserved within each).
+  std::vector<std::vector<TxId>> batches(k_);
+  bool any_committed = false;
   for (const auto& tx : msg.txs) {
     if (invalid_.count(tx.id) != 0) continue;
     if (store_.count(tx.id) != 0) continue;
@@ -638,24 +708,32 @@ void LoNode::handle_tx_bundle(NodeId from, const TxBundleMsg& msg) {
       invalid_.insert(tx.id);
       continue;
     }
-    if (behavior_.censor_txs && from != id_) continue;
+    const std::uint32_t shard = shard_of(tx.id);
+    if (censors_shard(shard) && from != id_) continue;
     store_.emplace(tx.id, tx);
     valid_.insert(tx.id);
-    content_clock_.add(txid_short(tx.id));
-    if (!log_.contains(tx.id)) batch.push_back(tx.id);
+    content_clocks_[shard].add(txid_short(tx.id));
+    if (!logs_[shard].contains(tx.id)) batches[shard].push_back(tx.id);
     if (hooks_ && hooks_->on_mempool_admit) {
       hooks_->on_mempool_admit(id_, tx, sim_.now());
     }
   }
-  commit_batch(batch, from);
-  // Publish the fresh commitment to the sender when the bundle moved our
-  // log forward; stale-view cases are handled by the coverage re-probe.
-  if (!batch.empty() && !behavior_.ignore_requests && !behavior_.drop_gossip) {
-    // Publish the fresh commitment to the sender right away; this is what
-    // lets its coverage watch clear without waiting for the next round.
+  for (std::uint32_t s = 0; s < k_; ++s) {
+    if (batches[s].empty()) continue;
+    commit_batch(batches[s], from, s);
+    any_committed = true;
+  }
+  // Publish the fresh commitments to the sender when the bundle moved a log
+  // forward; stale-view cases are handled by the coverage re-probe.
+  if (any_committed && !behavior_.ignore_requests && !behavior_.drop_gossip) {
+    // Publish the fresh commitment right away; this is what lets the
+    // sender's coverage watch clear without waiting for the next round.
     auto g = std::make_shared<HeaderGossip>();
-    g->headers.push_back(log_for_peer(from).make_header(
-        signer_, wire_capacity_for(from, log_for_peer(from), 8)));
+    for (std::uint32_t s = 0; s < k_; ++s) {
+      if (batches[s].empty()) continue;
+      g->headers.push_back(log_for_peer(from, s).make_header(
+          signer_, wire_capacity_for(from, log_for_peer(from, s), 8)));
+    }
     sim_.send(id_, from, g);
   }
 
@@ -680,19 +758,22 @@ void LoNode::handle_tx_bundle(NodeId from, const TxBundleMsg& msg) {
       }
     }
     for (const auto elem : txreq->want_short) {
-      if (satisfied && !log_.resolve_element(elem).has_value()) {
-        satisfied = false;
+      bool known = false;
+      for (std::uint32_t s = 0; !known && s < k_; ++s) {
+        known = logs_[s].resolve_element(elem).has_value();
       }
+      if (satisfied && !known) satisfied = false;
     }
     if (satisfied) done.push_back(rid);
   }
   for (auto rid : done) pending_.erase(rid);
-  if (!done.empty()) resolve_suspicion(from);
+  if (!done.empty()) resolve_suspicion_content(from);
 }
 
 // -------------------------------------------------------- accountability ----
 
 void LoNode::observe_header(NodeId from, const CommitmentHeader& header) {
+  if (header.shard >= k_) return;  // not a shard pipeline we run
   tracer_->emit(obs::EventKind::kCommitObserve, id_, header.node, header.count);
   bool used_decode = false;
   auto evidence = registry_.observe_commitment(header, &used_decode);
@@ -715,31 +796,32 @@ void LoNode::observe_header(NodeId from, const CommitmentHeader& header) {
     return;
   }
   (void)from;
-  clear_coverage_if_met(header.node);
+  clear_coverage_if_met(header.node, header.shard);
 }
 
-void LoNode::register_coverage(NodeId peer, const bloom::BloomClock& snapshot) {
+void LoNode::register_coverage(NodeId peer, std::uint32_t shard,
+                               const bloom::BloomClock& snapshot) {
   // Keep an existing (older, therefore weaker) watch — it resolves first.
-  if (coverage_.count(peer) != 0) return;
+  if (coverage_.count(ps_key(peer, shard)) != 0) return;
   CoverageWatch watch;
   watch.snapshot = snapshot;
   watch.deadline = sim_.now() + config_.coverage_timeout;
-  coverage_.emplace(peer, std::move(watch));
-  arm_coverage_deadline(peer);
-  clear_coverage_if_met(peer);
+  coverage_.emplace(ps_key(peer, shard), std::move(watch));
+  arm_coverage_deadline(peer, shard);
+  clear_coverage_if_met(peer, shard);
 }
 
-void LoNode::arm_coverage_deadline(NodeId peer) {
-  sim_.schedule_for(id_, config_.coverage_timeout, [this, peer] {
-    auto it = coverage_.find(peer);
+void LoNode::arm_coverage_deadline(NodeId peer, std::uint32_t shard) {
+  sim_.schedule_for(id_, config_.coverage_timeout, [this, peer, shard] {
+    auto it = coverage_.find(ps_key(peer, shard));
     if (it == coverage_.end()) return;
     if (sim_.now() < it->second.deadline) return;  // superseded
-    const auto* h = registry_.latest(peer);
+    const auto* h = registry_.latest(peer, shard);
     const bool covered =
         h != nullptr && it->second.snapshot.dominated_by(h->clock);
     if (covered) {
       coverage_.erase(it);
-      resolve_suspicion(peer);
+      resolve_suspicion(peer, shard);
       return;
     }
     if (!it->second.reprobed) {
@@ -748,26 +830,26 @@ void LoNode::arm_coverage_deadline(NodeId peer) {
       // refresh may not have come around yet). Probe directly once.
       it->second.reprobed = true;
       it->second.deadline = sim_.now() + config_.coverage_timeout;
-      send_sync_request(peer);
-      arm_coverage_deadline(peer);
+      send_sync_request(peer, shard);
+      arm_coverage_deadline(peer, shard);
       return;
     }
     coverage_.erase(it);
     if (presumed_live(peer)) {
-      suspect_peer(peer);
+      suspect_peer(peer, shard);
     } else {
       ++*c_suspicions_absolved_;
     }
   });
 }
 
-void LoNode::clear_coverage_if_met(NodeId peer) {
-  auto it = coverage_.find(peer);
+void LoNode::clear_coverage_if_met(NodeId peer, std::uint32_t shard) {
+  auto it = coverage_.find(ps_key(peer, shard));
   if (it == coverage_.end()) return;
-  const auto* h = registry_.latest(peer);
+  const auto* h = registry_.latest(peer, shard);
   if (h != nullptr && it->second.snapshot.dominated_by(h->clock)) {
     coverage_.erase(it);
-    resolve_suspicion(peer);
+    resolve_suspicion(peer, shard);
   }
 }
 
@@ -776,17 +858,19 @@ void LoNode::broadcast_exposure(const ExposureMsg& msg) {
   flood(copy, id_);
 }
 
-void LoNode::suspect_peer(NodeId peer) {
+void LoNode::suspect_peer(NodeId peer, std::uint32_t shard) {
   if (registry_.is_exposed(peer)) return;
+  // Remember what we were covering when we complained: any later commitment
+  // from the suspect that dominates this shard snapshot moots the complaint
+  // (the suspect caught up), letting observe_header retract it even when the
+  // logs are already back in sync and no further requests will ever be sent.
+  // The snapshot is per (peer, shard); the public complaint below composes
+  // across shards — one flood per peer, lifted when the last shard resolves.
+  suspicion_snapshot_.emplace(ps_key(peer, shard), content_clocks_[shard]);
   auto& reporters = suspected_by_[peer];
   if (!reporters.insert(id_).second) return;  // we already reported
   ++*c_suspicions_raised_;
-  tracer_->emit(obs::EventKind::kSuspect, id_, peer);
-  // Remember what we were covering when we complained: any later commitment
-  // from the suspect that dominates this snapshot moots the complaint (the
-  // suspect caught up), letting observe_header retract it even when the logs
-  // are already back in sync and no further requests will ever be sent.
-  suspicion_snapshot_.emplace(peer, content_clock_);
+  tracer_->emit(obs::EventKind::kSuspect, id_, peer, shard);
   const bool was_suspected = registry_.is_suspected(peer);
   registry_.suspect(peer);
   if (!was_suspected && hooks_ && hooks_->on_suspect) {
@@ -796,18 +880,24 @@ void LoNode::suspect_peer(NodeId peer) {
   msg->suspect = peer;
   msg->reporter = id_;
   msg->epoch = ++suspicion_epoch_;
-  if (const auto* h = registry_.latest(peer)) msg->last_known = *h;
+  if (const auto* h = registry_.latest(peer, shard)) msg->last_known = *h;
   seen_suspicions_.insert(suspicion_key(id_, msg->epoch));
   flood(msg, id_);
 }
 
-void LoNode::resolve_suspicion(NodeId peer) {
+void LoNode::resolve_suspicion(NodeId peer, std::uint32_t shard) {
   auto it = suspected_by_.find(peer);
   if (it == suspected_by_.end()) return;
   // Only our own complaint can be resolved by evidence we observed; other
   // reporters retract for themselves.
-  if (it->second.erase(id_) == 0) return;
-  suspicion_snapshot_.erase(peer);
+  if (it->second.count(id_) == 0) return;
+  suspicion_snapshot_.erase(ps_key(peer, shard));
+  // The public complaint is per peer: it stands while any shard complaint
+  // remains open (composable accountability, DESIGN.md §7).
+  for (std::uint32_t s = 0; s < k_; ++s) {
+    if (suspicion_snapshot_.count(ps_key(peer, s)) != 0) return;
+  }
+  it->second.erase(id_);
   ++*c_suspicions_retracted_;
   tracer_->emit(obs::EventKind::kRetract, id_, peer);
   auto msg = std::make_shared<SuspicionMsg>();
@@ -823,6 +913,25 @@ void LoNode::resolve_suspicion(NodeId peer) {
   }
 }
 
+void LoNode::resolve_suspicion_content(NodeId peer) {
+  if (k_ == 1) {
+    resolve_suspicion(peer, 0);
+    return;
+  }
+  // Content service is shard-blind, so it cannot clear a shard complaint by
+  // itself: only shards whose latest commitment has caught up with the
+  // complaint snapshot resolve. A cross-shard censor that diligently serves
+  // the other shards therefore stays suspected on the censored one.
+  for (std::uint32_t s = 0; s < k_; ++s) {
+    auto sit = suspicion_snapshot_.find(ps_key(peer, s));
+    if (sit == suspicion_snapshot_.end()) continue;
+    const auto* h = registry_.latest(peer, s);
+    if (h != nullptr && sit->second.dominated_by(h->clock)) {
+      resolve_suspicion(peer, s);
+    }
+  }
+}
+
 void LoNode::handle_challenge_response(NodeId from, const CommitmentHeader& h) {
   // A suspicion we flooded is a public challenge; a header received DIRECTLY
   // from the suspect is its answer. The complaint is lifted only when the
@@ -833,14 +942,15 @@ void LoNode::handle_challenge_response(NodeId from, const CommitmentHeader& h) {
   // coverage watch keeps the challenge alive: the watch re-probes and either
   // clears or re-confirms the suspicion at its deadline.
   if (from != h.node) return;  // relayed headers are not an answer
-  auto it = suspicion_snapshot_.find(h.node);
+  if (h.shard >= k_) return;
+  auto it = suspicion_snapshot_.find(ps_key(h.node, h.shard));
   if (it == suspicion_snapshot_.end()) return;
-  const auto* latest = registry_.latest(h.node);
+  const auto* latest = registry_.latest(h.node, h.shard);
   if (latest != nullptr && it->second.dominated_by(latest->clock)) {
-    resolve_suspicion(h.node);
+    resolve_suspicion(h.node, h.shard);
     return;
   }
-  register_coverage(h.node, it->second);
+  register_coverage(h.node, h.shard, it->second);
 }
 
 void LoNode::handle_suspicion(NodeId from, const SuspicionMsg& msg) {
@@ -848,13 +958,17 @@ void LoNode::handle_suspicion(NodeId from, const SuspicionMsg& msg) {
     return;
   }
   if (msg.suspect == id_) {
-    // Respond publicly with our current commitment so the reporter (and the
-    // relayer) can lift the suspicion. A node that ignores requests ignores
-    // the accusation too — that is exactly what keeps it suspected.
+    // Respond publicly with our current commitments — one per shard, since
+    // the complaint does not say which shard pipeline fell behind — so the
+    // reporter (and the relayer) can lift the suspicion. A node that ignores
+    // requests ignores the accusation too — that is exactly what keeps it
+    // suspected.
     if (behavior_.ignore_requests) return;
     auto g = std::make_shared<HeaderGossip>();
-    g->headers.push_back(
-        log_.make_header(signer_, wire_capacity_for(msg.reporter, log_, 8)));
+    for (std::uint32_t s = 0; s < k_; ++s) {
+      g->headers.push_back(logs_[s].make_header(
+          signer_, wire_capacity_for(msg.reporter, logs_[s], 8)));
+    }
     sim_.send(id_, msg.reporter, g);
     if (from != msg.reporter) sim_.send(id_, from, g);
     return;
@@ -871,10 +985,13 @@ void LoNode::handle_suspicion(NodeId from, const SuspicionMsg& msg) {
       }
     }
   } else {
-    // Fig. 4: if we hold a newer commitment from the suspect, share it with
-    // the reporter instead of escalating; the suspicion is adopted either way
-    // until the reporter retracts.
-    const auto* ours = registry_.latest(msg.suspect);
+    // Fig. 4: if we hold a newer commitment from the suspect (same shard as
+    // the complaint's evidence), share it with the reporter instead of
+    // escalating; the suspicion is adopted either way until the reporter
+    // retracts.
+    const auto* ours =
+        msg.last_known ? registry_.latest(msg.suspect, msg.last_known->shard)
+                       : nullptr;
     if (ours != nullptr && msg.last_known &&
         ours->seqno > msg.last_known->seqno) {
       auto g = std::make_shared<HeaderGossip>();
@@ -925,9 +1042,10 @@ bool LoNode::tx_includeable(const TxId& id) const {
 }
 
 Block LoNode::create_block(std::uint64_t height,
-                           const crypto::Digest256& prev_hash) {
+                           const crypto::Digest256& prev_hash,
+                           std::uint32_t shard) {
   auto include = [this](const TxId& id) { return tx_includeable(id); };
-  Block block = build_block(log_, signer_, height, prev_hash, include);
+  Block block = build_block(logs_[shard], signer_, height, prev_hash, include);
 
   bool resign = false;
   if (behavior_.reorder_block) {
@@ -1010,6 +1128,7 @@ Block LoNode::create_block(std::uint64_t height,
 }
 
 void LoNode::handle_block(NodeId from, const BlockMsg& msg) {
+  if (msg.block.shard >= k_) return;
   const auto h = msg.block.hash();
   if (!seen_blocks_.emplace(h, msg.block).second) return;
   if (config_.verify_signatures && !msg.block.verify(config_.sig_mode, &verify_cache_)) return;
@@ -1019,19 +1138,23 @@ void LoNode::handle_block(NodeId from, const BlockMsg& msg) {
 }
 
 void LoNode::inspect_known_block(const Block& block) {
-  const BundleMap mirrored = mirror_of(block.creator);
+  const BundleMap mirrored = mirror_of(block.creator, block.shard);
   auto includeable = [this](const TxId& id) { return tx_includeable(id); };
   const InspectionResult res = inspect_block(block, mirrored, includeable);
 
   if (res.verdict == BlockVerdict::kNeedBundles) {
     auto req = std::make_shared<BundleRequest>();
     req->creator = block.creator;
+    req->shard = block.shard;
+    req->shards = k_;
     req->seqnos = res.missing_bundles;
     const std::uint64_t rid =
         register_pending(block.creator, RequestKind::kBundles, req);
+    pending_.at(rid).shard = block.shard;
     req->request_id = rid;
     sim_.send(id_, block.creator, req);
-    blocks_awaiting_bundles_[block.creator].push_back(block.hash());
+    blocks_awaiting_bundles_[ps_key(block.creator, block.shard)].push_back(
+        block.hash());
     return;
   }
 
@@ -1057,7 +1180,7 @@ void LoNode::inspect_known_block(const Block& block) {
       BlockEvidence ev;
       ev.accused = block.creator;
       ev.block = block;
-      auto mit = mirrors_.find(block.creator);
+      auto mit = mirrors_.find(ps_key(block.creator, block.shard));
       if (mit != mirrors_.end()) {
         for (const auto& seg : block.segments) {
           auto bit = mit->second.find(seg.seqno);
@@ -1077,7 +1200,9 @@ void LoNode::inspect_known_block(const Block& block) {
     case BlockVerdict::kCensored:
       // Not transferable without sharing tx content; raise a suspicion blame
       // (Sec. 5.2 treats undisclosed omissions through the suspicion path).
-      suspect_peer(block.creator);
+      // The blame carries the block's shard: the canonical lowest-seqno
+      // witness rule holds within that shard's bundle namespace.
+      suspect_peer(block.creator, block.shard);
       break;
     case BlockVerdict::kOk:
     case BlockVerdict::kNeedBundles:
@@ -1087,15 +1212,18 @@ void LoNode::inspect_known_block(const Block& block) {
 
 void LoNode::handle_bundle_request(NodeId from, const BundleRequest& req) {
   if (behavior_.ignore_requests) return;
+  if (req.shard >= k_) return;
   auto resp = std::make_shared<BundleResponse>();
   resp->request_id = req.request_id;
   for (std::uint64_t seqno : req.seqnos) {
     if (req.creator == id_) {
-      const auto* b = log_.bundle_by_seqno(seqno);
+      const auto* b = logs_[req.shard].bundle_by_seqno(seqno);
       if (b == nullptr) continue;
       SignedBundle sb;
       sb.owner = id_;
       sb.seqno = seqno;
+      sb.shard = req.shard;
+      sb.shards = k_;
       sb.txids = b->txids;
       sb.key = signer_.public_key();
       auto bytes = sb.signing_bytes();
@@ -1104,7 +1232,7 @@ void LoNode::handle_bundle_request(NodeId from, const BundleRequest& req) {
       resp->bundles.push_back(std::move(sb));
     } else {
       // Relay signed bundles we hold for third parties.
-      auto mit = mirrors_.find(req.creator);
+      auto mit = mirrors_.find(ps_key(req.creator, req.shard));
       if (mit == mirrors_.end()) continue;
       auto bit = mit->second.find(seqno);
       if (bit != mit->second.end()) resp->bundles.push_back(bit->second);
@@ -1115,21 +1243,23 @@ void LoNode::handle_bundle_request(NodeId from, const BundleRequest& req) {
 
 void LoNode::handle_bundle_response(NodeId from, const BundleResponse& resp) {
   if (resp.request_id != 0) clear_pending(resp.request_id);
-  resolve_suspicion(from);
-  std::unordered_set<NodeId> touched;
+  resolve_suspicion_content(from);
+  std::unordered_set<std::uint64_t> touched;
   for (const auto& sb : resp.bundles) {
+    if (sb.shard >= k_) continue;
     if (config_.verify_signatures && !sb.verify(config_.sig_mode, &verify_cache_)) continue;
-    // The bundle key must match the owner's known commitment key, if any.
-    if (const auto* h = registry_.latest(sb.owner)) {
+    // The bundle key must match the owner's known commitment key, if any
+    // (per shard — that is the commitment the bundle claims membership of).
+    if (const auto* h = registry_.latest(sb.owner, sb.shard)) {
       if (!(h->key == sb.key)) continue;
     }
-    mirrors_[sb.owner][sb.seqno] = sb;
-    touched.insert(sb.owner);
+    mirrors_[ps_key(sb.owner, sb.shard)][sb.seqno] = sb;
+    touched.insert(ps_key(sb.owner, sb.shard));
   }
   // Sorted walk: inspect_known_block can emit suspicion/exposure messages,
-  // so the per-owner processing order is protocol-visible.
-  for (NodeId owner : util::sorted_keys(touched)) {
-    auto it = blocks_awaiting_bundles_.find(owner);
+  // so the per-(owner, shard) processing order is protocol-visible.
+  for (std::uint64_t key : util::sorted_keys(touched)) {
+    auto it = blocks_awaiting_bundles_.find(key);
     if (it == blocks_awaiting_bundles_.end()) continue;
     auto hashes = std::move(it->second);
     blocks_awaiting_bundles_.erase(it);
@@ -1203,9 +1333,11 @@ void LoNode::arm_timeout(std::uint64_t request_id) {
           }
         }
         for (const auto elem : old_req->want_short) {
-          if (!log_.resolve_element(elem).has_value()) {
-            txreq->want_short.push_back(elem);
+          bool resolved = false;
+          for (std::uint32_t s = 0; s < k_ && !resolved; ++s) {
+            resolved = logs_[s].resolve_element(elem).has_value();
           }
+          if (!resolved) txreq->want_short.push_back(elem);
         }
         if (!txreq->want.empty() || !txreq->want_short.empty()) {
           const std::uint64_t rid =
@@ -1216,10 +1348,11 @@ void LoNode::arm_timeout(std::uint64_t request_id) {
       }
       return;
     }
-    if (p.kind == RequestKind::kSync) outstanding_sync_.erase(peer);
+    const std::uint32_t shard = p.shard;
+    if (p.kind == RequestKind::kSync) outstanding_sync_.erase(ps_key(peer, shard));
     pending_.erase(it);
     if (presumed_live(peer)) {
-      suspect_peer(peer);
+      suspect_peer(peer, shard);
     } else {
       // Membership no longer presumes the peer alive: a dead process cannot
       // answer, so the exhausted retries are a liveness event, not protocol
@@ -1233,7 +1366,7 @@ void LoNode::clear_pending(std::uint64_t request_id) {
   auto it = pending_.find(request_id);
   if (it == pending_.end()) return;
   if (it->second.kind == RequestKind::kSync) {
-    outstanding_sync_.erase(it->second.peer);
+    outstanding_sync_.erase(ps_key(it->second.peer, it->second.shard));
   }
   pending_.erase(it);
 }
@@ -1259,8 +1392,8 @@ std::vector<CommitmentHeader> LoNode::pick_gossip_headers() {
   // independent of visit order, so the RNG stream position is too.
   std::size_t i = 0;
   // lolint:allow(unordered-iter) reason=reservoir sampling consumes one RNG draw per entry regardless of order; selection is RNG-randomized and replay-stable for a fixed binary+seed
-  for (const auto& [node, header] : all) {
-    if (node == id_) continue;
+  for (const auto& [key, header] : all) {
+    if (static_cast<NodeId>(key >> 8) == id_) continue;
     if (out.size() < config_.gossip_headers) {
       out.push_back(header);
     } else {

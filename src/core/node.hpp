@@ -122,8 +122,11 @@ class LoNode final : public sim::INode {
   void stealth_store(const Transaction& tx);
 
   // Stage III: consensus elected this node; build, commit and broadcast the
-  // block. Returns the block actually produced (honest or manipulated).
-  Block create_block(std::uint64_t height, const crypto::Digest256& prev_hash);
+  // block draining `shard`'s log. Returns the block actually produced
+  // (honest or manipulated). In a sharded pipeline each shard elects its own
+  // proposer per round (DESIGN.md §7); shard 0 is the whole mempool at k=1.
+  Block create_block(std::uint64_t height, const crypto::Digest256& prev_hash,
+                     std::uint32_t shard = 0);
 
   // --- crash/restart lifecycle (see DESIGN.md "Fault model") ---
   // Crash: wipes all volatile state — pending requests, coverage watches,
@@ -148,7 +151,21 @@ class LoNode final : public sim::INode {
 
   // Introspection for tests and experiment harnesses.
   NodeId id() const noexcept { return id_; }
-  const CommitmentLog& log() const noexcept { return log_; }
+  // The shard a transaction id belongs to: content-hash partition
+  // txid_short % k (DESIGN.md §7). Always 0 at k=1.
+  std::uint32_t shard_of(const TxId& id) const noexcept {
+    return static_cast<std::uint32_t>(txid_short(id) % k_);
+  }
+  std::uint32_t shard_count() const noexcept { return k_; }
+  const CommitmentLog& log(std::uint32_t shard = 0) const noexcept {
+    return logs_[shard];
+  }
+  // Committed ids across every shard log.
+  std::uint64_t total_committed() const noexcept {
+    std::uint64_t n = 0;
+    for (const auto& l : logs_) n += l.count();
+    return n;
+  }
   const AccountabilityRegistry& registry() const noexcept { return registry_; }
   AccountabilityRegistry& registry() noexcept { return registry_; }
   std::size_t mempool_size() const noexcept { return store_.size(); }
@@ -166,9 +183,9 @@ class LoNode final : public sim::INode {
   }
   bool has_tx(const TxId& id) const { return store_.count(id) != 0; }
   const Transaction* get_tx(const TxId& id) const;
-  // The inspector's view of a creator's committed bundles (from verified
-  // signed bundle responses).
-  BundleMap mirror_of(NodeId creator) const;
+  // The inspector's view of a creator's committed bundles in one shard (from
+  // verified signed bundle responses).
+  BundleMap mirror_of(NodeId creator, std::uint32_t shard = 0) const;
   // Approximate extra memory used by accountability state (Sec. 6.5).
   std::size_t accountability_memory_bytes() const noexcept;
   std::uint64_t sketch_decodes() const noexcept { return sketch_decodes_; }
@@ -202,6 +219,7 @@ class LoNode final : public sim::INode {
   struct Pending {
     NodeId peer = 0;
     RequestKind kind = RequestKind::kSync;
+    std::uint32_t shard = 0;  // which shard pipeline the request belongs to
     sim::PayloadPtr payload;  // resent verbatim on timeout
     int retries_left = 0;
     int attempt = 0;           // resends so far; drives exponential backoff
@@ -224,14 +242,16 @@ class LoNode final : public sim::INode {
   void schedule_sync();
   void rotate_neighbors();
   void sync_round();
-  void send_sync_request(NodeId peer);
+  void send_sync_request(NodeId peer, std::uint32_t shard);
   void handle_sync_request(NodeId from, const SyncRequest& req);
   void handle_sync_response(NodeId from, const SyncResponse& resp);
   void handle_tx_request(NodeId from, const TxRequest& req);
   void handle_tx_bundle(NodeId from, const TxBundleMsg& msg);
-  // Resolves sketch elements to transactions we hold and ships them to `to`,
-  // ordered by our commitment-log position (preserving received order).
-  void serve_elements(NodeId to, const std::vector<std::uint64_t>& elements,
+  // Resolves sketch elements of `shard` to transactions we hold and ships
+  // them to `to`, ordered by our commitment-log position (preserving
+  // received order).
+  void serve_elements(NodeId to, std::uint32_t shard,
+                      const std::vector<std::uint64_t>& elements,
                       std::uint64_t request_id);
 
   // --- accountability ---
@@ -242,13 +262,21 @@ class LoNode final : public sim::INode {
   // challenge; retracts when it covers the complaint snapshot.
   void handle_challenge_response(NodeId from, const CommitmentHeader& h);
   void handle_exposure(NodeId from, const ExposureMsg& msg);
-  void suspect_peer(NodeId peer);
-  // Called when `peer` satisfied our outstanding complaint: lifts our own
+  void suspect_peer(NodeId peer, std::uint32_t shard);
+  // Called when `peer` satisfied our complaint about `shard`: drops that
+  // shard's snapshot, and once no shard complaint remains lifts our own
   // suspicion and broadcasts a retraction if we had reported it.
-  void resolve_suspicion(NodeId peer);
-  void register_coverage(NodeId peer, const bloom::BloomClock& snapshot);
-  void arm_coverage_deadline(NodeId peer);
-  void clear_coverage_if_met(NodeId peer);
+  void resolve_suspicion(NodeId peer, std::uint32_t shard);
+  // Content-serving acknowledgement (tx/bundle responses are shard-blind):
+  // at k=1 clears the complaint outright (the pre-sharding rule); at k>1
+  // clears only shard complaints whose snapshot the suspect's latest
+  // commitment for that shard dominates, so a shard-censoring peer stays
+  // suspected no matter how diligently it serves the other shards.
+  void resolve_suspicion_content(NodeId peer);
+  void register_coverage(NodeId peer, std::uint32_t shard,
+                         const bloom::BloomClock& snapshot);
+  void arm_coverage_deadline(NodeId peer, std::uint32_t shard);
+  void clear_coverage_if_met(NodeId peer, std::uint32_t shard);
 
   // --- blocks (Stage III/IV) ---
   void handle_block(NodeId from, const BlockMsg& msg);
@@ -274,13 +302,22 @@ class LoNode final : public sim::INode {
   void request_missing_content();
   void clear_pending(std::uint64_t request_id);
   void flood(const sim::PayloadPtr& msg, NodeId except);
-  CommitmentLog& log_for_peer(NodeId peer);
+  CommitmentLog& log_for_peer(NodeId peer, std::uint32_t shard);
   std::size_t wire_capacity_for(NodeId peer, const CommitmentLog& log,
                                 std::size_t delta_hint) const;
   void admit_transaction(const Transaction& tx, NodeId source);
-  // Commits a batch of ids as one bundle, maintaining the equivocation fork.
-  void commit_batch(const std::vector<TxId>& ids, NodeId source);
+  // Commits a batch of same-shard ids as one bundle in `shard`'s log,
+  // maintaining the equivocation fork.
+  void commit_batch(const std::vector<TxId>& ids, NodeId source,
+                    std::uint32_t shard);
   std::vector<CommitmentHeader> pick_gossip_headers();
+  // True when this node's behavior censors foreign transactions of `shard`
+  // (full mempool censorship, or the cross-shard attack of DESIGN.md §7).
+  bool censors_shard(std::uint32_t shard) const noexcept {
+    if (behavior_.censor_txs) return true;
+    return behavior_.censor_shard >= 0 && k_ > 1 &&
+           shard == static_cast<std::uint32_t>(behavior_.censor_shard);
+  }
 
   sim::Simulator& sim_;
   NodeId id_;
@@ -297,9 +334,15 @@ class LoNode final : public sim::INode {
   // incarnation, overriding any confirm issued against its previous life.
   std::uint64_t member_incarnation_ = 0;
   std::unique_ptr<overlay::BasaltView> view_;
-  CommitmentLog log_;
-  // Equivocators maintain a censored fork shown to half of their peers.
-  std::unique_ptr<CommitmentLog> fork_log_;
+  // Shard count k = LoConfig::mempool_shards (cached; 1 = unsharded).
+  std::uint32_t k_ = 1;
+  // One append-only commitment log per shard; logs_[0] is the whole mempool
+  // at k=1. Per-(peer, shard) maps below are keyed by ps_key(peer, shard)
+  // (the AccountabilityRegistry::key packing: shard ids fit in one byte).
+  std::vector<CommitmentLog> logs_;
+  // Equivocators maintain censored forks (one per shard) shown to half of
+  // their peers. Empty unless behavior_.equivocate.
+  std::vector<CommitmentLog> fork_logs_;
 
   // Per-node verification fast path: decompressed peer keys + memoized
   // verdicts. Pure memoization of deterministic functions, so it survives
@@ -308,34 +351,43 @@ class LoNode final : public sim::INode {
   crypto::VerifyCache verify_cache_;
 
   std::unordered_map<TxId, Transaction, TxIdHash> store_;
-  // Clock over the transactions whose content we hold and can serve; this is
-  // what a peer can actually be expected to commit after an exchange, so
-  // coverage snapshots are taken from it (not from the full log, which may
-  // reference content still in flight to us).
-  bloom::BloomClock content_clock_;
+  // Per-shard clocks over the transactions whose content we hold and can
+  // serve; this is what a peer can actually be expected to commit after an
+  // exchange, so coverage snapshots are taken from them (not from the full
+  // log, which may reference content still in flight to us).
+  std::vector<bloom::BloomClock> content_clocks_;
   std::unordered_set<TxId, TxIdHash> valid_;
   std::unordered_set<TxId, TxIdHash> invalid_;
 
   AccountabilityRegistry registry_;
   std::unordered_map<std::uint64_t, Pending> pending_;
-  std::unordered_set<NodeId> outstanding_sync_;
-  std::unordered_map<NodeId, CoverageWatch> coverage_;
+  // In-flight sync exchanges, keyed ps_key(peer, shard): one per pair.
+  std::unordered_set<std::uint64_t> outstanding_sync_;
+  // Coverage watches per (peer, shard) — a peer owes a commitment covering
+  // the shard snapshot it received our transactions under.
+  std::unordered_map<std::uint64_t, CoverageWatch> coverage_;
   std::uint64_t next_request_id_ = 1;
   std::uint64_t suspicion_epoch_ = 0;
   // Who currently accuses whom, from this node's point of view: suspect ->
   // reporters whose complaints are unresolved (id_ when we reported).
+  // Deliberately global across shards — the public complaint composes.
   std::unordered_map<NodeId, std::unordered_set<NodeId>> suspected_by_;
-  // Our content clock at the moment we reported each suspect; a commitment
-  // from the suspect dominating this snapshot retracts our complaint.
-  std::unordered_map<NodeId, bloom::BloomClock> suspicion_snapshot_;
+  // Our per-shard content clock at the moment we reported each suspect,
+  // keyed ps_key(suspect, shard); a commitment from the suspect dominating
+  // the snapshot retracts that shard's complaint (the public suspicion lifts
+  // when the last shard complaint resolves).
+  std::unordered_map<std::uint64_t, bloom::BloomClock> suspicion_snapshot_;
 
-  std::unordered_map<NodeId, std::unordered_map<std::uint64_t, SignedBundle>>
+  // Signed-bundle mirrors keyed ps_key(creator, shard): bundle seqnos are
+  // per shard log, so shards must not share a seqno namespace.
+  std::unordered_map<std::uint64_t,
+                     std::unordered_map<std::uint64_t, SignedBundle>>
       mirrors_;
   std::unordered_map<crypto::Digest256, Block, TxIdHash> seen_blocks_;
   std::unordered_set<std::uint64_t> seen_suspicions_;  // key(reporter, epoch)
   std::unordered_set<NodeId> seen_exposures_;
-  std::unordered_map<NodeId, std::vector<crypto::Digest256>>
-      blocks_awaiting_bundles_;
+  std::unordered_map<std::uint64_t, std::vector<crypto::Digest256>>
+      blocks_awaiting_bundles_;  // keyed ps_key(creator, shard)
 
   std::uint64_t sketch_decodes_ = 0;
   std::uint64_t sync_recons_ = 0;

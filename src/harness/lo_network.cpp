@@ -180,27 +180,34 @@ void LoNetwork::schedule_next_block() {
       }
       filter = &eligible;
     }
-    const auto leader = leaders_->next_leader(filter);
-    // A down leader simply misses its slot — no block this round. (The
-    // leader draw stays on the same RNG stream either way, so runs without
-    // crashes are unchanged.)
-    if (!sim_.node_up(leader)) {
-      schedule_next_block();
-      return;
-    }
-    const auto block =
-        nodes_[leader]->create_block(chain_.height() + 1, chain_.tip_hash());
-    chain_.append(block);
-    // First-inclusion latency per transaction (Fig. 8 left).
+    // Sharded pipeline (DESIGN.md §7): one proposer draw per shard, ascending
+    // shard order, all from the same slot. Every leader is drawn before any
+    // block is built so the RNG stream depends only on k, never on liveness;
+    // k = 1 is exactly the single pre-sharding draw.
+    const std::uint32_t k = nodes_.empty() ? 1 : nodes_[0]->shard_count();
+    const auto leaders = leaders_->next_leaders(k, filter);
     const double now_s = sim::to_seconds(sim_.now());
-    for (const auto& seg : block.segments) {
-      for (const auto& id : seg.txids) {
-        if (!tx_settled_.insert(id).second) continue;
-        sim_.obs().tracer.emit(obs::EventKind::kTxFinalize, leader, 0,
-                               core::txid_short(id), block.height);
-        auto it = tx_created_.find(id);
-        if (it == tx_created_.end()) continue;
-        block_latency_.add(now_s - sim::to_seconds(it->second));
+    for (std::uint32_t s = 0; s < k; ++s) {
+      const auto leader = leaders[s];
+      // A down proposer simply misses its shard's slot — the other shards
+      // still produce; the thin combiner below just sees fewer blocks.
+      if (!sim_.node_up(leader)) continue;
+      // Cross-shard combiner: shard blocks are totally ordered into the one
+      // global chain by (slot, shard) — each append extends the tip the
+      // previous shard's block just created.
+      const auto block = nodes_[leader]->create_block(chain_.height() + 1,
+                                                      chain_.tip_hash(), s);
+      chain_.append(block);
+      // First-inclusion latency per transaction (Fig. 8 left).
+      for (const auto& seg : block.segments) {
+        for (const auto& id : seg.txids) {
+          if (!tx_settled_.insert(id).second) continue;
+          sim_.obs().tracer.emit(obs::EventKind::kTxFinalize, leader, 0,
+                                 core::txid_short(id), block.height);
+          auto it = tx_created_.find(id);
+          if (it == tx_created_.end()) continue;
+          block_latency_.add(now_s - sim::to_seconds(it->second));
+        }
       }
     }
     schedule_next_block();
@@ -262,19 +269,35 @@ std::vector<std::string> LoNetwork::check_invariants() const {
              std::to_string(accused));
       }
     }
-    // No double-commit: the append-only log holds each id at most once.
-    const auto& order = nodes_[i]->log().order();
-    std::unordered_set<core::TxId, core::TxIdHash> uniq(order.begin(),
-                                                        order.end());
-    if (uniq.size() != order.size()) {
+    // No double-commit: each append-only shard log holds each id at most
+    // once, and no id appears in more than one shard's log (the partition
+    // invariant: shard s may only commit ids with shard_of(id) == s).
+    const std::uint32_t k = nodes_[i]->shard_count();
+    std::unordered_set<core::TxId, core::TxIdHash> uniq;
+    std::size_t total_committed = 0;
+    bool partition_ok = true;
+    for (std::uint32_t s = 0; s < k; ++s) {
+      const auto& order = nodes_[i]->log(s).order();
+      total_committed += order.size();
+      uniq.insert(order.begin(), order.end());
+      for (const auto& id : order) {
+        if (nodes_[i]->shard_of(id) != s) partition_ok = false;
+      }
+    }
+    if (uniq.size() != total_committed) {
       note("node " + std::to_string(i) + " double-committed " +
-           std::to_string(order.size() - uniq.size()) + " id(s)");
+           std::to_string(total_committed - uniq.size()) + " id(s)");
+    }
+    if (!partition_ok) {
+      note("node " + std::to_string(i) +
+           " committed an id outside its content-hash shard");
     }
     // Log/mempool consistency: everything a correct node holds it has also
     // committed to (admission commits immediately; only malicious nodes
-    // stealth-store content off the record).
+    // stealth-store content off the record). The committing log must be the
+    // id's own shard log.
     for (const auto& [id, tx] : nodes_[i]->mempool()) {
-      if (!nodes_[i]->log().contains(id)) {
+      if (!nodes_[i]->log(nodes_[i]->shard_of(id)).contains(id)) {
         note("node " + std::to_string(i) +
              " holds a mempool tx missing from its commitment log");
         break;

@@ -73,6 +73,40 @@ std::optional<std::vector<std::uint64_t>> AdaptiveReconciler::reconcile(
   return out;
 }
 
+std::optional<std::vector<std::uint64_t>> AdaptiveReconciler::reconcile_shards(
+    std::span<const std::uint64_t> a, std::span<const std::uint64_t> b,
+    const std::function<std::uint32_t(std::uint64_t)>& shard_of,
+    std::span<const std::size_t> shard_estimates, ReconcileStats* stats) const {
+  const std::size_t k = shard_estimates.empty() ? 1 : shard_estimates.size();
+  std::vector<std::vector<std::uint64_t>> as(k), bs(k);
+  for (auto raw : a) {
+    const std::uint32_t s = shard_of(raw);
+    as[s < k ? s : k - 1].push_back(raw);
+  }
+  for (auto raw : b) {
+    const std::uint32_t s = shard_of(raw);
+    bs[s < k ? s : k - 1].push_back(raw);
+  }
+  ReconcileStats total;
+  std::vector<std::uint64_t> out;
+  for (std::size_t s = 0; s < k; ++s) {
+    ReconcileStats round;
+    const std::size_t est = shard_estimates.empty() ? 0 : shard_estimates[s];
+    auto diff = reconcile(as[s], bs[s], est, &round);
+    total.sketches_used += round.sketches_used;
+    total.bytes += round.bytes;
+    total.rounds = round.rounds > total.rounds ? round.rounds : total.rounds;
+    total.decode_failures += round.decode_failures;
+    if (!diff) {
+      if (stats != nullptr) *stats = total;
+      return std::nullopt;
+    }
+    out.insert(out.end(), diff->begin(), diff->end());
+  }
+  if (stats != nullptr) *stats = total;
+  return out;
+}
+
 std::optional<std::vector<std::uint64_t>> PartitionedReconciler::reconcile(
     std::span<const std::uint64_t> a, std::span<const std::uint64_t> b,
     ReconcileStats* stats) const {

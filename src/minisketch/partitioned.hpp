@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <span>
 #include <vector>
@@ -80,6 +81,23 @@ class AdaptiveReconciler {
   std::optional<std::vector<std::uint64_t>> reconcile(
       std::span<const std::uint64_t> a, std::span<const std::uint64_t> b,
       std::size_t diff_estimate, ReconcileStats* stats = nullptr) const;
+
+  // Sharded adaptive reconciliation (DESIGN.md §7): bucket both raw-item
+  // sets with `shard_of` (which must agree on both sides, like
+  // partition_bit) and run one independently sized round per shard, each
+  // using that shard's own difference estimate instead of one global
+  // estimate clamped at max_capacity. shard_estimates.size() fixes the shard
+  // count; shard_of must return values below it. Per-shard sizing is the
+  // point: a global estimate D costs O(adaptive_capacity(D)) syndrome bytes
+  // in every exchange, while k shards each seeing ~D/k pay
+  // k * adaptive_capacity(D/k) — strictly fewer bytes once D/k clears the
+  // sizing floor. Stats accumulate across shards; failure of any shard
+  // fails the whole call (correctness still never depends on estimates).
+  std::optional<std::vector<std::uint64_t>> reconcile_shards(
+      std::span<const std::uint64_t> a, std::span<const std::uint64_t> b,
+      const std::function<std::uint32_t(std::uint64_t)>& shard_of,
+      std::span<const std::size_t> shard_estimates,
+      ReconcileStats* stats = nullptr) const;
 
  private:
   unsigned bits_;

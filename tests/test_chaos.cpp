@@ -10,6 +10,7 @@
 
 #include "harness/lo_network.hpp"
 #include "test_net_util.hpp"
+#include "util/ordered.hpp"
 
 namespace lo {
 namespace {
@@ -475,6 +476,9 @@ TEST(Chaos, MembershipScalesToThousandNodes) {
   auto cfg = membership_cfg(1000, 107);
   cfg.node.membership.protocol_period = sim::kSecond;
   cfg.node.membership.ping_timeout = 300 * sim::kMillisecond;
+  // Heavy config: ride the parallel engine (same-seed runs are byte-identical
+  // for every worker count, so this changes wall-clock only).
+  cfg.workers = 4;
   harness::LoNetwork net(cfg);
   net.run_for(3.0);
   net.crash_node(123);
@@ -497,6 +501,90 @@ TEST(Chaos, MembershipScalesToThousandNodes) {
     }
   }
   EXPECT_TRUE(net.check_invariants().empty());
+}
+
+// ---------------------------------------------- cross-shard accountability ----
+
+TEST(Chaos, CrossShardCensorIsSuspectedDespiteHonestShards) {
+  // A Byzantine node censors exactly one of four shards while serving the
+  // other three honestly (DESIGN.md §7). The per-shard coverage watches must
+  // converge on suspicion anyway, and the content-acknowledgement resolution
+  // path — which the honest shards keep exercising — must NOT lift the
+  // complaint: only shard snapshots the suspect's own commitments dominate
+  // resolve, and the censored shard's never does.
+  auto cfg = net_cfg(12, 211, /*malicious_fraction=*/0.08);  // exactly 1 node
+  cfg.node.mempool_shards = 4;
+  cfg.malicious.censor_shard = 2;
+  harness::LoNetwork net(cfg);
+  ASSERT_EQ(net.malicious_count(), 1u);
+  net.start_invariant_checker(sim::kSecond);
+  net.start_workload(load_cfg(20.0, 213));
+  net.run_for(45.0);
+  net.stop_workload();
+  net.run_for(15.0);
+
+  std::size_t bad = net.size();
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    if (net.malicious_mask()[i]) bad = i;
+  }
+  ASSERT_LT(bad, net.size());
+  const auto bad_id = static_cast<core::NodeId>(bad);
+
+  // Detection converges network-wide and within the run.
+  const auto times = net.detection_times();
+  EXPECT_GE(times.suspicion_complete_s, 0.0)
+      << "not every correct node suspected the cross-shard censor";
+  EXPECT_LT(times.suspicion_complete_s, 45.0);
+  const double first = first_suspicion_of(net, bad_id);
+  EXPECT_GE(first, 0.0);
+
+  for (std::size_t i = 0; i < net.size(); ++i) {
+    if (i == bad) continue;
+    // The complaint survives the censor's honest service in shards 0/1/3.
+    EXPECT_TRUE(net.node(i).registry().is_suspected(bad_id))
+        << "node " << i << " let honest service in other shards lift the "
+        << "censored shard's complaint";
+    // Accuracy: suspicion only; censorship without a block leaves no
+    // transferable evidence, so the censor must not be *exposed* — and no
+    // correct node may be blamed at all.
+    EXPECT_FALSE(net.node(i).registry().is_exposed(bad_id));
+    for (core::NodeId s : util::sorted_keys(net.node(i).registry().suspected())) {
+      EXPECT_EQ(s, bad_id) << "correct node " << s << " falsely suspected";
+    }
+  }
+
+  // The attack itself worked as configured: the censor's honest shard logs
+  // track the workload while its censored shard log stays empty of foreign
+  // transactions (it committed only what it originated, if anything).
+  std::size_t honest_total = 0;
+  for (std::uint32_t s : {0u, 1u, 3u}) {
+    honest_total += net.node(bad).log(s).count();
+  }
+  EXPECT_GT(honest_total, 0u) << "censor should participate in other shards";
+  for (const auto& id : net.node(bad).log(2).order()) {
+    EXPECT_TRUE(net.node(bad).has_tx(id));
+  }
+  EXPECT_TRUE(net.invariant_violations().empty());
+}
+
+TEST(Chaos, EquivocationInAnyShardExposesGlobally) {
+  // Composable accountability (DESIGN.md §7): equivocation evidence is
+  // shard-local (two conflicting headers of the SAME shard log), but a peer
+  // exposed in any shard is exposed everywhere — the registry's exposed set
+  // is global, so one forked shard burns the identity for all shards.
+  auto cfg = net_cfg(16, 223, /*malicious_fraction=*/0.06);  // 1 node
+  cfg.node.mempool_shards = 4;
+  cfg.malicious.equivocate = true;
+  harness::LoNetwork net(cfg);
+  ASSERT_EQ(net.malicious_count(), 1u);
+  net.start_workload(load_cfg(15.0, 227));
+  net.run_for(40.0);
+
+  const auto times = net.detection_times();
+  EXPECT_GE(times.exposure_complete_s, 0.0)
+      << "sharded equivocator not exposed at every correct node";
+  EXPECT_GE(times.first_exposure_s, 0.0);
+  EXPECT_LE(times.first_exposure_s, times.exposure_complete_s);
 }
 
 }  // namespace

@@ -75,8 +75,12 @@ std::string lo_trace_digest(harness::LoNetwork& net) {
   d.i64(net.sim().now());
   for (std::size_t i = 0; i < net.size(); ++i) {
     auto& n = net.node(i);
-    d.u64(n.log().seqno());
-    d.bytes(n.log().chain_hash());
+    // One head per shard log, ascending shard order; at k = 1 this digests
+    // exactly the same bytes as the pre-sharding single-log version.
+    for (std::uint32_t s = 0; s < n.shard_count(); ++s) {
+      d.u64(n.log(s).seqno());
+      d.bytes(n.log(s).chain_hash());
+    }
     d.u64(n.mempool_size());
     for (core::NodeId s : util::sorted_keys(n.registry().suspected())) {
       d.u64(s);
@@ -149,6 +153,46 @@ TEST(Determinism, LoParallelWorkersMatchSerial) {
   for (unsigned w : {2u, 4u, 8u}) {
     EXPECT_EQ(serial, run_lo(42, w))
         << "parallel LO run diverged from serial at workers=" << w;
+  }
+}
+
+// ---------------------------------------------- sharded pipeline digests ----
+
+// A sharded run: same adversarial setup as run_lo plus block production, so
+// the digest also covers the per-shard proposer draws and the cross-shard
+// combiner ordering (DESIGN.md §7).
+std::string run_lo_sharded(std::uint64_t seed, std::uint32_t k,
+                           unsigned workers) {
+  auto cfg = test::net_cfg(16, seed, /*malicious_fraction=*/0.125);
+  cfg.trace = true;
+  cfg.malicious.ignore_requests = true;
+  cfg.malicious.censor_txs = true;
+  cfg.node.mempool_shards = k;
+  cfg.workers = workers;
+  harness::LoNetwork net(cfg);
+  net.start_workload(test::load_cfg(20.0, seed + 1000));
+  consensus::LeaderConfig lc;
+  lc.mean_block_interval = 2 * sim::kSecond;
+  lc.seed = seed + 2;
+  net.start_block_production(lc, /*correct_leaders_only=*/true);
+  net.run_for(15.0);
+
+  TraceDigest d;
+  d.str(lo_trace_digest(net));
+  d.u64(net.chain().height());
+  d.bytes(net.chain().tip_hash());
+  return d.hex();
+}
+
+// ISSUE 9 acceptance: for every shard count the run is defined by (seed)
+// alone — replay-stable and byte-identical across simulator worker counts.
+TEST(Determinism, LoShardedSameSeedSameTraceAcrossWorkers) {
+  for (std::uint32_t k : {1u, 2u, 4u}) {
+    const std::string serial = run_lo_sharded(42, k, /*workers=*/1);
+    EXPECT_EQ(serial, run_lo_sharded(42, k, /*workers=*/1))
+        << "sharded LO replay diverged at k=" << k;
+    EXPECT_EQ(serial, run_lo_sharded(42, k, /*workers=*/4))
+        << "sharded LO parallel run diverged from serial at k=" << k;
   }
 }
 

@@ -87,6 +87,16 @@ TEST(Lolint, UnorderedIterAndWallClockFireInObs) {
   EXPECT_EQ(count_rule(clk, "banned-source"), 6u) << dump(clk);
 }
 
+TEST(Lolint, UnorderedIterFiresOnShardMaps) {
+  // The sharded pipeline keys per-(peer, shard) state by the packed ps_key;
+  // walking those maps in bucket order would make emission depend on the hash
+  // seed. Both hash-order loops fire; the sorted_keys() walk stays silent.
+  const auto fs =
+      lint_as("unordered_iter_shard_map.cpp", "src/core/shard_map.cpp");
+  EXPECT_EQ(count_rule(fs, "unordered-iter"), 2u) << dump(fs);
+  EXPECT_EQ(fs.size(), count_rule(fs, "unordered-iter")) << dump(fs);
+}
+
 TEST(Lolint, UnorderedIterSilentOutsideProtocolDirs) {
   // Harness/workload code may iterate hash order freely.
   const auto fs =

@@ -479,6 +479,68 @@ TEST(AdaptiveReconciler, GoodEstimateSpendsFewerBytesThanFixed) {
   EXPECT_EQ(ad_st.sketches_used, 2u);  // one per side, single round
 }
 
+TEST(AdaptiveReconciler, ShardedEstimatesShrinkSketchBytes) {
+  // The global-estimate capacity clamp (ISSUE 9 satellite): one estimate for
+  // the whole difference saturates at max_capacity, the decode fails and the
+  // splitter burns bytes. k shards each carry ~1/k of the difference, so the
+  // per-shard estimates size k small sketches that all decode first try —
+  // total syndrome bytes must strictly shrink, and nothing may fall back.
+  auto only_a = make_range(100, 150);  // 100-element symmetric difference,
+  auto only_b = make_range(300, 350);  // far beyond max_capacity = 64
+  auto shared = make_range(10000, 10200);
+  auto a = shared;
+  a.insert(a.end(), only_a.begin(), only_a.end());
+  auto b = shared;
+  b.insert(b.end(), only_b.begin(), only_b.end());
+
+  AdaptiveReconciler adaptive(32, 64);
+  ReconcileStats global_st;
+  auto global = adaptive.reconcile(a, b, 100, &global_st);
+  ASSERT_TRUE(global.has_value());
+  EXPECT_GE(global_st.decode_failures, 1u) << "clamped global sketch decodes?";
+
+  const auto shard_of = [](std::uint64_t raw) {
+    return static_cast<std::uint32_t>(raw % 4);
+  };
+  // Each shard sees ~25 of the 100 differing items; its own estimate sizes a
+  // sketch comfortably under the 64-element ceiling.
+  const std::size_t estimates[] = {25, 25, 25, 25};
+  ReconcileStats sharded_st;
+  auto sharded = adaptive.reconcile_shards(a, b, shard_of, estimates,
+                                           &sharded_st);
+  ASSERT_TRUE(sharded.has_value());
+  EXPECT_EQ(sharded_st.decode_failures, 0u);
+  EXPECT_LT(sharded_st.bytes, global_st.bytes)
+      << "per-shard estimates must beat the clamped global estimate";
+
+  // Same recovered difference either way (the symmetric difference is
+  // unique; only the transport cost differs).
+  std::sort(global->begin(), global->end());
+  std::sort(sharded->begin(), sharded->end());
+  EXPECT_EQ(*global, *sharded);
+}
+
+TEST(AdaptiveReconciler, SingleShardMatchesUnsharded) {
+  // k = 1 degenerates to exactly one adaptive round: same bytes, same result.
+  auto a = make_range(0, 120);
+  auto b = make_range(40, 160);
+
+  AdaptiveReconciler adaptive(32, 128);
+  ReconcileStats flat_st;
+  auto flat = adaptive.reconcile(a, b, 80, &flat_st);
+  ASSERT_TRUE(flat.has_value());
+
+  const std::size_t estimates[] = {80};
+  ReconcileStats sh_st;
+  auto sharded = adaptive.reconcile_shards(
+      a, b, [](std::uint64_t) { return 0u; }, estimates, &sh_st);
+  ASSERT_TRUE(sharded.has_value());
+  EXPECT_EQ(sh_st.bytes, flat_st.bytes);
+  std::sort(flat->begin(), flat->end());
+  std::sort(sharded->begin(), sharded->end());
+  EXPECT_EQ(*flat, *sharded);
+}
+
 TEST(AdaptiveReconciler, UnderestimateFallsBackToSplitter) {
   auto only_a = make_range(100, 180);  // 160-element difference
   auto only_b = make_range(300, 380);

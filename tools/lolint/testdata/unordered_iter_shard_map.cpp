@@ -1,0 +1,46 @@
+// lolint corpus: hash-order iteration over the sharded-pipeline map shapes —
+// per-(peer, shard) state keyed by the packed ps_key `(node << 8) | shard`.
+// Walking these in bucket order makes message emission depend on the hash
+// seed, which breaks replay determinism the moment k > 1. Two loops fire
+// [unordered-iter]; the sorted_keys() walk is the sanctioned alternative and
+// must stay silent.
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace util {
+template <typename C>
+std::vector<typename C::key_type> sorted_keys(const C&);
+}
+
+struct Bundle {
+  std::uint64_t seqno;
+};
+
+struct ShardedMirrors {
+  // ps_key(peer, shard) -> seqno -> mirrored bundle, one entry per shard log.
+  std::unordered_map<std::uint64_t, std::unordered_map<std::uint64_t, Bundle>>
+      mirrors_;
+  std::unordered_map<std::uint64_t, std::uint64_t> outstanding_sync_;
+
+  std::uint64_t hash_order_flush() const {
+    std::uint64_t acc = 0;
+    for (const auto& [ps, by_seq] : mirrors_) acc += ps + by_seq.size();
+    return acc;
+  }
+
+  std::uint64_t hash_order_retries() const {
+    std::uint64_t acc = 0;
+    for (auto it = outstanding_sync_.begin(); it != outstanding_sync_.end();
+         ++it) {
+      acc += it->second;
+    }
+    return acc;
+  }
+
+  std::uint64_t sorted_walk() const {
+    std::uint64_t acc = 0;
+    for (std::uint64_t ps : util::sorted_keys(outstanding_sync_)) acc += ps;
+    return acc;
+  }
+};
