@@ -36,6 +36,14 @@ int main(int argc, char** argv) {
   // invariant raises std::runtime_error out of run_for().
   net.start_invariant_checker(500 * sim::kMillisecond);
 
+  // Online anomaly detection: the chaos (crashes, flaky links, churn) is
+  // expected to trip the dwell/SLO detectors occasionally; the alert log
+  // below shows what an operator would have seen live.
+  harness::AnomalyConfig anomaly_cfg;
+  anomaly_cfg.censor_dwell_threshold_s = 20.0;
+  anomaly_cfg.commit_latency_slo_s = 10.0;
+  net.start_anomaly_monitor(anomaly_cfg);
+
   workload::WorkloadConfig load;
   load.tps = 10.0;
   load.seed = 11;
@@ -107,6 +115,16 @@ int main(int argc, char** argv) {
   }
   std::printf("false exposures           %zu  %s\n", exposures,
               exposures == 0 ? "(accuracy holds)" : "(BUG!)");
+
+  const auto& alerts = net.anomaly()->alerts();
+  std::printf("anomaly alerts            %zu  (inflight at end: %llu)\n",
+              alerts.size(),
+              static_cast<unsigned long long>(net.anomaly()->inflight()));
+  for (const auto& a : alerts) {
+    std::printf("  [%7.2fs] %-18s %.3f > %.3f  %s\n", a.when_s,
+                harness::anomaly_kind_name(a.kind), a.value, a.threshold,
+                a.detail.c_str());
+  }
 
   if (trace_path != nullptr) {
     auto& tracer = net.sim().obs().tracer;

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/node.hpp"  // for core::Hooks
+#include "harness/anomaly.hpp"
 #include "overlay/topology.hpp"
 #include "sim/metrics.hpp"
 #include "sim/simulator.hpp"
@@ -59,7 +60,12 @@ class BaselineNetwork {
     hooks_.on_mempool_admit = [this](core::NodeId, const core::Transaction& tx,
                                      sim::TimePoint when) {
       const double latency_s = sim::to_seconds(when - tx.created_at);
-      sim_.post([this, latency_s] { mempool_latency_.add(latency_s); });
+      const std::uint64_t tid = core::txid_short(tx.id);
+      sim_.post([this, latency_s, tid, when] {
+        mempool_latency_.add(latency_s);
+        // Baselines have no consensus stub: settle = first admit anywhere.
+        if (anomaly_) anomaly_->on_settle(tid, when);
+      });
     };
     nodes_.reserve(net_cfg.num_nodes);
     for (std::size_t i = 0; i < net_cfg.num_nodes; ++i) {
@@ -90,11 +96,26 @@ class BaselineNetwork {
   sim::Samples& mempool_latency() noexcept { return mempool_latency_; }
   std::uint64_t txs_injected() const noexcept { return txs_injected_; }
 
+  // Same streaming detectors the LØ harness runs (suspicion/reconcile feeds
+  // stay silent here — baselines have no accountability layer to observe).
+  harness::AnomalyMonitor& start_anomaly_monitor(
+      const harness::AnomalyConfig& cfg = {}) {
+    if (!anomaly_) {
+      anomaly_ = std::make_unique<harness::AnomalyMonitor>(sim_, cfg);
+      anomaly_->start();
+    }
+    return *anomaly_;
+  }
+  const harness::AnomalyMonitor* anomaly() const noexcept {
+    return anomaly_.get();
+  }
+
  private:
   void schedule_next_tx() {
     sim_.schedule(txgen_->next_gap_us(), [this] {
       auto tx = txgen_->next(sim_.now());
       ++txs_injected_;
+      if (anomaly_) anomaly_->on_submit(core::txid_short(tx.id), tx.created_at);
       for (std::size_t k = 0; k < submit_fanout_; ++k) {
         const auto i = sim_.rng().next_below(nodes_.size());
         sim_.obs().tracer.emit(obs::EventKind::kTxSubmit,
@@ -112,6 +133,7 @@ class BaselineNetwork {
   std::vector<std::unique_ptr<NodeT>> nodes_;
   core::Hooks hooks_;
   std::unique_ptr<workload::TxGenerator> txgen_;
+  std::unique_ptr<harness::AnomalyMonitor> anomaly_;
   std::size_t submit_fanout_ = 1;
   std::uint64_t txs_injected_ = 0;
   sim::Samples mempool_latency_;

@@ -62,6 +62,19 @@ LoNode::LoNode(sim::Simulator& sim, NodeId id, const LoConfig& config,
   c_member_suspects_ = &reg.counter("lo.member_suspects", node_label);
   c_member_confirms_ = &reg.counter("lo.member_confirms", node_label);
   c_suspicions_absolved_ = &reg.counter("lo.suspicions_absolved", node_label);
+  // Per-shard cells for the hot accountability counters. At k=1 the labels
+  // (and therefore the exported ids) are exactly the per-node ones — sharded
+  // attribution appears only when a run actually shards.
+  c_commits_.reserve(k_);
+  c_sync_rounds_.reserve(k_);
+  c_suspicions_.reserve(k_);
+  for (std::uint32_t s = 0; s < k_; ++s) {
+    obs::Labels labels = node_label;
+    if (k_ > 1) labels.emplace_back("shard", std::to_string(s));
+    c_commits_.push_back(&reg.counter("lo.commits", labels));
+    c_sync_rounds_.push_back(&reg.counter("lo.sync_rounds", labels));
+    c_suspicions_.push_back(&reg.counter("lo.suspicions", labels));
+  }
   verify_cache_.bind(obs::Scope(&reg, node_label));
   verify_cache_.set_tracer(tracer_, id_);
 }
@@ -140,7 +153,7 @@ void LoNode::admit_transaction(const Transaction& tx, NodeId source) {
   content_clocks_[shard].add(txid_short(tx.id));
   commit_batch({tx.id}, source, shard);
   tracer_->emit(obs::EventKind::kTxAdmit, id_, source, txid_short(tx.id),
-                logs_[shard].seqno());
+                logs_[shard].seqno(), 0, shard);
   if (hooks_ && hooks_->on_mempool_admit) {
     hooks_->on_mempool_admit(id_, tx, sim_.now());
   }
@@ -150,8 +163,19 @@ void LoNode::commit_batch(const std::vector<TxId>& ids, NodeId source,
                           std::uint32_t shard) {
   if (ids.empty()) return;
   logs_[shard].append(ids, source);
+  ++*c_commits_[shard];
   tracer_->emit(obs::EventKind::kCommitCreate, id_, source, ids.size(),
-                logs_[shard].seqno());
+                logs_[shard].seqno(), 0, shard);
+  if (tracer_->enabled()) {
+    // Per-transaction commit marker: loscope keys lineage on the short tx
+    // id, so the batch-level kCommitCreate alone cannot attribute a commit
+    // to a transaction. The dispatch's causal span links it to the message
+    // or submission that delivered the ids.
+    for (const TxId& id : ids) {
+      tracer_->emit(obs::EventKind::kTxCommit, id_, source, txid_short(id),
+                    logs_[shard].seqno(), 0, shard);
+    }
+  }
   if (!fork_logs_.empty()) {
     // The fork tells a censored story: ids with an even short hash vanish
     // (own transactions are always kept — the fork must stay plausible).
@@ -432,6 +456,7 @@ void LoNode::send_sync_request(NodeId peer, std::uint32_t shard) {
   pending_.at(rid).snapshot_clock = content_clocks_[shard];
   outstanding_sync_.insert(ps_key(peer, shard));
   req->request_id = rid;
+  ++*c_sync_rounds_[shard];
   sim_.send(id_, peer, req);
 }
 
@@ -461,14 +486,16 @@ void LoNode::handle_sync_request(NodeId from, const SyncRequest& req) {
       use_log.sketch().truncated(req.commitment.sketch.capacity());
   merged.merge(req.commitment.sketch);
   ++sketch_decodes_;
-  if (hooks_ && hooks_->on_reconcile) hooks_->on_reconcile(id_, 1);
   const auto diff = merged.decode();
+  if (hooks_ && hooks_->on_reconcile) {
+    hooks_->on_reconcile(id_, 1, diff.has_value());
+  }
   if (tracer_->enabled()) {
     const std::uint64_t outcome = !diff ? obs::kReconcileOverflow
                                   : diff->empty() ? obs::kReconcileEmpty
                                                   : obs::kReconcileDecoded;
     tracer_->emit(obs::EventKind::kReconcileRound, id_, from, outcome,
-                  diff ? diff->size() : merged.capacity());
+                  diff ? diff->size() : merged.capacity(), 0, shard);
   }
 
   auto resp = std::make_shared<SyncResponse>();
@@ -602,15 +629,18 @@ void LoNode::handle_sync_response(NodeId from, const SyncResponse& resp) {
         use_log.sketch().truncated(resp.commitment.sketch.capacity());
     merged.merge(resp.commitment.sketch);
     ++sketch_decodes_;
-    if (hooks_ && hooks_->on_reconcile) hooks_->on_reconcile(id_, 1);
     const auto recovery_diff = merged.decode();
+    if (hooks_ && hooks_->on_reconcile) {
+      hooks_->on_reconcile(id_, 1, recovery_diff.has_value());
+    }
     if (tracer_->enabled()) {
       const std::uint64_t outcome =
           !recovery_diff ? obs::kReconcileOverflow
           : recovery_diff->empty() ? obs::kReconcileEmpty
                                    : obs::kReconcileDecoded;
       tracer_->emit(obs::EventKind::kReconcileRound, id_, from, outcome,
-                    recovery_diff ? recovery_diff->size() : merged.capacity());
+                    recovery_diff ? recovery_diff->size() : merged.capacity(),
+                    0, shard);
     }
     if (const auto& diff = recovery_diff) {
       std::vector<std::uint64_t> ours;
@@ -714,6 +744,10 @@ void LoNode::handle_tx_bundle(NodeId from, const TxBundleMsg& msg) {
     valid_.insert(tx.id);
     content_clocks_[shard].add(txid_short(tx.id));
     if (!logs_[shard].contains(tx.id)) batches[shard].push_back(tx.id);
+    // Gossip-hop admissions were invisible to the trace (only the direct
+    // submit path emitted kTxAdmit), leaving lineage gaps at every relay.
+    tracer_->emit(obs::EventKind::kTxAdmit, id_, from, txid_short(tx.id),
+                  logs_[shard].seqno(), 0, shard);
     if (hooks_ && hooks_->on_mempool_admit) {
       hooks_->on_mempool_admit(id_, tx, sim_.now());
     }
@@ -779,7 +813,7 @@ void LoNode::observe_header(NodeId from, const CommitmentHeader& header) {
   auto evidence = registry_.observe_commitment(header, &used_decode);
   if (used_decode) {
     ++sketch_decodes_;
-    if (hooks_ && hooks_->on_reconcile) hooks_->on_reconcile(id_, 1);
+    if (hooks_ && hooks_->on_reconcile) hooks_->on_reconcile(id_, 1, true);
   }
   if (evidence) {
     auto msg = std::make_shared<ExposureMsg>();
@@ -870,7 +904,8 @@ void LoNode::suspect_peer(NodeId peer, std::uint32_t shard) {
   auto& reporters = suspected_by_[peer];
   if (!reporters.insert(id_).second) return;  // we already reported
   ++*c_suspicions_raised_;
-  tracer_->emit(obs::EventKind::kSuspect, id_, peer, shard);
+  ++*c_suspicions_[shard];
+  tracer_->emit(obs::EventKind::kSuspect, id_, peer, shard, 0, 0, shard);
   const bool was_suspected = registry_.is_suspected(peer);
   registry_.suspect(peer);
   if (!was_suspected && hooks_ && hooks_->on_suspect) {
@@ -1119,7 +1154,7 @@ Block LoNode::create_block(std::uint64_t height,
   tracer_->emit(obs::EventKind::kBlockBuild, id_, 0,
                 obs::short_id(std::span<const std::uint8_t>(
                     block_hash.data(), block_hash.size())),
-                block.tx_count());
+                block.tx_count(), 0, block.shard);
   seen_blocks_.emplace(block_hash, block);
   auto bm = std::make_shared<BlockMsg>();
   bm->block = block;
@@ -1163,7 +1198,7 @@ void LoNode::inspect_known_block(const Block& block) {
     tracer_->emit(obs::EventKind::kBlockInspect, id_, block.creator,
                   obs::short_id(std::span<const std::uint8_t>(
                       block_hash.data(), block_hash.size())),
-                  static_cast<std::uint64_t>(res.verdict));
+                  static_cast<std::uint64_t>(res.verdict), 0, block.shard);
   }
   if (hooks_ && hooks_->on_block_inspected) {
     hooks_->on_block_inspected(id_, block, res.verdict, sim_.now());
@@ -1202,6 +1237,11 @@ void LoNode::inspect_known_block(const Block& block) {
       // (Sec. 5.2 treats undisclosed omissions through the suspicion path).
       // The blame carries the block's shard: the canonical lowest-seqno
       // witness rule holds within that shard's bundle namespace.
+      if (tracer_->enabled()) {
+        tracer_->emit(obs::EventKind::kTxCensored, id_, block.creator,
+                      txid_short(res.offending_tx), res.offending_seqno, 0,
+                      block.shard);
+      }
       suspect_peer(block.creator, block.shard);
       break;
     case BlockVerdict::kOk:

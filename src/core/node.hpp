@@ -62,7 +62,10 @@ struct Hooks {
                      sim::TimePoint when)>
       on_block_inspected;
   // Sketch decode attempts performed (Fig. 10 reconciliation counting).
-  std::function<void(NodeId node, std::size_t decode_ops)> on_reconcile;
+  // `decode_ok` is false when the symmetric difference overflowed the sketch
+  // capacity and the round fell back to the recovery path.
+  std::function<void(NodeId node, std::size_t decode_ops, bool decode_ok)>
+      on_reconcile;
   // The membership failure detector of `node` moved `member` to `state`
   // (only fired when config.membership.enabled).
   std::function<void(NodeId node, NodeId member, membership::MemberState state,
@@ -397,6 +400,14 @@ class LoNode final : public sim::INode {
   // kReconcileRound, blame and block events) plus registry cell handles for
   // the mechanism counters (stable addresses; see obs::Registry::counter).
   obs::Tracer* tracer_;
+  // Hot accountability counters with per-shard attribution: one cell per
+  // shard, labeled {node} at k=1 (ids unchanged from the unsharded layout)
+  // and {node, shard} at k>1 so snapshots and loscope reports roll up per
+  // shard pipeline. Single-writer like every per-node cell (one node = one
+  // shard worker under the parallel engine).
+  std::vector<std::uint64_t*> c_commits_;
+  std::vector<std::uint64_t*> c_sync_rounds_;
+  std::vector<std::uint64_t*> c_suspicions_;
   std::uint64_t* c_requests_sent_;
   std::uint64_t* c_retries_sent_;
   std::uint64_t* c_timeouts_fired_;

@@ -1,0 +1,146 @@
+#include "harness/anomaly.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace lo::harness {
+
+const char* anomaly_kind_name(AnomalyKind k) noexcept {
+  switch (k) {
+    case AnomalyKind::kCensorDwell: return "censor_dwell";
+    case AnomalyKind::kSuspicionSpike: return "suspicion_spike";
+    case AnomalyKind::kReconcileFailure: return "reconcile_failure";
+    case AnomalyKind::kCommitLatencySlo: return "commit_latency_slo";
+  }
+  return "unknown";
+}
+
+AnomalyMonitor::AnomalyMonitor(sim::Simulator& sim, const AnomalyConfig& cfg)
+    : sim_(sim), cfg_(cfg) {
+  auto& reg = sim_.obs().registry;
+  c_alerts_[0] = &reg.counter("lo.anomaly.alerts");
+  c_alerts_[static_cast<std::size_t>(AnomalyKind::kCensorDwell)] =
+      &reg.counter("lo.anomaly.alerts", {{"kind", "censor_dwell"}});
+  c_alerts_[static_cast<std::size_t>(AnomalyKind::kSuspicionSpike)] =
+      &reg.counter("lo.anomaly.alerts", {{"kind", "suspicion_spike"}});
+  c_alerts_[static_cast<std::size_t>(AnomalyKind::kReconcileFailure)] =
+      &reg.counter("lo.anomaly.alerts", {{"kind", "reconcile_failure"}});
+  c_alerts_[static_cast<std::size_t>(AnomalyKind::kCommitLatencySlo)] =
+      &reg.counter("lo.anomaly.alerts", {{"kind", "commit_latency_slo"}});
+}
+
+void AnomalyMonitor::start() {
+  if (started_) return;
+  started_ = true;
+  period_ = std::max<sim::Duration>(
+      1, sim::from_seconds(std::max(cfg_.tick_interval_s, 1e-6)));
+  schedule_tick();
+}
+
+// Self-rescheduling coordinator timer, exactly like the invariant checker.
+void AnomalyMonitor::schedule_tick() {
+  sim_.schedule(period_, [this] {
+    tick();
+    schedule_tick();
+  });
+}
+
+void AnomalyMonitor::on_submit(std::uint64_t txid_short,
+                               sim::TimePoint created_at) {
+  inflight_.emplace(txid_short, created_at);
+}
+
+void AnomalyMonitor::on_settle(std::uint64_t txid_short, sim::TimePoint when) {
+  auto it = inflight_.find(txid_short);
+  if (it == inflight_.end()) return;  // duplicate settle or unknown tx
+  window_settle_latency_s_.push_back(sim::to_seconds(when - it->second));
+  inflight_.erase(it);
+  dwell_alerted_.erase(txid_short);
+}
+
+void AnomalyMonitor::on_suspicion() { ++window_suspicions_; }
+
+void AnomalyMonitor::on_reconcile(bool decode_ok) {
+  if (decode_ok) {
+    ++window_reconcile_ok_;
+  } else {
+    ++window_reconcile_fail_;
+  }
+}
+
+void AnomalyMonitor::raise(AnomalyKind kind, double value, double threshold,
+                           std::string detail) {
+  const double now_s = sim::to_seconds(sim_.now());
+  ++*c_alerts_[0];
+  ++*c_alerts_[static_cast<std::size_t>(kind)];
+  // kAnomaly rides the trace stream: peer = detector kind, a/b = observed
+  // value / threshold in milli-units (integers keep the wire deterministic).
+  sim_.obs().tracer.emit(
+      obs::EventKind::kAnomaly, 0, static_cast<std::uint32_t>(kind),
+      static_cast<std::uint64_t>(std::llround(value * 1000.0)),
+      static_cast<std::uint64_t>(std::llround(threshold * 1000.0)));
+  alerts_.push_back(Alert{kind, now_s, value, threshold, std::move(detail)});
+}
+
+void AnomalyMonitor::tick() {
+  const double now_s = sim::to_seconds(sim_.now());
+
+  // censor-dwell: oldest-first scan; alert once per tx, keep it in flight so
+  // a late settle still clears it.
+  for (const auto& [tid, created_at] : inflight_) {
+    const double dwell_s = now_s - sim::to_seconds(created_at);
+    if (dwell_s < cfg_.censor_dwell_threshold_s) continue;
+    if (!dwell_alerted_.insert(tid).second) continue;
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "tx %016llx unsettled for %.3fs",
+                  static_cast<unsigned long long>(tid), dwell_s);
+    raise(AnomalyKind::kCensorDwell, dwell_s, cfg_.censor_dwell_threshold_s,
+          buf);
+  }
+
+  // suspicion-spike.
+  if (window_suspicions_ > cfg_.suspicion_spike_threshold) {
+    raise(AnomalyKind::kSuspicionSpike,
+          static_cast<double>(window_suspicions_),
+          static_cast<double>(cfg_.suspicion_spike_threshold),
+          std::to_string(window_suspicions_) + " suspicions in one tick");
+  }
+
+  // reconcile-fail.
+  const std::uint64_t total = window_reconcile_ok_ + window_reconcile_fail_;
+  if (total >= cfg_.reconcile_min_samples) {
+    const double ratio = static_cast<double>(window_reconcile_fail_) /
+                         static_cast<double>(total);
+    if (ratio >= cfg_.reconcile_failure_ratio) {
+      raise(AnomalyKind::kReconcileFailure, ratio,
+            cfg_.reconcile_failure_ratio,
+            std::to_string(window_reconcile_fail_) + "/" +
+                std::to_string(total) + " sketch decodes overflowed");
+    }
+  }
+
+  // commit-slo: nearest-rank p95 over the window's settle latencies.
+  if (!window_settle_latency_s_.empty()) {
+    std::vector<double> sorted = window_settle_latency_s_;
+    std::sort(sorted.begin(), sorted.end());
+    const std::size_t rank = std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               std::ceil(0.95 * static_cast<double>(sorted.size()))));
+    const double p95 = sorted[rank - 1];
+    if (p95 > cfg_.commit_latency_slo_s) {
+      char buf[96];
+      std::snprintf(buf, sizeof(buf), "settle p95 %.3fs over %zu tx(s)", p95,
+                    sorted.size());
+      raise(AnomalyKind::kCommitLatencySlo, p95, cfg_.commit_latency_slo_s,
+            buf);
+    }
+  }
+
+  window_suspicions_ = 0;
+  window_reconcile_ok_ = 0;
+  window_reconcile_fail_ = 0;
+  window_settle_latency_s_.clear();
+}
+
+}  // namespace lo::harness

@@ -62,14 +62,26 @@ LoNetwork::LoNetwork(const NetworkConfig& config)
   hooks_.on_mempool_admit = [this](core::NodeId, const core::Transaction& tx,
                                    sim::TimePoint when) {
     const double latency_s = sim::to_seconds(when - tx.created_at);
-    sim_.post([this, latency_s] { mempool_latency_.add(latency_s); });
+    const std::uint64_t tid = core::txid_short(tx.id);
+    sim_.post([this, latency_s, tid, when] {
+      mempool_latency_.add(latency_s);
+      // Without a consensus stub, "settled" means first mempool admission
+      // anywhere; with block production, schedule_next_block() settles at
+      // first inclusion instead (and on_settle is first-wins either way).
+      if (anomaly_ && !leaders_) anomaly_->on_settle(tid, when);
+    });
   };
   hooks_.on_suspect = [this](core::NodeId node, core::NodeId suspect,
                              sim::TimePoint when) {
     sim_.post([this, node, suspect, when] {
       suspicion_events_.push_back(
           BlameEvent{node, suspect, sim::to_seconds(when)});
+      if (anomaly_) anomaly_->on_suspicion();
     });
+  };
+  hooks_.on_reconcile = [this](core::NodeId, std::size_t, bool decode_ok) {
+    if (!anomaly_) return;  // read-only during the run; set before run_for()
+    sim_.post([this, decode_ok] { anomaly_->on_reconcile(decode_ok); });
   };
   hooks_.on_exposure = [this](core::NodeId node, core::NodeId accused,
                               sim::TimePoint when) {
@@ -158,6 +170,9 @@ void LoNetwork::schedule_next_tx() {
       nodes_[i]->submit_transaction(tx);
       ++placed;
     }
+    if (anomaly_ && placed > 0) {
+      anomaly_->on_submit(core::txid_short(tx.id), tx.created_at);
+    }
     schedule_next_tx();
   });
 }
@@ -204,6 +219,7 @@ void LoNetwork::schedule_next_block() {
           if (!tx_settled_.insert(id).second) continue;
           sim_.obs().tracer.emit(obs::EventKind::kTxFinalize, leader, 0,
                                  core::txid_short(id), block.height);
+          if (anomaly_) anomaly_->on_settle(core::txid_short(id), sim_.now());
           auto it = tx_created_.find(id);
           if (it == tx_created_.end()) continue;
           block_latency_.add(now_s - sim::to_seconds(it->second));
@@ -238,6 +254,14 @@ void LoNetwork::restart_node(std::size_t i) {
   sim_.set_node_up(id, true);
   nodes_.at(i)->restart();
   crash_time_s_.at(i) = -1.0;
+}
+
+AnomalyMonitor& LoNetwork::start_anomaly_monitor(const AnomalyConfig& cfg) {
+  if (!anomaly_) {
+    anomaly_ = std::make_unique<AnomalyMonitor>(sim_, cfg);
+    anomaly_->start();
+  }
+  return *anomaly_;
 }
 
 sim::FaultInjector& LoNetwork::faults() {

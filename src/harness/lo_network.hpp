@@ -15,6 +15,7 @@
 #include "consensus/leader.hpp"
 #include "core/config.hpp"
 #include "core/node.hpp"
+#include "harness/anomaly.hpp"
 #include "overlay/topology.hpp"
 #include "sim/faults.hpp"
 #include "sim/metrics.hpp"
@@ -128,6 +129,15 @@ class LoNetwork {
     return invariant_violations_;
   }
 
+  // --- online anomaly detection ---
+  // Arms the streaming accountability anomaly detectors (DESIGN.md §5):
+  // censor-dwell watermark, suspicion-spike, reconcile-failure-rate and
+  // commit-latency SLO. Alerts land in anomaly()->alerts(), lo.anomaly.*
+  // counters and kAnomaly trace events. Settle is block inclusion when block
+  // production runs, first mempool admit otherwise. Idempotent.
+  AnomalyMonitor& start_anomaly_monitor(const AnomalyConfig& cfg = {});
+  const AnomalyMonitor* anomaly() const noexcept { return anomaly_.get(); }
+
   // Aggregate retry/timeout/blame mechanism counters over all nodes.
   core::NodeStats total_stats() const;
 
@@ -211,6 +221,7 @@ class LoNetwork {
   std::unordered_map<core::TxId, std::int64_t, core::TxIdHash> tx_created_;
   std::unordered_set<core::TxId, core::TxIdHash> tx_settled_;
 
+  std::unique_ptr<AnomalyMonitor> anomaly_;
   std::unique_ptr<sim::FaultInjector> faults_;
   sim::Duration invariant_period_ = 0;
   bool invariant_fail_fast_ = true;

@@ -269,6 +269,12 @@ std::string Registry::to_json_locked(std::string_view suite) const {
         append_double(out, c.hist.min());
         out += ",\n      \"max\": ";
         append_double(out, c.hist.max());
+        out += ",\n      \"p50\": ";
+        append_double(out, c.hist.quantile(0.5));
+        out += ",\n      \"p95\": ";
+        append_double(out, c.hist.quantile(0.95));
+        out += ",\n      \"p99\": ";
+        append_double(out, c.hist.quantile(0.99));
         out += ",\n      \"buckets\": [";
         std::size_t j = 0;
         for (const auto& [e, n] : c.hist.buckets()) {
@@ -299,7 +305,7 @@ std::string Registry::to_csv() const {
 }
 
 std::string Registry::to_csv_locked() const {
-  std::string out = "id,kind,value,count,sum,min,max\n";
+  std::string out = "id,kind,value,count,sum,min,max,p50,p95,p99\n";
   for (const auto& [id, c] : cells_) {
     out += id;
     out.push_back(',');
@@ -308,11 +314,11 @@ std::string Registry::to_csv_locked() const {
     switch (c.kind) {
       case MetricKind::kCounter:
         append_u64(out, c.counter);
-        out += ",,,,";
+        out += ",,,,,,,";
         break;
       case MetricKind::kGauge:
         append_double(out, c.gauge);
-        out += ",,,,";
+        out += ",,,,,,,";
         break;
       case MetricKind::kHistogram:
         out.push_back(',');
@@ -323,6 +329,12 @@ std::string Registry::to_csv_locked() const {
         append_double(out, c.hist.min());
         out.push_back(',');
         append_double(out, c.hist.max());
+        out.push_back(',');
+        append_double(out, c.hist.quantile(0.5));
+        out.push_back(',');
+        append_double(out, c.hist.quantile(0.95));
+        out.push_back(',');
+        append_double(out, c.hist.quantile(0.99));
         break;
     }
     out.push_back('\n');

@@ -10,7 +10,10 @@ namespace lo::obs {
 namespace {
 
 constexpr std::uint8_t kMagic[4] = {'L', 'O', 'T', 'R'};
-constexpr std::uint32_t kVersion = 1;
+// v1: 40-byte events (no causal layer). v2: 56-byte events with span/parent.
+// from_bytes reads both; bytes() always writes the current version.
+constexpr std::uint32_t kVersionV1 = 1;
+constexpr std::uint32_t kVersion = 2;
 
 void append_u64_dec(std::string& out, std::uint64_t v) {
   char buf[32];
@@ -48,6 +51,8 @@ const char* event_kind_name(EventKind k) noexcept {
     case EventKind::kTxSubmit: return "tx.submit";
     case EventKind::kTxAdmit: return "tx.admit";
     case EventKind::kTxFinalize: return "tx.finalize";
+    case EventKind::kTxCommit: return "tx.commit";
+    case EventKind::kTxCensored: return "tx.censored";
     case EventKind::kCommitCreate: return "commit.create";
     case EventKind::kCommitObserve: return "commit.observe";
     case EventKind::kReconcileRound: return "reconcile.round";
@@ -61,6 +66,7 @@ const char* event_kind_name(EventKind k) noexcept {
     case EventKind::kCacheProbe: return "cache.probe";
     case EventKind::kMemberProbe: return "member.probe";
     case EventKind::kMemberState: return "member.state";
+    case EventKind::kAnomaly: return "anomaly";
   }
   return "unknown";
 }
@@ -133,11 +139,20 @@ namespace {
 // each worker thread owns exactly one sink for the duration of a lookahead
 // window, installed and cleared by the simulator around the window body.
 thread_local Tracer::ThreadSink* t_sink = nullptr;
+// Current causal context (see Tracer::Cause). Thread-local by design: the
+// simulator sets it around every dispatch on the thread that executes it,
+// and derives it from simulator event keys, so the values a thread observes
+// are independent of which thread runs the dispatch.
+thread_local Tracer::Cause t_cause;
 }  // namespace
 
 void Tracer::set_thread_sink(ThreadSink* sink) noexcept { t_sink = sink; }
 
 Tracer::ThreadSink* Tracer::thread_sink() noexcept { return t_sink; }
+
+void Tracer::set_thread_cause(Cause c) noexcept { t_cause = c; }
+
+Tracer::Cause Tracer::thread_cause() noexcept { return t_cause; }
 
 void Tracer::append(const TraceEvent& ev) {
   MutexLock lock(mu_);
@@ -177,15 +192,20 @@ std::vector<std::string> Tracer::names() const {
 }
 
 void Tracer::record(EventKind kind, std::uint32_t node, std::uint32_t peer,
-                    std::uint64_t a, std::uint64_t b, std::uint16_t name) {
+                    std::uint64_t a, std::uint64_t b, std::uint16_t name,
+                    std::uint32_t aux) {
   TraceEvent ev;
   ev.at = clock_ != nullptr ? *clock_ : 0;
   ev.kind = static_cast<std::uint16_t>(kind);
   ev.name = name;
   ev.node = node;
   ev.peer = peer;
+  ev.aux = aux;
   ev.a = a;
   ev.b = b;
+  const Cause c = thread_cause();
+  ev.span = c.span;
+  ev.parent = c.parent;
   append(ev);
 }
 
@@ -226,9 +246,11 @@ std::vector<std::uint8_t> Tracer::bytes() const {
     w.u16(ev.name);
     w.u32(ev.node);
     w.u32(ev.peer);
-    w.u32(ev.pad);
+    w.u32(ev.aux);
     w.u64(ev.a);
     w.u64(ev.b);
+    w.u64(ev.span);
+    w.u64(ev.parent);
   }
   return w.take_u8();
 }
@@ -251,17 +273,21 @@ Tracer::File Tracer::from_bytes(std::span<const std::uint8_t> data) {
   for (std::uint8_t m : kMagic) {
     if (r.u8() != m) throw util::SerdeError("bad trace magic");
   }
-  if (r.u32() != kVersion) throw util::SerdeError("unsupported trace version");
+  const std::uint32_t version = r.u32();
+  if (version != kVersion && version != kVersionV1) {
+    throw util::SerdeError("unsupported trace version");
+  }
   File f;
   f.dropped = r.u64();
   const std::uint32_t nnames = r.u32();
   f.names.reserve(std::min<std::size_t>(nnames, r.remaining()));
   for (std::uint32_t i = 0; i < nnames; ++i) f.names.push_back(r.str());
   const std::uint64_t nevents = r.u64();
-  // Each event is 40 wire bytes; clamp reserve by what the buffer can hold
-  // so a hostile count prefix cannot force a huge allocation.
+  // Clamp reserve by what the buffer can hold so a hostile count prefix
+  // cannot force a huge allocation (events are 40 wire bytes in v1, 56 in v2).
+  const std::uint64_t wire_size = version == kVersionV1 ? 40 : 56;
   f.events.reserve(static_cast<std::size_t>(
-      std::min<std::uint64_t>(nevents, r.remaining() / 40)));
+      std::min<std::uint64_t>(nevents, r.remaining() / wire_size)));
   for (std::uint64_t i = 0; i < nevents; ++i) {
     TraceEvent ev;
     ev.at = static_cast<std::int64_t>(r.u64());
@@ -269,9 +295,13 @@ Tracer::File Tracer::from_bytes(std::span<const std::uint8_t> data) {
     ev.name = r.u16();
     ev.node = r.u32();
     ev.peer = r.u32();
-    ev.pad = r.u32();
+    ev.aux = r.u32();
     ev.a = r.u64();
     ev.b = r.u64();
+    if (version >= kVersion) {
+      ev.span = r.u64();
+      ev.parent = r.u64();
+    }
     if (ev.name >= f.names.size()) throw util::SerdeError("trace name id out of range");
     f.events.push_back(ev);
   }
@@ -288,7 +318,11 @@ Tracer::File Tracer::read_file(const std::string& path) {
   while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
     data.insert(data.end(), buf, buf + n);
   }
+  // A short read due to an I/O error would otherwise parse as a "truncated
+  // trace" (or worse, silently as a smaller valid one) — fail loudly instead.
+  const bool read_error = std::ferror(f) != 0;
   std::fclose(f);
+  if (read_error) throw util::SerdeError("read error on trace file: " + path);
   return from_bytes(data);
 }
 
@@ -335,6 +369,17 @@ void append_chrome_event(std::string& out, const Tracer::File& f,
       out += reconcile_outcome_name(ev.a);
       out += "\"";
     }
+    // Causal layer (v2 traces only): pre-causal captures render unchanged.
+    if (ev.span != 0) {
+      out += ", \"span\": ";
+      append_u64_dec(out, ev.span);
+      out += ", \"parent\": ";
+      append_u64_dec(out, ev.parent);
+    }
+    if (ev.aux != 0) {
+      out += ", \"shard\": ";
+      append_u64_dec(out, ev.aux);
+    }
     out += "}";
   };
 
@@ -349,6 +394,8 @@ void append_chrome_event(std::string& out, const Tracer::File& f,
   const char* span_ph = nullptr;
   if (kind == EventKind::kTxSubmit) span_ph = "b";
   if (kind == EventKind::kTxAdmit) span_ph = "n";
+  if (kind == EventKind::kTxCommit) span_ph = "n";
+  if (kind == EventKind::kTxCensored) span_ph = "n";
   if (kind == EventKind::kTxFinalize) span_ph = "e";
   if (span_ph != nullptr) {
     open(span_ph, "tx.lifespan");

@@ -45,6 +45,10 @@ enum class EventKind : std::uint16_t {
   kTxSubmit = 10,   // workload handed the tx to `node`
   kTxAdmit = 11,    // tx admitted to `node`'s mempool; b = bundle seqno
   kTxFinalize = 12, // first block inclusion observed; b = block height
+  kTxCommit = 13,   // tx committed into `node`'s log; b = bundle seqno.
+                    // Causal bridge: `parent` is the span of the admit
+                    // dispatch, re-linking lineage across the batch timer.
+  kTxCensored = 14, // inspection proved `peer` omitted tx `a`; b = block id
   // Commitment lifecycle. create: a = batch size, b = log seqno after the
   // append; observe: peer = creator, a = creator's commitment count.
   kCommitCreate = 20,
@@ -69,6 +73,9 @@ enum class EventKind : std::uint16_t {
   // state: peer = member, a = MemberState, b = incarnation.
   kMemberProbe = 80,
   kMemberState = 81,
+  // Online anomaly detector (harness). peer = detector kind (AnomalyKind),
+  // a = observed value in microseconds or a count, b = threshold.
+  kAnomaly = 90,
 };
 
 const char* event_kind_name(EventKind k) noexcept;
@@ -94,17 +101,25 @@ enum ReconcileOutcome : std::uint64_t {
 
 const char* reconcile_outcome_name(std::uint64_t r) noexcept;
 
-// 24-byte POD record. `name` is an interned string id (payload type, metric
-// name); 0 means "no name".
+// POD record (56 wire bytes, v2). `name` is an interned string id (payload
+// type, metric name); 0 means "no name". `span`/`parent` are the causal
+// layer: every event carries the span of the dispatch that emitted it and
+// the span of the dispatch that *caused* that dispatch (the send for a
+// delivery, the scheduling context for a timer), so send -> deliver ->
+// handle -> emit chains form a cross-node happens-before DAG. Span ids are
+// derived from simulator event keys, so they are identical across worker
+// counts; 0 means "no cause" (emitted outside any dispatch).
 struct TraceEvent {
   std::int64_t at = 0;  // simulator microseconds
   std::uint16_t kind = 0;
   std::uint16_t name = 0;
   std::uint32_t node = 0;
   std::uint32_t peer = 0;
-  std::uint32_t pad = 0;  // keeps the wire format 8-byte aligned and explicit
+  std::uint32_t aux = 0;  // shard id for shard-scoped events; 0 otherwise
   std::uint64_t a = 0;
   std::uint64_t b = 0;
+  std::uint64_t span = 0;    // causal span of the emitting dispatch
+  std::uint64_t parent = 0;  // span of the causing dispatch (0 = root)
 };
 
 // Short id for span correlation: first 8 bytes of a digest, little-endian
@@ -115,6 +130,35 @@ std::uint64_t short_id(std::span<const std::uint8_t> bytes) noexcept;
 class Tracer {
  public:
   static constexpr std::size_t kDefaultCapacity = 1 << 16;
+
+  // The per-thread "current cause": the causal span of the dispatch the
+  // calling thread is currently executing, and that dispatch's own parent.
+  // The simulator sets it around every event dispatch (serial and sharded
+  // paths both), emit() stamps it into each recorded event, and send/
+  // schedule capture it as the parent of the events they create. Stored here
+  // rather than in sim/ so obs stays independent of the scheduler.
+  struct Cause {
+    std::uint64_t span = 0;
+    std::uint64_t parent = 0;
+  };
+  static void set_thread_cause(Cause c) noexcept;
+  static Cause thread_cause() noexcept;
+
+  // RAII re-parent: protocol code wraps an emit in a CauseScope to link it
+  // to an earlier dispatch (e.g. the commit bridge linking back to the admit
+  // span across the batch timer). Restores the previous cause on exit.
+  class CauseScope {
+   public:
+    explicit CauseScope(Cause c) noexcept : prev_(thread_cause()) {
+      set_thread_cause(c);
+    }
+    ~CauseScope() { set_thread_cause(prev_); }
+    CauseScope(const CauseScope&) = delete;
+    CauseScope& operator=(const CauseScope&) = delete;
+
+   private:
+    Cause prev_;
+  };
 
   explicit Tracer(std::size_t capacity = kDefaultCapacity);
 
@@ -144,7 +188,8 @@ class Tracer {
     virtual ~ThreadSink() = default;
     virtual void sink_event(EventKind kind, std::uint32_t node,
                             std::uint32_t peer, std::uint64_t a,
-                            std::uint64_t b, std::uint16_t name) = 0;
+                            std::uint64_t b, std::uint16_t name,
+                            std::uint32_t aux) = 0;
     virtual std::uint16_t sink_intern(std::string_view s) = 0;
   };
   static void set_thread_sink(ThreadSink* sink) noexcept;
@@ -168,13 +213,14 @@ class Tracer {
   // check stays outside the lock: enable() is a configuration call made
   // before any concurrent emitters exist (DESIGN.md §4d).
   void emit(EventKind kind, std::uint32_t node, std::uint32_t peer = 0,
-            std::uint64_t a = 0, std::uint64_t b = 0, std::uint16_t name = 0) {
+            std::uint64_t a = 0, std::uint64_t b = 0, std::uint16_t name = 0,
+            std::uint32_t aux = 0) {
     if (!enabled_) return;
     if (ThreadSink* sink = thread_sink()) {
-      sink->sink_event(kind, node, peer, a, b, name);
+      sink->sink_event(kind, node, peer, a, b, name, aux);
       return;
     }
-    record(kind, node, peer, a, b, name);
+    record(kind, node, peer, a, b, name, aux);
   }
 
   std::size_t size() const;
@@ -193,8 +239,10 @@ class Tracer {
   std::vector<std::uint8_t> bytes() const;
   bool write_file(const std::string& path) const;
 
-  // Parsed binary trace (what tools/lotrace consumes). Throws
-  // util::SerdeError on malformed input.
+  // Parsed binary trace (what tools/lotrace and tools/loscope consume).
+  // Throws util::SerdeError on malformed input (bad magic, unknown version,
+  // truncated body, out-of-range name id, trailing bytes). Version 1 files
+  // (40-byte events, pre-causal) are still readable: span/parent load as 0.
   struct File {
     std::uint64_t dropped = 0;
     std::vector<std::string> names;
@@ -205,7 +253,8 @@ class Tracer {
 
  private:
   void record(EventKind kind, std::uint32_t node, std::uint32_t peer,
-              std::uint64_t a, std::uint64_t b, std::uint16_t name);
+              std::uint64_t a, std::uint64_t b, std::uint16_t name,
+              std::uint32_t aux);
   std::vector<TraceEvent> events_locked() const LO_REQUIRES(mu_);
 
   // enabled_ and clock_ are configuration: set before any concurrent

@@ -103,8 +103,12 @@ void Simulator::bump_shard_counter(std::uint32_t handle, std::uint64_t n) {
 void Simulator::post(std::function<void()> fn) {
   WorkerCtx* t = tls_ctx_;
   if (t != nullptr && t->sim == this) {
-    t->posts.push_back(
-        WorkerCtx::PostRec{t->now, t->exec_seq, t->post_idx++, std::move(fn)});
+    // The causal context is captured with the closure and restored around it
+    // at the barrier flush, so a post body observes the same thread cause it
+    // would have seen running inline under the serial engine.
+    t->posts.push_back(WorkerCtx::PostRec{t->now, t->exec_seq, t->post_idx++,
+                                          obs::Tracer::thread_cause(),
+                                          std::move(fn)});
     return;
   }
   fn();
@@ -221,6 +225,7 @@ void Simulator::send(NodeId from, NodeId to, PayloadPtr msg) {
   ev.at = local_now() + lat;
   ev.seq = alloc_seq();
   ev.ctx = to;  // delivery executes on the receiver's shard
+  ev.parent = obs::Tracer::thread_cause().span;  // sender dispatch = cause
   ev.fn = [this, dest, to, from, msg = std::move(msg)] {
     if (!node_up(to)) {
       // The receiver went down while the message was in flight.
@@ -250,6 +255,7 @@ void Simulator::schedule(Duration delay, std::function<void()> fn) {
   // runs on its own shard; coordinator work stays on the coordinator.
   const WorkerCtx* t = tls_ctx_;
   ev.ctx = (t != nullptr && t->sim == this) ? t->exec_ctx : cur_exec_ctx_;
+  ev.parent = obs::Tracer::thread_cause().span;
   ev.fn = std::move(fn);
   push_event(std::move(ev));
 }
@@ -267,6 +273,7 @@ void Simulator::schedule_for(NodeId owner, Duration delay,
   ev.at = local_now() + delay;
   ev.seq = alloc_seq();
   ev.ctx = owner;  // epoch-pinned timers execute on the owner's shard
+  ev.parent = obs::Tracer::thread_cause().span;
   ev.fn = [this, owner, epoch, fn = std::move(fn)] {
     if (!node_up(owner) || node_epoch(owner) != epoch) {
       bump_shard_counter(c_suppressed_h_);
@@ -294,7 +301,12 @@ void Simulator::dispatch_serial(Event& ev) {
   now_ = ev.at;
   cur_exec_ctx_ = ev.ctx;
   cur_floor_ = (ev.seq >> 24) + 1;
+  // Causal context for everything this dispatch emits or schedules: the
+  // span id is derived from the event key alone, so it is identical across
+  // worker counts (span 0 is reserved for "no cause").
+  obs::Tracer::set_thread_cause({ev.seq + 1, ev.parent});
   ev.fn();
+  obs::Tracer::set_thread_cause({});
   cur_exec_ctx_ = kCoordinatorCtx;
   cur_floor_ = 0;
 }
@@ -411,15 +423,20 @@ bool Simulator::step() {
 
 void Simulator::WorkerCtx::sink_event(obs::EventKind kind, std::uint32_t node,
                                       std::uint32_t peer, std::uint64_t a,
-                                      std::uint64_t b, std::uint16_t name) {
+                                      std::uint64_t b, std::uint16_t name,
+                                      std::uint32_t aux) {
   obs::TraceEvent ev;
   ev.at = now;
   ev.kind = static_cast<std::uint16_t>(kind);
   ev.name = name;
   ev.node = node;
   ev.peer = peer;
+  ev.aux = aux;
   ev.a = a;
   ev.b = b;
+  const obs::Tracer::Cause cause = obs::Tracer::thread_cause();
+  ev.span = cause.span;
+  ev.parent = cause.parent;
   trace.push_back(TraceRec{now, exec_seq, trace_idx++, ev});
 }
 
@@ -485,12 +502,16 @@ void Simulator::run_shard_window(unsigned s) {
       c.exec_seq = ev.seq;
       c.exec_ctx = ev.ctx;
       c.floor = (ev.seq >> 24) + 1;
+      // Same causal-context rule as dispatch_serial: span = key + 1, so the
+      // stamped spans never depend on which thread ran the dispatch.
+      obs::Tracer::set_thread_cause({ev.seq + 1, ev.parent});
       ev.fn();
       ++c.events;
     }
   } catch (...) {
     c.error = std::current_exception();
   }
+  obs::Tracer::set_thread_cause({});
   obs::Tracer::set_thread_sink(nullptr);
   tls_ctx_ = nullptr;
 }
@@ -583,7 +604,13 @@ std::size_t Simulator::flush_window() {
               return std::tie(a->at, a->seq, a->idx) <
                      std::tie(b->at, b->seq, b->idx);
             });
-  for (WorkerCtx::PostRec* p : posts) p->fn();
+  for (WorkerCtx::PostRec* p : posts) {
+    // Re-establish the causal context the post body would have observed
+    // running inline, so serial and parallel runs stay byte-identical even
+    // when an observer emits.
+    obs::Tracer::CauseScope cause(p->cause);
+    p->fn();
+  }
   for (unsigned s = 0; s < workers_; ++s) {
     if (participate_[s] == 0) continue;
     WorkerCtx& c = *ctxs_[s];

@@ -263,6 +263,11 @@ class Simulator {
     TimePoint at = 0;
     std::uint64_t seq = 0;     // (creator counter << 24) | creator ctx id
     std::uint32_t ctx = kCoordinatorCtx;  // execution context: node or coordinator
+    // Causal span of the dispatch that created this event (obs::Tracer::Cause;
+    // 0 = created outside any dispatch). Span ids are seq + 1 — globally
+    // unique, worker-count-independent — so the trace layer can link every
+    // emitted event to the dispatch chain that caused it.
+    std::uint64_t parent = 0;
     std::function<void()> fn;
   };
   struct EventOrder {
@@ -323,6 +328,7 @@ class Simulator {
       TimePoint at;
       std::uint64_t seq;
       std::uint32_t idx;
+      obs::Tracer::Cause cause;  // restored around fn at the barrier flush
       std::function<void()> fn;
     };
     std::vector<PostRec> posts;
@@ -330,7 +336,7 @@ class Simulator {
 
     void sink_event(obs::EventKind kind, std::uint32_t node,
                     std::uint32_t peer, std::uint64_t a, std::uint64_t b,
-                    std::uint16_t name) override;
+                    std::uint16_t name, std::uint32_t aux) override;
     std::uint16_t sink_intern(std::string_view s) override;
   };
 

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <cstring>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -21,6 +22,7 @@
 #include "baselines/peerreview.hpp"
 #include "crypto/sha256.hpp"
 #include "harness/lo_network.hpp"
+#include "obs/trace.hpp"
 #include "test_net_util.hpp"
 #include "util/ordered.hpp"
 
@@ -339,6 +341,87 @@ TEST(Determinism, NarwhalParallelWorkersMatchSerial) {
     EXPECT_EQ(serial, run_baseline<baselines::NarwhalNode>(cfg, 7, w))
         << "narwhal baseline diverged at workers=" << w;
   }
+}
+
+// ------------------------------------------------------- causal span layer ----
+
+// A short sharded run with block production: the richest causal surface
+// (gossip, sync, batch-commit bridges, leader timers) at a size that keeps
+// the W x k matrix cheap.
+std::vector<std::uint8_t> causal_trace_bytes(unsigned workers,
+                                             std::uint32_t k) {
+  auto cfg = test::net_cfg(8, 5, /*malicious_fraction=*/0.125);
+  cfg.trace = true;
+  cfg.node.mempool_shards = k;
+  cfg.workers = workers;
+  harness::LoNetwork net(cfg);
+  net.start_workload(test::load_cfg(15.0, 1005));
+  consensus::LeaderConfig lc;
+  lc.mean_block_interval = 2 * sim::kSecond;
+  lc.seed = 7;
+  net.start_block_production(lc, /*correct_leaders_only=*/true);
+  net.run_for(8.0);
+  return net.sim().obs().tracer.bytes();
+}
+
+// ISSUE 10 acceptance: span/parent ids are derived from simulator event keys,
+// so the full causal trace — not just the event payloads — is byte-identical
+// across worker counts, for flat and sharded mempools alike.
+TEST(Determinism, CausalTraceByteIdenticalAcrossWorkersAndShards) {
+  for (std::uint32_t k : {1u, 4u}) {
+    const auto serial = causal_trace_bytes(/*workers=*/1, k);
+    EXPECT_FALSE(serial.empty());
+    for (unsigned workers : {2u, 4u}) {
+      EXPECT_EQ(serial, causal_trace_bytes(workers, k))
+          << "causal trace diverged between serial and " << workers
+          << " workers at k=" << k;
+    }
+  }
+}
+
+// Structural well-formedness of the happens-before DAG: every delivery event
+// that names a causing dispatch must find a matching send in that dispatch —
+// the property loscope's critical-path walk relies on.
+TEST(Determinism, CausalSpansFormACrossNodeHappensBeforeDag) {
+  const auto file =
+      obs::Tracer::from_bytes(causal_trace_bytes(/*workers=*/1, /*k=*/1));
+  ASSERT_FALSE(file.events.empty());
+
+  std::map<std::uint64_t, std::vector<const obs::TraceEvent*>> by_span;
+  std::size_t with_cause = 0;
+  for (const auto& ev : file.events) {
+    if (ev.span != 0) {
+      by_span[ev.span].push_back(&ev);
+      ++with_cause;
+    }
+  }
+  // The layer is live: the overwhelming majority of events in a harness run
+  // are emitted inside some dispatch.
+  EXPECT_GT(with_cause, file.events.size() / 2);
+  EXPECT_GT(by_span.size(), 1u);
+
+  std::size_t recvs_checked = 0;
+  for (const auto& ev : file.events) {
+    if (ev.kind != static_cast<std::uint16_t>(obs::EventKind::kMsgRecv) ||
+        ev.parent == 0) {
+      continue;
+    }
+    auto it = by_span.find(ev.parent);
+    if (it == by_span.end()) continue;  // causing dispatch predates the ring
+    bool matched = false;
+    for (const auto* cause : it->second) {
+      if (cause->kind == static_cast<std::uint16_t>(obs::EventKind::kMsgSend) &&
+          cause->node == ev.peer && cause->peer == ev.node) {
+        matched = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(matched) << "recv at node " << ev.node << " (t=" << ev.at
+                         << ") has parent span " << ev.parent
+                         << " containing no matching send";
+    ++recvs_checked;
+  }
+  EXPECT_GT(recvs_checked, 0u) << "no cross-node recv carried a parent span";
 }
 
 // -------------------------------------------------------- negative control ----

@@ -5,11 +5,14 @@
 // and same-seed trace determinism for LØ and one baseline.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "baselines/common.hpp"
@@ -104,6 +107,38 @@ TEST(Registry, JsonAndCsvAreDeterministicallyOrdered) {
   EXPECT_LT(json.find("a.first"), json.find("z.last"));
   EXPECT_LT(csv.find("a.first"), csv.find("z.last"));
   EXPECT_NE(json.find("\"bench_suite\": \"suite\""), std::string::npos);
+}
+
+TEST(Registry, ExportCarriesHistogramPercentiles) {
+  obs::Registry reg;
+  auto& h = reg.histogram("lat");
+  for (int i = 1; i <= 100; ++i) h.observe(static_cast<double>(i));
+  reg.counter("c") = 7;
+
+  // JSON: p50/p95/p99 fields present, bit-identical to the histogram's own
+  // quantile estimator (the export must not re-derive them differently).
+  const std::string json = reg.to_json("q");
+  for (const auto& [key, q] : std::vector<std::pair<std::string, double>>{
+           {"\"p50\": ", 0.5}, {"\"p95\": ", 0.95}, {"\"p99\": ", 0.99}}) {
+    const auto pos = json.find(key);
+    ASSERT_NE(pos, std::string::npos) << key << "missing from JSON export";
+    EXPECT_DOUBLE_EQ(std::strtod(json.c_str() + pos + key.size(), nullptr),
+                     h.quantile(q));
+  }
+
+  // CSV: widened header, percentile columns on histogram rows, and padded
+  // scalar rows so every line keeps the same arity.
+  const std::string csv = reg.to_csv();
+  EXPECT_EQ(csv.rfind("id,kind,value,count,sum,min,max,p50,p95,p99\n", 0), 0u);
+  EXPECT_NE(csv.find("c,counter,7,,,,,,,\n"), std::string::npos);
+  const auto header_cols =
+      std::count(csv.begin(), csv.begin() + csv.find('\n'), ',');
+  std::istringstream lines(csv);
+  std::string line;
+  while (std::getline(lines, line)) {
+    EXPECT_EQ(std::count(line.begin(), line.end(), ','), header_cols)
+        << "ragged CSV row: " << line;
+  }
 }
 
 // -------------------------------------------------------------------- scope ----
@@ -303,6 +338,67 @@ TEST(Tracer, FromBytesRejectsMalformedInput) {
   EXPECT_THROW(obs::Tracer::from_bytes(truncated), util::SerdeError);
 }
 
+TEST(Tracer, ReadsVersion1TracesWithoutCausalFields) {
+  // Hand-built v1 stream: 40-byte events, no span/parent. Old captures must
+  // keep parsing after the causal-layer upgrade, loading span/parent as 0.
+  util::Writer w;
+  for (char m : {'L', 'O', 'T', 'R'}) w.u8(static_cast<std::uint8_t>(m));
+  w.u32(1);  // version 1
+  w.u64(3);  // dropped
+  w.u32(2);  // names: "", "inv"
+  w.str("");
+  w.str("inv");
+  w.u64(1);  // one event
+  w.u64(77);  // at
+  w.u16(static_cast<std::uint16_t>(obs::EventKind::kTxSubmit));
+  w.u16(1);  // name = "inv"
+  w.u32(4);  // node
+  w.u32(5);  // peer
+  w.u32(6);  // aux
+  w.u64(0xaa);
+  w.u64(0xbb);
+
+  const auto f = obs::Tracer::from_bytes(w.take_u8());
+  EXPECT_EQ(f.dropped, 3u);
+  ASSERT_EQ(f.names.size(), 2u);
+  EXPECT_EQ(f.names[1], "inv");
+  ASSERT_EQ(f.events.size(), 1u);
+  EXPECT_EQ(f.events[0].at, 77);
+  EXPECT_EQ(f.events[0].node, 4u);
+  EXPECT_EQ(f.events[0].aux, 6u);
+  EXPECT_EQ(f.events[0].b, 0xbbu);
+  EXPECT_EQ(f.events[0].span, 0u);
+  EXPECT_EQ(f.events[0].parent, 0u);
+}
+
+TEST(Tracer, FromBytesRejectsHostileHeaders) {
+  // Unknown version.
+  {
+    util::Writer w;
+    for (char m : {'L', 'O', 'T', 'R'}) w.u8(static_cast<std::uint8_t>(m));
+    w.u32(99);
+    EXPECT_THROW(obs::Tracer::from_bytes(w.take_u8()), util::SerdeError);
+  }
+  // Event naming a string-table id that was never written.
+  {
+    obs::Tracer t;
+    t.enable(true);
+    t.emit(obs::EventKind::kMsgSend, 0, 1, 0, 0, /*name=*/9);
+    EXPECT_THROW(obs::Tracer::from_bytes(t.bytes()), util::SerdeError);
+  }
+  // Hostile event-count prefix far beyond the buffer: must throw (truncated),
+  // not allocate terabytes. The reserve clamp is what this pins down.
+  {
+    util::Writer w;
+    for (char m : {'L', 'O', 'T', 'R'}) w.u8(static_cast<std::uint8_t>(m));
+    w.u32(2);
+    w.u64(0);  // dropped
+    w.u32(0);  // no names
+    w.u64(0xffffffffffffull);  // claimed events, none present
+    EXPECT_THROW(obs::Tracer::from_bytes(w.take_u8()), util::SerdeError);
+  }
+}
+
 // ------------------------------------------------------------- chrome json ----
 
 std::string read_golden(const std::string& name) {
@@ -474,6 +570,39 @@ TEST(TraceDeterminism, HarnessRegistryExportIsReplayStable) {
   EXPECT_NE(a.find("sim.dropped_sender_down"), std::string::npos);
   EXPECT_NE(a.find("verify_cache.memo_hits{node=0}"), std::string::npos);
   EXPECT_NE(a.find("harness.mempool_latency_s"), std::string::npos);
+}
+
+// Per-shard label policy on the hot accountability counters: sharded runs
+// attribute lo.commits / lo.sync_rounds / lo.suspicions per shard, while a
+// k=1 run keeps the exact pre-sharding per-node ids (no-change guarantee for
+// existing dashboards and diff tooling).
+TEST(TraceDeterminism, ShardLabelsAppearOnlyWhenSharded) {
+  const auto registry_json = [](std::uint32_t k) {
+    auto cfg = test::net_cfg(8, 31);
+    cfg.node.mempool_shards = k;
+    harness::LoNetwork net(cfg);
+    net.start_workload(test::load_cfg(15.0, 32));
+    net.run_for(5.0);
+    return net.sim().obs().registry.to_json("shards");
+  };
+
+  const std::string flat = registry_json(1);
+  EXPECT_NE(flat.find("lo.commits{node=0}"), std::string::npos);
+  EXPECT_NE(flat.find("lo.sync_rounds{node=0}"), std::string::npos);
+  EXPECT_NE(flat.find("lo.suspicions{node=0}"), std::string::npos);
+  EXPECT_EQ(flat.find("shard="), std::string::npos)
+      << "k=1 run leaked shard labels into metric ids";
+
+  const std::string sharded = registry_json(4);
+  for (int s = 0; s < 4; ++s) {
+    const std::string want =
+        "lo.commits{node=0,shard=" + std::to_string(s) + "}";
+    EXPECT_NE(sharded.find(want), std::string::npos) << "missing " << want;
+  }
+  EXPECT_NE(sharded.find("lo.sync_rounds{node=0,shard=0}"), std::string::npos);
+  EXPECT_NE(sharded.find("lo.suspicions{node=0,shard=0}"), std::string::npos);
+  EXPECT_EQ(sharded.find("lo.commits{node=0}"), std::string::npos)
+      << "sharded run still exports the unsharded commit counter";
 }
 
 }  // namespace

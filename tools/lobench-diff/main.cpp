@@ -1,0 +1,121 @@
+// lobench-diff CLI — compare fresh BENCH_*.json files against committed
+// baselines with tolerance bands.
+//
+//   lobench-diff [--min-ratio R] [--max-ratio R] <baseline-dir> <fresh-dir>
+//   lobench-diff [--min-ratio R] [--max-ratio R] --pair <baseline.json> <fresh.json>
+//
+// Directory mode compares every BENCH_*.json present in <baseline-dir>
+// against the file of the same name in <fresh-dir>; a baseline file with no
+// fresh counterpart fails. Exit codes: 0 all within band, 1 regression or
+// missing data, 2 usage error.
+#include <dirent.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "benchdiff.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: lobench-diff [--min-ratio R] [--max-ratio R] "
+               "<baseline-dir> <fresh-dir>\n"
+               "       lobench-diff [--min-ratio R] [--max-ratio R] "
+               "--pair <baseline.json> <fresh.json>\n");
+  return 2;
+}
+
+std::vector<std::string> bench_files(const std::string& dir) {
+  std::vector<std::string> out;
+  DIR* d = opendir(dir.c_str());
+  if (d == nullptr) return out;
+  while (dirent* e = readdir(d)) {
+    const std::string name = e->d_name;
+    if (name.rfind("BENCH_", 0) == 0 && name.size() > 5 &&
+        name.compare(name.size() - 5, 5, ".json") == 0) {
+      out.push_back(name);
+    }
+  }
+  closedir(d);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// Returns failures for one (baseline, fresh) file pair.
+std::size_t diff_pair(const std::string& base_path, const std::string& fresh_path,
+                      const lo::benchdiff::Tolerance& tol) {
+  using namespace lo::benchdiff;
+  const auto base_text = read_file(base_path);
+  if (!base_text) {
+    std::fprintf(stderr, "lobench-diff: cannot read baseline %s\n",
+                 base_path.c_str());
+    return 1;
+  }
+  const auto fresh_text = read_file(fresh_path);
+  if (!fresh_text) {
+    std::fprintf(stderr, "lobench-diff: cannot read fresh file %s\n",
+                 fresh_path.c_str());
+    return 1;
+  }
+  try {
+    const auto result =
+        diff(parse_bench_json(*base_text), parse_bench_json(*fresh_text), tol);
+    std::printf("== %s vs %s ==\n%s\n", base_path.c_str(), fresh_path.c_str(),
+                render(result).c_str());
+    return result.failures;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "lobench-diff: %s vs %s: %s\n", base_path.c_str(),
+                 fresh_path.c_str(), e.what());
+    return 1;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  lo::benchdiff::Tolerance tol;
+  bool pair_mode = false;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--pair") == 0) {
+      pair_mode = true;
+    } else if (std::strcmp(argv[i], "--min-ratio") == 0 && i + 1 < argc) {
+      tol.min_ratio = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--max-ratio") == 0 && i + 1 < argc) {
+      tol.max_ratio = std::atof(argv[++i]);
+    } else {
+      positional.emplace_back(argv[i]);
+    }
+  }
+  if (positional.size() != 2 || tol.min_ratio <= 0.0 ||
+      tol.max_ratio < tol.min_ratio) {
+    return usage();
+  }
+
+  std::size_t failures = 0;
+  if (pair_mode) {
+    failures = diff_pair(positional[0], positional[1], tol);
+  } else {
+    const auto files = bench_files(positional[0]);
+    if (files.empty()) {
+      std::fprintf(stderr, "lobench-diff: no BENCH_*.json under %s\n",
+                   positional[0].c_str());
+      return 1;
+    }
+    for (const auto& name : files) {
+      failures +=
+          diff_pair(positional[0] + "/" + name, positional[1] + "/" + name, tol);
+    }
+  }
+  if (failures > 0) {
+    std::fprintf(stderr, "lobench-diff: %zu failure(s)\n", failures);
+    return 1;
+  }
+  return 0;
+}

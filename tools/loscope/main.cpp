@@ -1,0 +1,90 @@
+// loscope CLI — causal transaction forensics over LOTR traces.
+//
+//   loscope <trace.lotrace> summary            [--json|--csv]
+//   loscope <trace.lotrace> lineage <txid>     [--json|--csv]
+//   loscope <trace.lotrace> censorship         [--json|--csv]
+//   loscope <trace.lotrace> detection          [--json|--csv]
+//   loscope <trace.lotrace> shards             [--json|--csv]
+//
+// Exit codes: 0 success, 1 bad input (unreadable/corrupt trace, unknown
+// txid), 2 usage error.
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <string>
+
+#include "loscope.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: loscope <trace.lotrace> <command> [args] [--json|--csv]\n"
+      "commands:\n"
+      "  summary            whole-trace totals and causal coverage\n"
+      "  lineage <txid>     cross-node story of one transaction\n"
+      "  censorship         per-tx dwell times and censorship proofs\n"
+      "  detection          accountability latency decomposition\n"
+      "  shards             per-shard event rollups\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace lo;
+  if (argc < 3) return usage();
+  const std::string path = argv[1];
+  const std::string cmd = argv[2];
+
+  loscope::Format fmt = loscope::Format::kText;
+  std::string txid_arg;
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      fmt = loscope::Format::kJson;
+    } else if (std::strcmp(argv[i], "--csv") == 0) {
+      fmt = loscope::Format::kCsv;
+    } else if (txid_arg.empty()) {
+      txid_arg = argv[i];
+    } else {
+      return usage();
+    }
+  }
+
+  try {
+    const auto model = loscope::TraceModel::build(obs::Tracer::read_file(path));
+    std::string out;
+    if (cmd == "summary") {
+      out = loscope::render_summary(loscope::summarize(model), fmt);
+    } else if (cmd == "lineage") {
+      const auto txid = loscope::parse_txid(txid_arg);
+      if (!txid) {
+        std::fprintf(stderr, "loscope: bad or missing txid '%s'\n",
+                     txid_arg.c_str());
+        return 2;
+      }
+      const auto l = loscope::lineage(model, *txid);
+      if (!l) {
+        std::fprintf(stderr,
+                     "loscope: no lifecycle events for tx %016llx in %s\n",
+                     static_cast<unsigned long long>(*txid), path.c_str());
+        return 1;
+      }
+      out = loscope::render_lineage(model, *l, fmt);
+    } else if (cmd == "censorship") {
+      out = loscope::render_censorship(loscope::censorship(model), fmt);
+    } else if (cmd == "detection") {
+      out = loscope::render_detection(loscope::detection(model), fmt);
+    } else if (cmd == "shards") {
+      out = loscope::render_shards(loscope::shards(model), fmt);
+    } else {
+      return usage();
+    }
+    std::fputs(out.c_str(), stdout);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "loscope: %s\n", e.what());
+    return 1;
+  }
+}
